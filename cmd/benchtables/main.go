@@ -1,0 +1,105 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation section and prints the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	benchtables -all                 # everything, reduced scale
+//	benchtables -table1 -days 3     # full Table 1 protocol (3 fire days)
+//	benchtables -table2 -images 281 # full Table 2 run (paper scale)
+//	benchtables -fig8 -window 2h    # Figure 8 series
+//	benchtables -fig2 -fig6 -fig7 -out ./figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/auxdata"
+	"repro/internal/experiments"
+	"repro/internal/geom"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "run every experiment at reduced scale")
+		table1 = flag.Bool("table1", false, "reproduce Table 1 (thematic accuracy)")
+		table2 = flag.Bool("table2", false, "reproduce Table 2 (chain processing times)")
+		fig8   = flag.Bool("fig8", false, "reproduce Figure 8 (refinement response times)")
+		fig2   = flag.Bool("fig2", false, "render Figure 2 (fire vector map)")
+		fig6   = flag.Bool("fig6", false, "render Figure 6 (thematic overlay map)")
+		fig7   = flag.Bool("fig7", false, "render Figure 7 (MODIS-vs-MSG overlay)")
+		days   = flag.Int("days", 3, "Table 1: evaluation days")
+		images = flag.Int("images", 281, "Table 2: acquisitions to process")
+		window = flag.Duration("window", time.Hour, "Figure 8: monitored span per sensor")
+		seed   = flag.Int64("seed", 42, "world/scenario seed")
+		out    = flag.String("out", ".", "output directory for SVG figures")
+	)
+	flag.Parse()
+	if *all {
+		*table1, *table2, *fig8, *fig2, *fig6, *fig7 = true, true, true, true, true, true
+		*days = 1
+		*images = 20
+		*window = 30 * time.Minute
+	}
+	if !(*table1 || *table2 || *fig8 || *fig2 || *fig6 || *fig7) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *table1 {
+		fmt.Printf("== Table 1 (seed %d, %d days) ==\n", *seed, *days)
+		res, err := experiments.Table1(*seed, *days)
+		fail(err)
+		fmt.Println(res.Render())
+	}
+	if *table2 {
+		fmt.Printf("== Table 2 (seed %d, %d images) ==\n", *seed, *images)
+		res, err := experiments.Table2(*seed, *images)
+		fail(err)
+		fmt.Println(res.Render())
+	}
+	if *fig8 {
+		fmt.Printf("== Figure 8 (seed %d, %v per sensor) ==\n", *seed, *window)
+		res, err := experiments.Figure8(*seed, *window)
+		fail(err)
+		fmt.Println(res.Render())
+		fmt.Printf("Municipalities slowest spatial op: %v\n\n", res.MunicipalitiesSlowest())
+	}
+	if *fig2 {
+		m, err := experiments.Figure2(*seed, 15*time.Minute)
+		fail(err)
+		write(*out, "figure2.svg", m.SVG(900))
+	}
+	if *fig6 {
+		svc, _, err := experiments.CollectProducts(*seed, 15*time.Minute)
+		fail(err)
+		win := geom.Envelope{MinX: 20.5, MinY: 36.0, MaxX: 24.5, MaxY: 39.5}
+		from := time.Date(2007, 8, 24, 0, 0, 0, 0, time.UTC)
+		m, err := experiments.Figure6(svc, win, from, from.Add(24*time.Hour))
+		fail(err)
+		write(*out, "figure6.svg", m.SVG(900))
+		write(*out, "figure6.geojson", m.GeoJSON())
+	}
+	if *fig7 {
+		m, err := experiments.Figure7(*seed, 15*time.Minute)
+		fail(err)
+		write(*out, "figure7.svg", m.SVG(900))
+	}
+	_ = auxdata.Region
+}
+
+func write(dir, name, content string) {
+	path := filepath.Join(dir, name)
+	fail(os.WriteFile(path, []byte(content), 0o644))
+	fmt.Printf("wrote %s (%d bytes)\n", path, len(content))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+}

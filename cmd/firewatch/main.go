@@ -1,0 +1,98 @@
+// Command firewatch runs the end-to-end fire monitoring service over a
+// synthetic fire day and disseminates the products: per-acquisition
+// reports on stdout and, with -serve, a small HTTP endpoint offering the
+// latest products as GeoJSON and the live map as SVG (the role GeoServer
+// plays in the pre-TELEIOS architecture).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/auxdata"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/mapgen"
+	"repro/internal/seviri"
+)
+
+func main() {
+	var (
+		seed   = flag.Int64("seed", 42, "world/scenario seed")
+		sensor = flag.String("sensor", "MSG1", "sensor stream: MSG1 (5 min) or MSG2 (15 min)")
+		window = flag.Duration("window", time.Hour, "monitored span")
+		serve  = flag.String("serve", "", "optional HTTP listen address, e.g. :8080")
+	)
+	flag.Parse()
+
+	sens := seviri.MSG1
+	if *sensor == "MSG2" {
+		sens = seviri.MSG2
+	}
+	cfg := seviri.DefaultScenarioConfig()
+	svc, err := core.NewService(*seed, cfg)
+	fail(err)
+
+	from := cfg.Start.Add(11 * time.Hour)
+	fmt.Printf("firewatch: servicing %s from %s for %v (deadline %v per acquisition)\n",
+		sens.Name, from.Format(time.RFC3339), *window, sens.Cadence)
+	for _, at := range seviri.AcquisitionTimes(sens, from, *window) {
+		rep, err := svc.Step(sens, at)
+		fail(err)
+		status := "OK"
+		if !rep.DeadlineMet {
+			status = "DEADLINE MISSED"
+		}
+		fmt.Printf("%s  chain=%8v  hotspots=%3d -> refined=%3d  [%s]\n",
+			at.Format("15:04"), rep.ChainTime.Round(time.Millisecond),
+			rep.RawHotspot, rep.Refined, status)
+		for _, op := range rep.RefineOps {
+			fmt.Printf("      %-18s %8v  (affected %d)\n", op.Op,
+				op.Duration.Round(time.Microsecond), op.Affected)
+		}
+	}
+
+	if *serve == "" {
+		return
+	}
+	http.HandleFunc("/products.geojson", func(w http.ResponseWriter, r *http.Request) {
+		m := productMap(svc)
+		w.Header().Set("Content-Type", "application/geo+json")
+		fmt.Fprint(w, m.GeoJSON())
+	})
+	http.HandleFunc("/map.svg", func(w http.ResponseWriter, r *http.Request) {
+		m := productMap(svc)
+		w.Header().Set("Content-Type", "image/svg+xml")
+		fmt.Fprint(w, m.SVG(900))
+	})
+	fmt.Printf("firewatch: serving products on %s (/products.geojson, /map.svg)\n", *serve)
+	fail(http.ListenAndServe(*serve, nil))
+}
+
+func productMap(svc *core.Service) *mapgen.Map {
+	world := svc.Sim.Scenario.World
+	m := mapgen.New(auxdata.Region, "firewatch: active fire products")
+	var land []geom.Geometry
+	for _, p := range world.Land {
+		land = append(land, p)
+	}
+	m.AddLayer(mapgen.Layer{Name: "Coastline", Stroke: "#7a6a4f", Fill: "#f3ecd9", Geoms: land})
+	var fires []geom.Geometry
+	for _, p := range svc.PlainProducts {
+		for _, h := range p.Hotspots {
+			fires = append(fires, h.Geometry)
+		}
+	}
+	m.AddLayer(mapgen.Layer{Name: "Hotspots", Stroke: "#990000", Fill: "#ff2200", Opacity: 0.6, Geoms: fires})
+	return m
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "firewatch:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,94 @@
+// Command stsparql is a command-line stSPARQL endpoint over the synthetic
+// linked-data datasets (and optional Turtle files): the interface NOA
+// operators use to pose the thematic queries of Section 3.2.4.
+//
+//	stsparql -query 'SELECT ?m WHERE { ?m a gag:Municipality . }'
+//	stsparql -load extra.ttl -query-file q.rq
+//	echo 'ASK { ?h a noa:Hotspot }' | stsparql
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/auxdata"
+	"repro/internal/strabon"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 42, "synthetic world seed (0 disables world loading)")
+		load      = flag.String("load", "", "optional Turtle file to load")
+		query     = flag.String("query", "", "query text")
+		queryFile = flag.String("query-file", "", "file holding the query")
+		update    = flag.Bool("update", false, "treat the request as an update")
+	)
+	flag.Parse()
+
+	st := strabon.New()
+	if *seed != 0 {
+		world := auxdata.Generate(*seed)
+		n := st.LoadTriples(world.AllTriples())
+		fmt.Fprintf(os.Stderr, "loaded %d triples from synthetic world (seed %d)\n", n, *seed)
+	}
+	if *load != "" {
+		src, err := os.ReadFile(*load)
+		fail(err)
+		n, err := st.LoadTurtle(string(src))
+		fail(err)
+		fmt.Fprintf(os.Stderr, "loaded %d triples from %s\n", n, *load)
+	}
+
+	q := *query
+	if *queryFile != "" {
+		src, err := os.ReadFile(*queryFile)
+		fail(err)
+		q = string(src)
+	}
+	if q == "" {
+		src, err := io.ReadAll(os.Stdin)
+		fail(err)
+		q = string(src)
+	}
+	if q == "" {
+		fmt.Fprintln(os.Stderr, "stsparql: no query given")
+		os.Exit(2)
+	}
+
+	if *update {
+		stats, err := st.Update(q)
+		fail(err)
+		fmt.Printf("matched %d solutions, deleted %d, inserted %d triples\n",
+			stats.Matched, stats.Deleted, stats.Inserted)
+		return
+	}
+	res, _, err := st.TimedQuery(q)
+	fail(err)
+	for _, v := range res.Vars {
+		fmt.Printf("%-40s", "?"+v)
+	}
+	fmt.Println()
+	for _, row := range res.Rows {
+		for _, v := range res.Vars {
+			fmt.Printf("%-40s", truncate(row[v].String(), 38))
+		}
+		fmt.Println()
+	}
+	fmt.Fprintf(os.Stderr, "%d rows\n", len(res.Rows))
+}
+
+func truncate(s string, n int) string {
+	if len(s) > n {
+		return s[:n-3] + "..."
+	}
+	return s
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stsparql:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,84 @@
+// Vaultexplore: demonstrates the data-vault workflow of Section 3.1.1 —
+// raw HRIT files are attached "as-is" (metadata-only scan), and pixel
+// data is materialised lazily by SciQL queries through the registered
+// hrit_load_image table function. The example prints vault statistics
+// before and after querying to make the laziness visible.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/auxdata"
+	"repro/internal/hrit"
+	"repro/internal/sciql"
+	"repro/internal/seviri"
+	"repro/internal/vault"
+)
+
+func main() {
+	// Build a small raw archive on disk (what cmd/sevirigen does).
+	dir, err := os.MkdirTemp("", "hrit-archive-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	world := auxdata.Generate(42)
+	sc := seviri.GenerateScenario(world, 43, seviri.DefaultScenarioConfig())
+	sim := seviri.NewSimulator(sc)
+	from := time.Date(2007, 8, 24, 12, 0, 0, 0, time.UTC)
+	for _, at := range seviri.AcquisitionTimes(seviri.MSG1, from, 15*time.Minute) {
+		acq, err := sim.Acquire(seviri.MSG1, at, 4, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for ch, segs := range acq.Segments {
+			for i, raw := range segs {
+				name := fmt.Sprintf("%s/%s_%s_seg%d.hrit", dir, ch, at.Format("150405"), i)
+				if err := os.WriteFile(name, raw, 0o644); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+
+	// Attach the archive: metadata only, no pixel decode.
+	v := vault.New(4)
+	n, err := v.AttachDir(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attached %d segment files; stats: %+v\n", n, v.Stats())
+	for _, ts := range v.Acquisitions(hrit.ChannelIR039) {
+		fmt.Printf("  acquisition %s complete=%v\n", ts.Format(time.RFC3339),
+			v.Complete(hrit.ChannelIR039, ts))
+	}
+
+	// Query through SciQL: the first touch materialises the array.
+	engine := sciql.NewEngine()
+	v.Register(engine)
+	uri := vault.URI(hrit.ChannelIR039, from)
+	frame, err := engine.Exec(fmt.Sprintf(
+		`SELECT v FROM hrit_load_image('%s') AS img WHERE x >= 20 AND x < 120 AND y >= 20 AND y < 100`, uri))
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := frame.Dense("v")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := d.Summary()
+	fmt.Printf("cropped window %dx%d: T in [%.1f, %.1f] K, mean %.1f K\n",
+		d.Width(), d.Height(), s.Min, s.Max, s.Mean)
+	fmt.Printf("after first query:  %+v\n", v.Stats())
+
+	// A second query over the same acquisition hits the cache.
+	if _, err := engine.Exec(fmt.Sprintf(
+		`SELECT v FROM hrit_load_image('%s') AS img`, uri)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after second query: %+v (cache hit, no new load)\n", v.Stats())
+}

@@ -1,0 +1,107 @@
+// Package accuracy implements the thematic-accuracy validation protocol
+// of the paper's Section 4.1 (Table 1): MSG/SEVIRI hotspot products are
+// cross-validated against MODIS hotspots by (i) merging 30 minutes of
+// MSG acquisitions around each MODIS overpass, (ii) overlaying the MODIS
+// points with the MSG polygons using a 700 m tolerance, and (iii)
+// reporting the omission error (MODIS fires the MSG product misses) and
+// the false-alarm rate (MSG hotspots MODIS does not confirm).
+package accuracy
+
+import (
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/modis"
+	"repro/internal/products"
+	"repro/internal/seviri"
+)
+
+// ToleranceKm is the paper's overlay tolerance: "with 700 m tolerance
+// (accounting for the 1 km pixel size of MODIS)".
+const ToleranceKm = 0.7
+
+// MergeWindow is the MSG aggregation span: "we merged 30 minutes of MSG
+// acquisitions ... around the corresponding MODIS acquisition times".
+const MergeWindow = 30 * time.Minute
+
+// Row is one line of Table 1.
+type Row struct {
+	Label string
+	// TotalMODIS is the MODIS hotspot count over the window.
+	TotalMODIS int
+	// MODISDetectedByMSG counts MODIS hotspots falling inside MSG
+	// polygons (700 m tolerance).
+	MODISDetectedByMSG int
+	// OmissionPct = 100 × (1 − detected/total).
+	OmissionPct float64
+	// TotalMSG is the MSG hotspot count over the window.
+	TotalMSG int
+	// MSGDetectedByMODIS counts MSG hotspots confirmed by MODIS points.
+	MSGDetectedByMODIS int
+	// FalseAlarmPct = 100 × (1 − confirmed/total).
+	FalseAlarmPct float64
+}
+
+// Evaluate runs the protocol: msgProducts are the per-acquisition
+// products of one chain variant; modisByOverpass the reference points.
+func Evaluate(label string, msgProducts []*products.Product, modisByOverpass map[time.Time][]modis.Hotspot) Row {
+	row := Row{Label: label}
+	tolDegLon := ToleranceKm / seviri.KmPerDegLon
+	tolDegLat := ToleranceKm / seviri.KmPerDegLat
+	tol := tolDegLon
+	if tolDegLat > tol {
+		tol = tolDegLat
+	}
+
+	for opTime, points := range modisByOverpass {
+		// Merge MSG hotspots within ±15 min of the overpass.
+		var msg []products.Hotspot
+		for _, p := range msgProducts {
+			d := p.AcquiredAt.Sub(opTime)
+			if d < 0 {
+				d = -d
+			}
+			if d <= MergeWindow/2 {
+				msg = append(msg, p.Hotspots...)
+			}
+		}
+		row.TotalMODIS += len(points)
+		row.TotalMSG += len(msg)
+
+		// MODIS points inside (buffered) MSG polygons.
+		for _, pt := range points {
+			for _, h := range msg {
+				if h.Geometry.Envelope().Buffer(tol).ContainsPoint(pt.Location) &&
+					pointNearPolygon(pt.Location, h.Geometry, tol) {
+					row.MODISDetectedByMSG++
+					break
+				}
+			}
+		}
+		// MSG hotspots confirmed by at least one MODIS point.
+		for _, h := range msg {
+			for _, pt := range points {
+				if h.Geometry.Envelope().Buffer(tol).ContainsPoint(pt.Location) &&
+					pointNearPolygon(pt.Location, h.Geometry, tol) {
+					row.MSGDetectedByMODIS++
+					break
+				}
+			}
+		}
+	}
+	if row.TotalMODIS > 0 {
+		row.OmissionPct = 100 * (1 - float64(row.MODISDetectedByMSG)/float64(row.TotalMODIS))
+	}
+	if row.TotalMSG > 0 {
+		row.FalseAlarmPct = 100 * (1 - float64(row.MSGDetectedByMODIS)/float64(row.TotalMSG))
+	}
+	return row
+}
+
+// pointNearPolygon reports whether p lies in poly or within tol of it.
+func pointNearPolygon(p geom.Point, poly geom.Polygon, tol float64) bool {
+	if geom.PointInPolygon(p, poly) {
+		return true
+	}
+	return geom.Distance(p, poly) <= tol
+}

@@ -1,0 +1,99 @@
+package accuracy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/modis"
+	"repro/internal/products"
+)
+
+func msgProduct(at time.Time, centres ...[2]float64) *products.Product {
+	p := &products.Product{Sensor: "MSG1", Chain: "test", AcquiredAt: at}
+	for i, c := range centres {
+		p.Hotspots = append(p.Hotspots, products.Hotspot{
+			ID:       string(rune('a' + i)),
+			Geometry: geom.NewSquare(c[0], c[1], 0.04),
+		})
+	}
+	return p
+}
+
+func TestEvaluatePerfectAgreement(t *testing.T) {
+	op := time.Date(2007, 8, 24, 11, 0, 0, 0, time.UTC)
+	// MODIS point at the centre of the only MSG pixel.
+	ref := map[time.Time][]modis.Hotspot{
+		op: {{Platform: "Terra", Time: op, Location: geom.Point{X: 22.0, Y: 38.0}}},
+	}
+	msg := []*products.Product{msgProduct(op.Add(5*time.Minute), [2]float64{22.0, 38.0})}
+	row := Evaluate("perfect", msg, ref)
+	if row.OmissionPct != 0 || row.FalseAlarmPct != 0 {
+		t.Fatalf("perfect agreement: %+v", row)
+	}
+	if row.TotalMODIS != 1 || row.TotalMSG != 1 {
+		t.Fatalf("totals: %+v", row)
+	}
+}
+
+func TestEvaluateOmissionAndFalseAlarm(t *testing.T) {
+	op := time.Date(2007, 8, 24, 11, 0, 0, 0, time.UTC)
+	ref := map[time.Time][]modis.Hotspot{
+		op: {
+			{Location: geom.Point{X: 22.0, Y: 38.0}}, // detected by MSG
+			{Location: geom.Point{X: 25.0, Y: 36.0}}, // missed: omission
+		},
+	}
+	msg := []*products.Product{msgProduct(op,
+		[2]float64{22.0, 38.0}, // confirmed
+		[2]float64{20.5, 39.5}, // unconfirmed: false alarm
+	)}
+	row := Evaluate("mixed", msg, ref)
+	if math.Abs(row.OmissionPct-50) > 1e-9 {
+		t.Fatalf("omission = %g", row.OmissionPct)
+	}
+	if math.Abs(row.FalseAlarmPct-50) > 1e-9 {
+		t.Fatalf("false alarms = %g", row.FalseAlarmPct)
+	}
+}
+
+func TestMergeWindowBoundaries(t *testing.T) {
+	op := time.Date(2007, 8, 24, 11, 0, 0, 0, time.UTC)
+	ref := map[time.Time][]modis.Hotspot{
+		op: {{Location: geom.Point{X: 22.0, Y: 38.0}}},
+	}
+	// A product 20 minutes away falls outside the ±15-min merge window.
+	far := msgProduct(op.Add(20*time.Minute), [2]float64{22.0, 38.0})
+	row := Evaluate("outside", []*products.Product{far}, ref)
+	if row.TotalMSG != 0 {
+		t.Fatalf("out-of-window product merged: %+v", row)
+	}
+	if row.OmissionPct != 100 {
+		t.Fatalf("omission = %g, want 100", row.OmissionPct)
+	}
+	// Exactly at the window edge it merges.
+	edge := msgProduct(op.Add(MergeWindow/2), [2]float64{22.0, 38.0})
+	row2 := Evaluate("edge", []*products.Product{edge}, ref)
+	if row2.TotalMSG != 1 {
+		t.Fatalf("edge product not merged: %+v", row2)
+	}
+}
+
+func TestToleranceBuffer(t *testing.T) {
+	op := time.Date(2007, 8, 24, 11, 0, 0, 0, time.UTC)
+	// A MODIS point ~500 m east of the pixel edge: inside the 700 m
+	// tolerance.
+	pixelEdge := 22.0 + 0.02
+	nearPoint := geom.Point{X: pixelEdge + 0.5/88.0, Y: 38.0}
+	farPoint := geom.Point{X: pixelEdge + 2.0/88.0, Y: 38.0}
+	msg := []*products.Product{msgProduct(op, [2]float64{22.0, 38.0})}
+	rowNear := Evaluate("near", msg, map[time.Time][]modis.Hotspot{op: {{Location: nearPoint}}})
+	if rowNear.MODISDetectedByMSG != 1 {
+		t.Fatalf("500 m point not matched: %+v", rowNear)
+	}
+	rowFar := Evaluate("far", msg, map[time.Time][]modis.Hotspot{op: {{Location: farPoint}}})
+	if rowFar.MODISDetectedByMSG != 0 {
+		t.Fatalf("2 km point matched: %+v", rowFar)
+	}
+}

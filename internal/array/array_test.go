@@ -1,0 +1,301 @@
+package array
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewAndGetSet(t *testing.T) {
+	a := New(4, 3)
+	if a.Width() != 4 || a.Height() != 3 || a.Len() != 12 {
+		t.Fatalf("dims = %dx%d", a.Width(), a.Height())
+	}
+	a.Set(2, 1, 7.5)
+	if got := a.Get(2, 1); got != 7.5 {
+		t.Fatalf("Get = %g", got)
+	}
+	if got := a.Get(0, 0); got != 0 {
+		t.Fatalf("zero cell = %g", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	a := New(2, 2)
+	for _, f := range []func(){
+		func() { a.Get(2, 0) },
+		func() { a.Get(-1, 0) },
+		func() { a.Set(0, 2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFromValues(t *testing.T) {
+	a, err := FromValues(2, 2, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Get(0, 0) != 1 || a.Get(1, 0) != 2 || a.Get(0, 1) != 3 || a.Get(1, 1) != 4 {
+		t.Fatal("row-major layout broken")
+	}
+	if _, err := FromValues(2, 2, []float64{1}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestSliceKeepsAbsoluteCoordinates(t *testing.T) {
+	a := New(10, 10)
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 10; x++ {
+			a.Set(x, y, float64(y*10+x))
+		}
+	}
+	s := a.Slice(3, 7, 2, 5)
+	if s.Width() != 4 || s.Height() != 3 {
+		t.Fatalf("slice dims = %dx%d", s.Width(), s.Height())
+	}
+	x0, y0 := s.Origin()
+	if x0 != 3 || y0 != 2 {
+		t.Fatalf("origin = (%d,%d)", x0, y0)
+	}
+	if got := s.Get(3, 2); got != 23 {
+		t.Fatalf("s.Get(3,2) = %g, want 23", got)
+	}
+	if got := s.Get(6, 4); got != 46 {
+		t.Fatalf("s.Get(6,4) = %g, want 46", got)
+	}
+	// Slicing a slice composes.
+	s2 := s.Slice(4, 6, 3, 5)
+	if got := s2.Get(5, 3); got != 35 {
+		t.Fatalf("s2.Get(5,3) = %g", got)
+	}
+	// Degenerate slice.
+	empty := a.Slice(8, 3, 0, 10)
+	if empty.Len() != 0 {
+		t.Fatal("inverted slice should be empty")
+	}
+	// Clamped slice.
+	c := a.Slice(-5, 100, -5, 100)
+	if c.Width() != 10 || c.Height() != 10 {
+		t.Fatalf("clamped = %dx%d", c.Width(), c.Height())
+	}
+}
+
+func TestValidityMask(t *testing.T) {
+	a := New(3, 3)
+	if !a.Valid(1, 1) {
+		t.Fatal("fresh cells should be valid")
+	}
+	a.Invalidate(1, 1)
+	if a.Valid(1, 1) {
+		t.Fatal("invalidated cell still valid")
+	}
+	a.Set(1, 1, 5)
+	if !a.Valid(1, 1) {
+		t.Fatal("Set should revalidate")
+	}
+	if a.Valid(99, 99) {
+		t.Fatal("out-of-range should be invalid")
+	}
+	s := a.Summary()
+	if s.Count != 9 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	a.Invalidate(0, 0)
+	if got := a.Summary().Count; got != 8 {
+		t.Fatalf("count after invalidate = %d", got)
+	}
+}
+
+func TestMapAndZip(t *testing.T) {
+	a, _ := FromValues(2, 2, []float64{1, 2, 3, 4})
+	b := a.Map(func(v float64) float64 { return v * 10 })
+	if b.Get(1, 1) != 40 {
+		t.Fatalf("Map = %g", b.Get(1, 1))
+	}
+	if a.Get(1, 1) != 4 {
+		t.Fatal("Map must not mutate source")
+	}
+	z, err := Zip(a, b, func(x, y float64) float64 { return y - x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Get(0, 1) != 27 {
+		t.Fatalf("Zip = %g", z.Get(0, 1))
+	}
+	c := New(3, 2)
+	if _, err := Zip(a, c, func(x, y float64) float64 { return 0 }); err == nil {
+		t.Fatal("shape mismatch should error")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	a, _ := FromValues(2, 2, []float64{1, 2, 3, 4})
+	s := a.Summary()
+	if s.Min != 1 || s.Max != 4 || math.Abs(s.Mean-2.5) > 1e-12 || s.Count != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	empty := New(0, 0)
+	if es := empty.Summary(); es.Count != 0 || es.Min != 0 {
+		t.Fatalf("empty summary = %+v", es)
+	}
+}
+
+func TestWindowMeanMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	a := New(37, 23)
+	for i := range a.Values() {
+		a.Values()[i] = r.Float64() * 100
+	}
+	for _, radius := range []int{1, 2, 3} {
+		fast := a.WindowMean(radius)
+		naive := a.WindowMeanNaive(radius)
+		for i := range fast.Values() {
+			if math.Abs(fast.Values()[i]-naive.Values()[i]) > 1e-9 {
+				t.Fatalf("radius %d cell %d: fast %g vs naive %g",
+					radius, i, fast.Values()[i], naive.Values()[i])
+			}
+		}
+	}
+}
+
+func TestWindowMeanConstant(t *testing.T) {
+	a := New(10, 10)
+	a.Fill(5)
+	m := a.WindowMean(1)
+	for _, v := range m.Values() {
+		if math.Abs(v-5) > 1e-12 {
+			t.Fatalf("mean of constant field = %g", v)
+		}
+	}
+}
+
+func TestWindowStdDev(t *testing.T) {
+	// Constant field: zero deviation everywhere.
+	a := New(8, 8)
+	a.Fill(300)
+	sd := a.WindowStdDev(1)
+	for _, v := range sd.Values() {
+		if v > 1e-9 {
+			t.Fatalf("stddev of constant = %g", v)
+		}
+	}
+	// A single hot pixel produces positive deviation in its neighbourhood.
+	a.Set(4, 4, 400)
+	sd = a.WindowStdDev(1)
+	if sd.Get(4, 4) < 10 {
+		t.Fatalf("stddev at hot pixel = %g", sd.Get(4, 4))
+	}
+	if sd.Get(0, 0) > 1e-9 {
+		t.Fatalf("stddev far away = %g", sd.Get(0, 0))
+	}
+	// Hand-checked 3x3 window: mean over the 9 cells around (4,4) is
+	// (8*300+400)/9; stddev = sqrt(mean(v^2)-mean^2).
+	mean := (8*300.0 + 400) / 9
+	meanSq := (8*300.0*300 + 400*400) / 9
+	want := math.Sqrt(meanSq - mean*mean)
+	if got := sd.Get(4, 4); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("stddev = %g, want %g", got, want)
+	}
+}
+
+func TestResampleIdentity(t *testing.T) {
+	a := New(10, 10)
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 10; x++ {
+			a.Set(x, y, float64(x+y))
+		}
+	}
+	out := a.Resample(10, 10, func(dx, dy int) (float64, float64) {
+		return float64(dx), float64(dy)
+	})
+	for y := 0; y < 9; y++ {
+		for x := 0; x < 9; x++ {
+			if math.Abs(out.Get(x, y)-a.Get(x, y)) > 1e-9 {
+				t.Fatalf("identity resample changed (%d,%d)", x, y)
+			}
+		}
+	}
+	// Border cells mapping outside become invalid.
+	if out.Valid(9, 9) {
+		t.Fatal("edge extrapolation should be invalid")
+	}
+}
+
+func TestResampleShift(t *testing.T) {
+	a := New(10, 10)
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 10; x++ {
+			a.Set(x, y, float64(x))
+		}
+	}
+	// Shift by half a pixel: bilinear interpolation gives x+0.5.
+	out := a.Resample(10, 10, func(dx, dy int) (float64, float64) {
+		return float64(dx) + 0.5, float64(dy)
+	})
+	if got := out.Get(3, 5); math.Abs(got-3.5) > 1e-9 {
+		t.Fatalf("shifted value = %g, want 3.5", got)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	a := NewWithOrigin(5, 7, 13, 9)
+	r := rand.New(rand.NewSource(9))
+	for i := range a.Values() {
+		a.Values()[i] = r.NormFloat64()
+	}
+	a.Invalidate(6, 8)
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Width() != 13 || back.Height() != 9 {
+		t.Fatalf("dims = %dx%d", back.Width(), back.Height())
+	}
+	if x0, y0 := back.Origin(); x0 != 5 || y0 != 7 {
+		t.Fatalf("origin = (%d,%d)", x0, y0)
+	}
+	for i := range a.Values() {
+		if a.Values()[i] != back.Values()[i] {
+			t.Fatalf("value %d drifted", i)
+		}
+	}
+	if back.Valid(6, 8) {
+		t.Fatal("validity mask lost")
+	}
+	if !back.Valid(5, 7) {
+		t.Fatal("valid cell became invalid")
+	}
+}
+
+func TestReadFromRejectsGarbage(t *testing.T) {
+	if _, err := ReadFrom(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Fatal("garbage should not parse")
+	}
+	if _, err := ReadFrom(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input should error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(2, 2)
+	a.Set(0, 0, 1)
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.Get(0, 0) != 1 {
+		t.Fatal("clone shares storage")
+	}
+}

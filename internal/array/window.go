@@ -1,0 +1,111 @@
+package array
+
+// This file provides the generalised structural-grouping kernels used by
+// the SciQL executor: rectangular sliding windows with independent
+// relative bounds, e.g. SciQL's "GROUP BY a[x-1:x+2][y-1:y+2]" denotes
+// the window dx ∈ [-1, +2), dy ∈ [-1, +2) around each anchor cell.
+
+// WindowSpec is a relative window: lo bounds inclusive, hi bounds
+// exclusive, matching SciQL slice syntax.
+type WindowSpec struct {
+	XLo, XHi, YLo, YHi int
+}
+
+// Window3x3 is the classification window of the paper's Figure 4.
+var Window3x3 = WindowSpec{XLo: -1, XHi: 2, YLo: -1, YHi: 2}
+
+// Size returns the unclamped window population.
+func (w WindowSpec) Size() int { return (w.XHi - w.XLo) * (w.YHi - w.YLo) }
+
+// WindowSum computes, per cell, the sum of the window around it (clamped
+// at array edges) in O(1) per cell via a summed-area table.
+func (a *Dense) WindowSum(spec WindowSpec) *Dense {
+	sat := a.summedAreaTable()
+	out := NewWithOrigin(a.x0, a.y0, a.w, a.h)
+	w1 := a.w + 1
+	for y := 0; y < a.h; y++ {
+		y0 := max(y+spec.YLo, 0)
+		y1 := min(y+spec.YHi-1, a.h-1)
+		for x := 0; x < a.w; x++ {
+			x0 := max(x+spec.XLo, 0)
+			x1 := min(x+spec.XHi-1, a.w-1)
+			if x1 < x0 || y1 < y0 {
+				continue
+			}
+			out.vals[y*a.w+x] = sat[(y1+1)*w1+(x1+1)] - sat[y0*w1+(x1+1)] -
+				sat[(y1+1)*w1+x0] + sat[y0*w1+x0]
+		}
+	}
+	return out
+}
+
+// WindowCount returns the clamped population of the window per cell.
+func (a *Dense) WindowCount(spec WindowSpec) *Dense {
+	out := NewWithOrigin(a.x0, a.y0, a.w, a.h)
+	for y := 0; y < a.h; y++ {
+		ny := min(y+spec.YHi-1, a.h-1) - max(y+spec.YLo, 0) + 1
+		if ny < 0 {
+			ny = 0
+		}
+		for x := 0; x < a.w; x++ {
+			nx := min(x+spec.XHi-1, a.w-1) - max(x+spec.XLo, 0) + 1
+			if nx < 0 {
+				nx = 0
+			}
+			out.vals[y*a.w+x] = float64(nx * ny)
+		}
+	}
+	return out
+}
+
+// WindowAvg is WindowSum / WindowCount.
+func (a *Dense) WindowAvg(spec WindowSpec) *Dense {
+	sum := a.WindowSum(spec)
+	cnt := a.WindowCount(spec)
+	for i := range sum.vals {
+		if cnt.vals[i] > 0 {
+			sum.vals[i] /= cnt.vals[i]
+		}
+	}
+	return sum
+}
+
+// WindowMin computes the windowed minimum (naive scan; windows in the
+// service are 3×3, so the constant factor is small).
+func (a *Dense) WindowMin(spec WindowSpec) *Dense {
+	return a.windowExtreme(spec, func(a, b float64) bool { return a < b })
+}
+
+// WindowMax computes the windowed maximum.
+func (a *Dense) WindowMax(spec WindowSpec) *Dense {
+	return a.windowExtreme(spec, func(a, b float64) bool { return a > b })
+}
+
+func (a *Dense) windowExtreme(spec WindowSpec, better func(a, b float64) bool) *Dense {
+	out := NewWithOrigin(a.x0, a.y0, a.w, a.h)
+	for y := 0; y < a.h; y++ {
+		for x := 0; x < a.w; x++ {
+			first := true
+			var best float64
+			for dy := spec.YLo; dy < spec.YHi; dy++ {
+				yy := y + dy
+				if yy < 0 || yy >= a.h {
+					continue
+				}
+				for dx := spec.XLo; dx < spec.XHi; dx++ {
+					xx := x + dx
+					if xx < 0 || xx >= a.w {
+						continue
+					}
+					v := a.vals[yy*a.w+xx]
+					if first || better(v, best) {
+						best = v
+						first = false
+					}
+				}
+			}
+			out.vals[y*a.w+x] = best
+		}
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package auxdata
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+)
+
+// This file exports the synthetic world as the five RDF datasets of the
+// paper's Section 3.2.3, each under its original ontology so the
+// refinement queries run verbatim.
+
+func iri(s string) rdf.Term { return rdf.NewIRI(s) }
+
+func geomLit(g geom.Geometry) rdf.Term { return rdf.NewGeometry(geom.WKT(g)) }
+
+// CoastlineTriples exports each land polygon as a coast:Coastline, the
+// dataset the delete-in-sea and refine-in-coast updates join against.
+func (w *World) CoastlineTriples() []rdf.Triple {
+	var out []rdf.Triple
+	for i, land := range w.Land {
+		s := iri(fmt.Sprintf("%sCoastline_%d", ontology.Coast, i+1))
+		out = append(out,
+			rdf.Triple{S: s, P: iri(rdf.RDFType), O: iri(ontology.ClassCoastline)},
+			rdf.Triple{S: s, P: iri(ontology.HasGeometry), O: geomLit(land)},
+		)
+	}
+	return out
+}
+
+func coverClassIRI(c CoverClass) string {
+	switch c {
+	case CoverForest:
+		return ontology.ClassConiferous
+	case CoverScrub:
+		return ontology.ClassSclerophyll
+	case CoverAgricultural:
+		return ontology.ClassArable
+	case CoverUrban:
+		return ontology.ClassUrbanFabric
+	default:
+		return ontology.ClassSea
+	}
+}
+
+// CorineTriples exports the land cover cells following the paper's
+// modelling: "for each specific area in the shapefile, a unique URI is
+// created and it is connected with an instance of the third level".
+func (w *World) CorineTriples() []rdf.Triple {
+	var out []rdf.Triple
+	for _, cell := range w.Cover {
+		s := iri(ontology.CLC + cell.ID)
+		out = append(out,
+			rdf.Triple{S: s, P: iri(rdf.RDFType), O: iri(ontology.ClassCLCArea)},
+			rdf.Triple{S: s, P: iri(ontology.HasGeometry), O: geomLit(cell.Geometry)},
+			rdf.Triple{S: s, P: iri(ontology.PropLandUse), O: iri(coverClassIRI(cell.Class))},
+		)
+	}
+	return out
+}
+
+// GAGTriples exports the administrative geography: municipalities with
+// population, YPES code, prefecture membership and boundaries.
+func (w *World) GAGTriples() []rdf.Triple {
+	var out []rdf.Triple
+	for _, pref := range w.Prefectures {
+		s := iri(ontology.GAG + "pre" + sanitize(pref))
+		out = append(out,
+			rdf.Triple{S: s, P: iri(rdf.RDFType), O: iri(ontology.ClassPrefecture)},
+			rdf.Triple{S: s, P: iri(ontology.PropLabel), O: rdf.NewLiteral(pref)},
+		)
+	}
+	for _, m := range w.Municipalities {
+		s := iri(ontology.GAG + m.ID)
+		out = append(out,
+			rdf.Triple{S: s, P: iri(rdf.RDFType), O: iri(ontology.ClassMunicipality)},
+			rdf.Triple{S: s, P: iri(ontology.PropLabel), O: rdf.NewLiteral(m.Name)},
+			rdf.Triple{S: s, P: iri(ontology.PropPopulation), O: rdf.NewInteger(int64(m.Population))},
+			rdf.Triple{S: s, P: iri(ontology.PropYpesCode), O: rdf.NewLiteral(m.YpesCode)},
+			rdf.Triple{S: s, P: iri(ontology.PropIsPartOf), O: iri(ontology.GAG + "pre" + sanitize(m.Prefecture))},
+			rdf.Triple{S: s, P: iri(ontology.HasGeometry), O: geomLit(m.Geometry)},
+		)
+	}
+	return out
+}
+
+// LGDTriples exports the LinkedGeoData slice: fire stations and primary
+// roads, shaped like the paper's lgd:node1119854639 example.
+func (w *World) LGDTriples() []rdf.Triple {
+	var out []rdf.Triple
+	for _, fs := range w.FireStations {
+		s := iri(ontology.LGD + fs.ID)
+		out = append(out,
+			rdf.Triple{S: s, P: iri(rdf.RDFType), O: iri(ontology.ClassLGDAmenity)},
+			rdf.Triple{S: s, P: iri(rdf.RDFType), O: iri(ontology.ClassLGDFireStation)},
+			rdf.Triple{S: s, P: iri(rdf.RDFType), O: iri(ontology.ClassLGDNode)},
+			rdf.Triple{S: s, P: iri(ontology.PropLGDDirectType), O: iri(ontology.ClassLGDFireStation)},
+			rdf.Triple{S: s, P: iri(ontology.PropLabel), O: rdf.NewLiteral(fs.Name)},
+			rdf.Triple{S: s, P: iri(ontology.HasGeometry), O: geomLit(fs.Location)},
+		)
+	}
+	for _, rd := range w.Roads {
+		s := iri(ontology.LGD + rd.ID)
+		out = append(out,
+			rdf.Triple{S: s, P: iri(rdf.RDFType), O: iri(ontology.ClassLGDPrimary)},
+			rdf.Triple{S: s, P: iri(rdf.RDFType), O: iri(ontology.ClassLGDWay)},
+			rdf.Triple{S: s, P: iri(ontology.PropLabel), O: rdf.NewLiteral(rd.Name)},
+			rdf.Triple{S: s, P: iri(ontology.HasGeometry), O: geomLit(rd.Path)},
+		)
+	}
+	return out
+}
+
+// GeoNamesTriples exports the gazetteer, shaped like the paper's Patras
+// example (feature class P, PPLA for prefecture capitals).
+func (w *World) GeoNamesTriples() []rdf.Triple {
+	var out []rdf.Triple
+	for i, t := range w.Towns {
+		s := iri(fmt.Sprintf("%s%d/", ontology.GNRes, 255000+i))
+		code := ontology.CodePPL
+		if t.Capital {
+			code = ontology.CodePPLA
+		}
+		out = append(out,
+			rdf.Triple{S: s, P: iri(rdf.RDFType), O: iri(ontology.ClassGNFeature)},
+			rdf.Triple{S: s, P: iri(ontology.PropGNName), O: rdf.NewLiteral(t.Name)},
+			rdf.Triple{S: s, P: iri(ontology.PropGNAltName), O: rdf.NewLangLiteral(t.Name, "en")},
+			rdf.Triple{S: s, P: iri(ontology.PropGNCountryCode), O: rdf.NewLiteral("GR")},
+			rdf.Triple{S: s, P: iri(ontology.PropGNFeatureClass), O: iri(ontology.GN + "P")},
+			rdf.Triple{S: s, P: iri(ontology.PropGNFeatureCode), O: iri(code)},
+			rdf.Triple{S: s, P: iri(ontology.HasGeometry), O: geomLit(t.Location)},
+		)
+	}
+	return out
+}
+
+// AllTriples concatenates every dataset plus the ontology schema.
+func (w *World) AllTriples() []rdf.Triple {
+	var out []rdf.Triple
+	out = append(out, ontologyTriples()...)
+	out = append(out, w.CoastlineTriples()...)
+	out = append(out, w.CorineTriples()...)
+	out = append(out, w.GAGTriples()...)
+	out = append(out, w.LGDTriples()...)
+	out = append(out, w.GeoNamesTriples()...)
+	return out
+}
+
+func ontologyTriples() []rdf.Triple { return ontologyPkgTriples }
+
+var ontologyPkgTriples = ontology.Triples()
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == ' ' {
+			continue
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}

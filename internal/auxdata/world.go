@@ -1,0 +1,441 @@
+// Package auxdata synthesises the auxiliary geospatial datasets of the
+// paper's Section 3.2.3 for a deterministic "Greece-like" coastal region:
+// a coastline (mainland plus islands), the Corine Land Cover grid, the
+// Greek Administrative Geography (prefectures and municipalities with
+// populations), LinkedGeoData amenities (fire stations, primary roads)
+// and a GeoNames-style gazetteer. Every dataset is exported as stRDF
+// triples under the same ontologies the paper uses, so the refinement
+// queries run unchanged.
+//
+// The real datasets are not redistributable; the generator preserves what
+// the refinement step depends on — schema, geometry classes, topological
+// relationships (municipalities partition land, towns lie on land, land
+// cover tiles the mainland) — from a single seed.
+package auxdata
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Region is the service's area of interest: a Greece-sized lon/lat box.
+var Region = geom.Envelope{MinX: 20.0, MinY: 35.0, MaxX: 26.0, MaxY: 40.0}
+
+// CoverClass is a level-3 Corine land cover class.
+type CoverClass int
+
+// Land cover classes used by the synthetic world.
+const (
+	CoverSea CoverClass = iota
+	CoverForest
+	CoverScrub
+	CoverAgricultural
+	CoverUrban
+)
+
+// String returns a short name.
+func (c CoverClass) String() string {
+	switch c {
+	case CoverSea:
+		return "sea"
+	case CoverForest:
+		return "forest"
+	case CoverScrub:
+		return "scrub"
+	case CoverAgricultural:
+		return "agricultural"
+	default:
+		return "urban"
+	}
+}
+
+// Municipality is one lowest-level administrative unit.
+type Municipality struct {
+	ID         string
+	Name       string
+	Prefecture string
+	YpesCode   string
+	Population int
+	Geometry   geom.MultiPolygon
+}
+
+// Town is a populated place (GeoNames feature).
+type Town struct {
+	ID         string
+	Name       string
+	Population int
+	Capital    bool // prefecture capital (featureCode P.PPLA)
+	Location   geom.Point
+	Prefecture string
+}
+
+// Road is an LGD primary road.
+type Road struct {
+	ID   string
+	Name string
+	Path geom.LineString
+}
+
+// FireStation is an LGD amenity node.
+type FireStation struct {
+	ID       string
+	Name     string
+	Location geom.Point
+}
+
+// CoverCell is one Corine polygon with its classification.
+type CoverCell struct {
+	ID       string
+	Class    CoverClass
+	Geometry geom.MultiPolygon
+}
+
+// World is the full synthetic geography.
+type World struct {
+	Seed           int64
+	Land           []geom.Polygon // mainland first, then islands
+	Municipalities []Municipality
+	Prefectures    []string
+	Towns          []Town
+	Roads          []Road
+	FireStations   []FireStation
+	Cover          []CoverCell
+
+	coverGrid map[[2]int]CoverClass
+	coverStep float64
+	landEnv   []geom.Envelope
+}
+
+// Generate builds the world deterministically from a seed.
+func Generate(seed int64) *World {
+	r := rand.New(rand.NewSource(seed))
+	w := &World{Seed: seed, coverStep: 0.25, coverGrid: make(map[[2]int]CoverClass)}
+
+	// Mainland: a large radial blob in the region's north-west.
+	w.Land = append(w.Land, blob(r, 22.2, 38.4, 1.9, 48))
+	// Islands to the south-east.
+	for i := 0; i < 3; i++ {
+		cx := 23.5 + r.Float64()*2.0
+		cy := 35.6 + r.Float64()*1.4
+		w.Land = append(w.Land, blob(r, cx, cy, 0.25+r.Float64()*0.35, 24))
+	}
+	for _, p := range w.Land {
+		w.landEnv = append(w.landEnv, p.Envelope())
+	}
+
+	w.generateAdministrative(r)
+	w.generateTowns(r)
+	w.generateCover(r)
+	w.generateInfrastructure(r)
+	return w
+}
+
+// blob builds an irregular star-convex polygon: radius modulated by a few
+// seeded harmonics.
+func blob(r *rand.Rand, cx, cy, baseR float64, n int) geom.Polygon {
+	type harm struct{ amp, phase, freq float64 }
+	hs := []harm{
+		{0.25 * r.Float64(), r.Float64() * 2 * math.Pi, 2},
+		{0.18 * r.Float64(), r.Float64() * 2 * math.Pi, 3},
+		{0.12 * r.Float64(), r.Float64() * 2 * math.Pi, 5},
+		{0.08 * r.Float64(), r.Float64() * 2 * math.Pi, 7},
+	}
+	ring := make(geom.Ring, 0, n+1)
+	for i := 0; i < n; i++ {
+		th := 2 * math.Pi * float64(i) / float64(n)
+		rad := baseR
+		for _, h := range hs {
+			rad *= 1 + h.amp*math.Sin(h.freq*th+h.phase)
+		}
+		ring = append(ring, geom.Point{
+			X: cx + rad*math.Cos(th),
+			Y: cy + 0.8*rad*math.Sin(th), // slight latitudinal squash
+		})
+	}
+	ring = append(ring, ring[0])
+	return geom.Polygon{Shell: ring}.Normalized()
+}
+
+// LandAt reports whether a point is on land.
+func (w *World) LandAt(p geom.Point) bool {
+	for i, poly := range w.Land {
+		if !w.landEnv[i].ContainsPoint(p) {
+			continue
+		}
+		if geom.PointInPolygon(p, poly) {
+			return true
+		}
+	}
+	return false
+}
+
+// CoverAt returns the land cover class at a point.
+func (w *World) CoverAt(p geom.Point) CoverClass {
+	key := [2]int{
+		int(math.Floor((p.X - Region.MinX) / w.coverStep)),
+		int(math.Floor((p.Y - Region.MinY) / w.coverStep)),
+	}
+	if c, ok := w.coverGrid[key]; ok {
+		return c
+	}
+	return CoverSea
+}
+
+var prefectureNames = []string{
+	"Achaia", "Boeotia", "Corinthia", "Doris", "Evrytania",
+	"Phthiotis", "Phocis", "Arcadia", "Argolis",
+}
+
+var townNames = []string{
+	"Patra", "Thiva", "Korinthos", "Amfissa", "Karpenisi", "Lamia",
+	"Itea", "Tripoli", "Nafplio", "Livadeia", "Aigio", "Xylokastro",
+	"Galaxidi", "Delphi", "Arachova", "Kalavryta", "Nemea", "Loutraki",
+}
+
+func (w *World) generateAdministrative(r *rand.Rand) {
+	// Municipalities: grid cells clipped to land; prefectures: 2x2 blocks.
+	const cell = 0.8
+	env := w.Land[0].Envelope()
+	for _, isl := range w.Land[1:] {
+		env = env.Expand(isl.Envelope())
+	}
+	prefIdx := 0
+	prefOf := make(map[[2]int]string)
+	id := 0
+	for gy := 0; ; gy++ {
+		y0 := env.MinY + float64(gy)*cell
+		if y0 >= env.MaxY {
+			break
+		}
+		for gx := 0; ; gx++ {
+			x0 := env.MinX + float64(gx)*cell
+			if x0 >= env.MaxX {
+				break
+			}
+			cellPoly := geom.Envelope{MinX: x0, MinY: y0, MaxX: x0 + cell, MaxY: y0 + cell}.ToPolygon()
+			var parts geom.MultiPolygon
+			for _, land := range w.Land {
+				parts = append(parts, geom.Intersection(cellPoly, land)...)
+			}
+			if parts.Area() < 0.01 {
+				continue
+			}
+			pk := [2]int{gx / 2, gy / 2}
+			pref, ok := prefOf[pk]
+			if !ok {
+				pref = prefectureNames[prefIdx%len(prefectureNames)]
+				if prefIdx >= len(prefectureNames) {
+					pref = fmt.Sprintf("%s%d", pref, prefIdx/len(prefectureNames)+1)
+				}
+				prefOf[pk] = pref
+				w.Prefectures = append(w.Prefectures, pref)
+				prefIdx++
+			}
+			id++
+			w.Municipalities = append(w.Municipalities, Municipality{
+				ID:         fmt.Sprintf("mun%03d", id),
+				Name:       fmt.Sprintf("Municipality of %s %d", pref, id),
+				Prefecture: pref,
+				YpesCode:   fmt.Sprintf("%04d", 1000+id),
+				Population: 2000 + r.Intn(120000),
+				Geometry:   parts,
+			})
+		}
+	}
+}
+
+func (w *World) generateTowns(r *rand.Rand) {
+	seen := make(map[string]bool)
+	for i, name := range townNames {
+		// Rejection-sample a land point.
+		var p geom.Point
+		found := false
+		for try := 0; try < 400; try++ {
+			p = geom.Point{
+				X: Region.MinX + r.Float64()*Region.Width(),
+				Y: Region.MinY + r.Float64()*Region.Height(),
+			}
+			if w.LandAt(p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		pref := w.prefectureAt(p)
+		capital := pref != "" && !seen[pref]
+		if capital {
+			seen[pref] = true
+		}
+		w.Towns = append(w.Towns, Town{
+			ID:         fmt.Sprintf("town%02d", i),
+			Name:       name,
+			Population: 5000 + r.Intn(200000),
+			Capital:    capital,
+			Location:   p,
+			Prefecture: pref,
+		})
+	}
+}
+
+func (w *World) prefectureAt(p geom.Point) string {
+	for _, m := range w.Municipalities {
+		if geom.Intersects(p, m.Geometry) {
+			return m.Prefecture
+		}
+	}
+	return ""
+}
+
+func (w *World) generateCover(r *rand.Rand) {
+	id := 0
+	nx := int(Region.Width()/w.coverStep) + 1
+	ny := int(Region.Height()/w.coverStep) + 1
+	for gy := 0; gy < ny; gy++ {
+		for gx := 0; gx < nx; gx++ {
+			x0 := Region.MinX + float64(gx)*w.coverStep
+			y0 := Region.MinY + float64(gy)*w.coverStep
+			centre := geom.Point{X: x0 + w.coverStep/2, Y: y0 + w.coverStep/2}
+			if !w.LandAt(centre) {
+				continue
+			}
+			class := w.classifyCell(r, centre)
+			w.coverGrid[[2]int{gx, gy}] = class
+			cellPoly := geom.Envelope{MinX: x0, MinY: y0, MaxX: x0 + w.coverStep, MaxY: y0 + w.coverStep}.ToPolygon()
+			var parts geom.MultiPolygon
+			for _, land := range w.Land {
+				parts = append(parts, geom.Intersection(cellPoly, land)...)
+			}
+			if parts.IsEmpty() {
+				parts = geom.MultiPolygon{cellPoly}
+			}
+			id++
+			w.Cover = append(w.Cover, CoverCell{
+				ID:       fmt.Sprintf("Area_%d", id),
+				Class:    class,
+				Geometry: parts,
+			})
+		}
+	}
+}
+
+func (w *World) classifyCell(r *rand.Rand, centre geom.Point) CoverClass {
+	// Urban near towns.
+	for _, t := range w.Towns {
+		if t.Location.DistanceTo(centre) < 0.18 {
+			return CoverUrban
+		}
+	}
+	// Agricultural plains in the south of the mainland, forests north,
+	// scrub sprinkled in.
+	u := r.Float64()
+	switch {
+	case centre.Y < 37.8 && u < 0.55:
+		return CoverAgricultural
+	case u < 0.25:
+		return CoverScrub
+	default:
+		return CoverForest
+	}
+}
+
+func (w *World) generateInfrastructure(r *rand.Rand) {
+	// Primary roads chain towns west-to-east.
+	towns := append([]Town(nil), w.Towns...)
+	for i := 0; i < len(towns); i++ {
+		for j := i + 1; j < len(towns); j++ {
+			if towns[j].Location.X < towns[i].Location.X {
+				towns[i], towns[j] = towns[j], towns[i]
+			}
+		}
+	}
+	for i := 1; i < len(towns); i++ {
+		a, b := towns[i-1].Location, towns[i].Location
+		if a.DistanceTo(b) > 2.5 {
+			continue // no causeways across the open sea
+		}
+		mid := geom.Point{
+			X: (a.X + b.X) / 2,
+			Y: (a.Y+b.Y)/2 + (r.Float64()-0.5)*0.1,
+		}
+		w.Roads = append(w.Roads, Road{
+			ID:   fmt.Sprintf("way%03d", i),
+			Name: fmt.Sprintf("EO-%d %s–%s", 70+i, towns[i-1].Name, towns[i].Name),
+			Path: geom.LineString{a, mid, b},
+		})
+	}
+	// One fire station per capital plus a few extras.
+	n := 0
+	for _, t := range w.Towns {
+		if !t.Capital && r.Float64() > 0.3 {
+			continue
+		}
+		n++
+		w.FireStations = append(w.FireStations, FireStation{
+			ID:   fmt.Sprintf("node%07d", 1119850000+n),
+			Name: fmt.Sprintf("Fire Service of %s", t.Name),
+			Location: geom.Point{
+				X: t.Location.X + (r.Float64()-0.5)*0.03,
+				Y: t.Location.Y + (r.Float64()-0.5)*0.03,
+			},
+		})
+	}
+}
+
+// RandomForestPoint samples a forest or scrub location — ignition sites
+// for fire scenarios.
+func (w *World) RandomForestPoint(r *rand.Rand) (geom.Point, bool) {
+	for try := 0; try < 1000; try++ {
+		p := geom.Point{
+			X: Region.MinX + r.Float64()*Region.Width(),
+			Y: Region.MinY + r.Float64()*Region.Height(),
+		}
+		if !w.LandAt(p) {
+			continue
+		}
+		if c := w.CoverAt(p); c == CoverForest || c == CoverScrub {
+			return p, true
+		}
+	}
+	return geom.Point{}, false
+}
+
+// RandomAgriculturalPoint samples an agricultural location — the paper's
+// farmer-burn false alarms start here.
+func (w *World) RandomAgriculturalPoint(r *rand.Rand) (geom.Point, bool) {
+	for try := 0; try < 1000; try++ {
+		p := geom.Point{
+			X: Region.MinX + r.Float64()*Region.Width(),
+			Y: Region.MinY + r.Float64()*Region.Height(),
+		}
+		if w.LandAt(p) && w.CoverAt(p) == CoverAgricultural {
+			return p, true
+		}
+	}
+	return geom.Point{}, false
+}
+
+// CoastPoint samples a sea location near the coastline — sun-glint false
+// alarms of the plain chain appear here.
+func (w *World) CoastPoint(r *rand.Rand) (geom.Point, bool) {
+	for try := 0; try < 2000; try++ {
+		land := w.Land[r.Intn(len(w.Land))]
+		v := land.Shell[r.Intn(len(land.Shell)-1)]
+		p := geom.Point{
+			X: v.X + (r.Float64()-0.5)*0.15,
+			Y: v.Y + (r.Float64()-0.5)*0.15,
+		}
+		if !w.LandAt(p) && Region.ContainsPoint(p) {
+			return p, true
+		}
+	}
+	return geom.Point{}, false
+}
+
+// newRand returns a seeded random source; exposed for tests and the
+// scenario generator so everything derives from the world seed.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

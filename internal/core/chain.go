@@ -1,0 +1,214 @@
+// Package core is the paper's primary contribution as a library: the
+// TELEIOS fire-monitoring service of Figure 3. It wires the data vault
+// and the SciQL engine (the MonetDB side) to the processing chain —
+// ingestion, cropping, georeferencing, classification, vectorisation —
+// and feeds the resulting products through RDF-ization and the stSPARQL
+// refinement step against Strabon, honouring the 5-/15-minute real-time
+// deadlines of the MSG acquisition streams.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/detect"
+	"repro/internal/georef"
+	"repro/internal/hrit"
+	"repro/internal/products"
+	"repro/internal/sciql"
+	"repro/internal/seviri"
+	"repro/internal/solar"
+	"repro/internal/vault"
+)
+
+// Chain is a processing chain turning one raw acquisition into a hotspot
+// product.
+type Chain interface {
+	// Name labels the chain in products and benchmarks.
+	Name() string
+	// Process runs the full chain for one (sensor, timestamp) acquisition
+	// whose segments are already attached to the vault.
+	Process(sensor string, at time.Time) (*products.Product, error)
+}
+
+// cropWindow computes the raw-grid rectangle covering the destination
+// region (plus margin) — the chain's range query ("cropping the image to
+// keep only the area of interest").
+func cropWindow(tr georef.Transform) (x0, x1, y0, y1 int) {
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, c := range [][2]float64{
+		{0, 0},
+		{float64(tr.DstWidth - 1), 0},
+		{0, float64(tr.DstHeight - 1)},
+		{float64(tr.DstWidth - 1), float64(tr.DstHeight - 1)},
+	} {
+		u := tr.SrcX.Eval(c[0], c[1])
+		v := tr.SrcY.Eval(c[0], c[1])
+		minX, maxX = math.Min(minX, u), math.Max(maxX, u)
+		minY, maxY = math.Min(minY, v), math.Max(maxY, v)
+	}
+	const margin = 2
+	return int(minX) - margin, int(maxX) + margin + 1, int(minY) - margin, int(maxY) + margin + 1
+}
+
+// regionThresholds picks the acquisition's threshold set from the solar
+// zenith angle at the region centre (both chains share this policy so
+// Table 1/2 compare like with like).
+func regionThresholds(tr georef.Transform, at time.Time) detect.Thresholds {
+	lon, lat := tr.PixelToGeo(tr.DstWidth/2, tr.DstHeight/2)
+	return detect.ForZenith(solar.ZenithAngle(at, lon, lat))
+}
+
+// SciQLChain is the TELEIOS chain: vault ingestion plus the Figure 4
+// classification query on the SciQL engine. Georeferencing runs as a
+// registered array kernel between the two SciQL stages (see DESIGN.md).
+type SciQLChain struct {
+	Vault     *vault.Vault
+	Engine    *sciql.Engine
+	Transform georef.Transform
+	ChainName string
+}
+
+// NewSciQLChain wires a chain over a vault and scan geometry.
+func NewSciQLChain(v *vault.Vault, tr georef.Transform) *SciQLChain {
+	e := sciql.NewEngine()
+	v.Register(e)
+	return &SciQLChain{Vault: v, Engine: e, Transform: tr, ChainName: "sciql"}
+}
+
+// Name implements Chain.
+func (c *SciQLChain) Name() string { return c.ChainName }
+
+// classificationQuery renders the Figure 4 query with the acquisition's
+// threshold set substituted — the paper's "common small changes, such as
+// changing threshold values, are as easy as changing a few tuples".
+func classificationQuery(th detect.Thresholds) string {
+	return fmt.Sprintf(`
+SELECT [x], [y],
+CASE
+ WHEN v039 > %g AND v039 - v108 > %g AND v039_std_dev > %g AND
+      v108_std_dev < %g
+ THEN 2
+ WHEN v039 > %g AND v039 - v108 > %g AND v039_std_dev > %g AND
+      v108_std_dev < %g
+ THEN 1
+ ELSE 0
+END AS confidence
+FROM (
+ SELECT [x], [y], v039, v108,
+  SQRT( v039_sqr_mean - v039_mean * v039_mean ) AS v039_std_dev,
+  SQRT( v108_sqr_mean - v108_mean * v108_mean ) AS v108_std_dev
+ FROM (
+  SELECT [x], [y], v039, v108,
+   AVG( v039 ) AS v039_mean, AVG( v039 * v039 ) AS v039_sqr_mean,
+   AVG( v108 ) AS v108_mean, AVG( v108 * v108 ) AS v108_sqr_mean
+  FROM (
+   SELECT [T039.x], [T039.y], T039.v AS v039, T108.v AS v108
+   FROM hrit_T039_image_array AS T039
+   JOIN hrit_T108_image_array AS T108
+   ON T039.x = T108.x AND T039.y = T108.y
+  ) AS image_array
+  GROUP BY image_array[x-1:x+2][y-1:y+2]
+ ) AS tmp1
+) AS tmp2`,
+		th.T039, th.DiffFire, th.Std039Fire, th.Std108Max,
+		th.T039, th.DiffPotential, th.Std039Pot, th.Std108Max)
+}
+
+// Process implements Chain.
+func (c *SciQLChain) Process(sensor string, at time.Time) (*products.Product, error) {
+	x0, x1, y0, y1 := cropWindow(c.Transform)
+
+	// Stage 1 (SciQL): lazy vault load + crop by range query.
+	cropped := make(map[string]*array.Dense, 2)
+	for _, ch := range []string{hrit.ChannelIR039, hrit.ChannelIR108} {
+		frame, err := c.Engine.Exec(fmt.Sprintf(
+			`SELECT [x], [y], v FROM hrit_load_image('%s') AS img WHERE x >= %d AND x < %d AND y >= %d AND y < %d`,
+			vault.URI(ch, at), x0, x1, y0, y1))
+		if err != nil {
+			return nil, fmt.Errorf("core: sciql crop %s: %w", ch, err)
+		}
+		d, err := frame.Dense("v")
+		if err != nil {
+			return nil, err
+		}
+		cropped[ch] = d
+	}
+
+	// Stage 2 (array kernel): georeference with the precalculated
+	// polynomial.
+	geo039 := c.Transform.Apply(cropped[hrit.ChannelIR039])
+	geo108 := c.Transform.Apply(cropped[hrit.ChannelIR108])
+	c.Engine.RegisterArray("hrit_T039_image_array", geo039, "v")
+	c.Engine.RegisterArray("hrit_T108_image_array", geo108, "v")
+
+	// Stage 3 (SciQL): the Figure 4 classification query.
+	th := regionThresholds(c.Transform, at)
+	frame, err := c.Engine.Exec(classificationQuery(th))
+	if err != nil {
+		return nil, fmt.Errorf("core: sciql classify: %w", err)
+	}
+	conf, err := frame.Dense("confidence")
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 4: output generation (pixel squares as WKT polygons).
+	return products.Vectorize(conf, c.Transform, sensor, c.ChainName, at), nil
+}
+
+// LegacyChain is the imperative baseline: the same steps hand-coded in
+// the style of the pre-TELEIOS C implementation.
+type LegacyChain struct {
+	Vault     *vault.Vault
+	Transform georef.Transform
+}
+
+// NewLegacyChain wires the baseline over the same vault.
+func NewLegacyChain(v *vault.Vault, tr georef.Transform) *LegacyChain {
+	return &LegacyChain{Vault: v, Transform: tr}
+}
+
+// Name implements Chain.
+func (c *LegacyChain) Name() string { return "legacy" }
+
+// Process implements Chain.
+func (c *LegacyChain) Process(sensor string, at time.Time) (*products.Product, error) {
+	x0, x1, y0, y1 := cropWindow(c.Transform)
+	t039, err := c.Vault.LoadTemperature(hrit.ChannelIR039, at)
+	if err != nil {
+		return nil, err
+	}
+	t108, err := c.Vault.LoadTemperature(hrit.ChannelIR108, at)
+	if err != nil {
+		return nil, err
+	}
+	crop039 := t039.Slice(x0, x1, y0, y1)
+	crop108 := t108.Slice(x0, x1, y0, y1)
+	geo039 := c.Transform.Apply(crop039)
+	geo108 := c.Transform.Apply(crop108)
+	// Uniform regime per acquisition, like the SciQL chain: both chains
+	// evaluate the zenith once at the region centre.
+	lon, lat := c.Transform.PixelToGeo(c.Transform.DstWidth/2, c.Transform.DstHeight/2)
+	zen := solar.ZenithAngle(at, lon, lat)
+	conf := detect.LegacyClassify(geo039, geo108, func(x, y int) float64 { return zen })
+	return products.Vectorize(conf, c.Transform, sensor, "legacy", at), nil
+}
+
+// IngestAcquisition attaches a raw acquisition's segment files to the
+// vault (the ground-station dispatch step).
+func IngestAcquisition(v *vault.Vault, acq *seviri.RawAcquisition) error {
+	for ch, files := range acq.Segments {
+		for i, raw := range files {
+			name := fmt.Sprintf("%s_%s_%s_seg%d.hrit", acq.Sensor.Name, ch,
+				acq.Timestamp.UTC().Format("20060102T150405"), i)
+			if err := v.AttachBytes(name, raw); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

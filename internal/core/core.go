@@ -1,0 +1,35 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// rowGeometry parses a refined hotspot geometry, accepting any area WKT
+// (refinement may have clipped a pixel square into a multipolygon).
+func rowGeometry(wkt string) (geom.Polygon, error) {
+	g, err := geom.ParseWKT(wkt)
+	if err != nil {
+		return geom.Polygon{}, err
+	}
+	switch v := g.(type) {
+	case geom.Polygon:
+		return v, nil
+	case geom.MultiPolygon:
+		if len(v) == 0 {
+			return geom.Polygon{}, fmt.Errorf("core: empty refined geometry")
+		}
+		// Keep the largest member; the validation protocol operates on
+		// single footprints.
+		best := v[0]
+		for _, p := range v[1:] {
+			if p.Area() > best.Area() {
+				best = p
+			}
+		}
+		return best, nil
+	default:
+		return geom.Polygon{}, fmt.Errorf("core: refined geometry is %s, want area", g.Kind())
+	}
+}

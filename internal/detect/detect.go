@@ -1,0 +1,127 @@
+// Package detect implements the contextual fire classification of the
+// processing chain: the EUMETSAT Active Fire Monitoring thresholding
+// algorithm [EUM/MET/REP/07/0170] as used by the paper — per-pixel tests
+// on the 3.9 µm brightness temperature, the 3.9−10.8 µm difference, and
+// the 3×3 windowed standard deviations of both bands, with day/night
+// threshold sets interpolated across twilight by solar zenith angle.
+//
+// Two implementations are provided: Classify, the building block the
+// SciQL chain reproduces declaratively, and LegacyChain (see legacy.go),
+// the imperative baseline standing in for the paper's "legacy C"
+// implementation in the Table 2 comparison.
+package detect
+
+import (
+	"fmt"
+
+	"repro/internal/array"
+	"repro/internal/solar"
+)
+
+// Confidence levels of the classification, as in the paper: "The value 2
+// denotes fire, value 1 denotes potential fire while 0 denotes no fire."
+const (
+	NoFire        = 0
+	PotentialFire = 1
+	Fire          = 2
+)
+
+// Thresholds is one threshold set of the EUMETSAT algorithm.
+type Thresholds struct {
+	T039          float64 // min 3.9 µm temperature (K)
+	DiffFire      float64 // min 3.9−10.8 difference for confidence 2
+	DiffPotential float64 // min difference for confidence 1
+	Std039Fire    float64 // min 3.9 µm window std-dev for confidence 2
+	Std039Pot     float64 // min std-dev for confidence 1
+	Std108Max     float64 // max 10.8 µm window std-dev (cloud-edge guard)
+}
+
+// DayThresholds are the values in the paper's Figure 4 (daytime image).
+var DayThresholds = Thresholds{
+	T039:          310,
+	DiffFire:      10,
+	DiffPotential: 8,
+	Std039Fire:    4,
+	Std039Pot:     2.5,
+	Std108Max:     2,
+}
+
+// NightThresholds follow the EUMETSAT ATBD's night configuration: the
+// 3.9 µm background is colder at night, so the absolute and contextual
+// thresholds relax.
+var NightThresholds = Thresholds{
+	T039:          290,
+	DiffFire:      8,
+	DiffPotential: 6,
+	Std039Fire:    3,
+	Std039Pot:     2,
+	Std108Max:     2,
+}
+
+// Interpolate blends two threshold sets: w = 1 gives day, w = 0 night.
+// The paper: "For solar zenith angles between 70° and 90° the thresholds
+// are linearly interpolated."
+func Interpolate(day, night Thresholds, w float64) Thresholds {
+	mix := func(d, n float64) float64 { return n + (d-n)*w }
+	return Thresholds{
+		T039:          mix(day.T039, night.T039),
+		DiffFire:      mix(day.DiffFire, night.DiffFire),
+		DiffPotential: mix(day.DiffPotential, night.DiffPotential),
+		Std039Fire:    mix(day.Std039Fire, night.Std039Fire),
+		Std039Pot:     mix(day.Std039Pot, night.Std039Pot),
+		Std108Max:     mix(day.Std108Max, night.Std108Max),
+	}
+}
+
+// ForZenith returns the interpolated threshold set for a solar zenith
+// angle in degrees.
+func ForZenith(zenith float64) Thresholds {
+	return Interpolate(DayThresholds, NightThresholds, solar.TwilightWeight(zenith))
+}
+
+// ClassifyPixel applies a threshold set to one pixel's statistics.
+func ClassifyPixel(t039, t108, std039, std108 float64, th Thresholds) int {
+	diff := t039 - t108
+	if t039 > th.T039 && diff > th.DiffFire && std039 > th.Std039Fire && std108 < th.Std108Max {
+		return Fire
+	}
+	if t039 > th.T039 && diff > th.DiffPotential && std039 > th.Std039Pot && std108 < th.Std108Max {
+		return PotentialFire
+	}
+	return NoFire
+}
+
+// Classify runs the full contextual classification over co-registered
+// temperature arrays. The zenith function supplies the per-pixel solar
+// zenith angle ("computed on a per-pixel basis given the image
+// acquisition timestamp and the exact location of the pixel"); pass nil
+// for uniform day thresholds.
+func Classify(t039, t108 *array.Dense, zenith func(x, y int) float64) (*array.Dense, error) {
+	if t039.Width() != t108.Width() || t039.Height() != t108.Height() {
+		return nil, fmt.Errorf("detect: band shape mismatch %dx%d vs %dx%d",
+			t039.Width(), t039.Height(), t108.Width(), t108.Height())
+	}
+	std039 := t039.WindowStdDev(1)
+	std108 := t108.WindowStdDev(1)
+	x0, y0 := t039.Origin()
+	bx0, by0 := t108.Origin()
+	out := array.NewWithOrigin(x0, y0, t039.Width(), t039.Height())
+	for y := 0; y < t039.Height(); y++ {
+		for x := 0; x < t039.Width(); x++ {
+			ax, ay := x0+x, y0+y
+			th := DayThresholds
+			if zenith != nil {
+				th = ForZenith(zenith(x, y))
+			}
+			c := ClassifyPixel(
+				t039.Get(ax, ay),
+				t108.Get(bx0+x, by0+y),
+				std039.Get(ax, ay),
+				std108.Get(ax, ay),
+				th,
+			)
+			out.Set(ax, ay, float64(c))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+)
+
+func TestTable2SmallScale(t *testing.T) {
+	res, err := Table2(42, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Images != 4 {
+		t.Fatalf("images = %d", res.Images)
+	}
+	if res.LegacyAvg <= 0 || res.SciQLAvg <= 0 {
+		t.Fatalf("timings = %+v", res)
+	}
+	if res.LegacyMin > res.LegacyMax || res.SciQLMin > res.SciQLMax {
+		t.Fatal("min/max inverted")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Legacy") || !strings.Contains(out, "SciQL") {
+		t.Fatalf("render: %s", out)
+	}
+}
+
+func TestFigure8SmallScale(t *testing.T) {
+	res, err := Figure8(42, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no measurements")
+	}
+	sensors := map[string]bool{}
+	for _, p := range res.Points {
+		sensors[p.Sensor] = true
+		if p.Duration <= 0 {
+			t.Fatal("zero duration point")
+		}
+	}
+	if !sensors["MSG1"] || !sensors["MSG2"] {
+		t.Fatalf("sensors = %v", sensors)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Municipalities") {
+		t.Fatalf("render: %s", out)
+	}
+}
+
+func TestFigureMaps(t *testing.T) {
+	m2, err := Figure2(42, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := m2.SVG(600)
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "hotspots") {
+		t.Fatal("figure 2 SVG malformed")
+	}
+
+	svc, _, err := CollectProducts(42, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := geom.Envelope{MinX: 20.5, MinY: 36.0, MaxX: 24.5, MaxY: 39.5}
+	from := time.Date(2007, 8, 24, 0, 0, 0, 0, time.UTC)
+	m6, err := Figure6(svc, window, from, from.Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg6 := m6.SVG(600)
+	for _, want := range []string{"Corine land cover", "Municipality boundaries", "Primary roads"} {
+		if !strings.Contains(svg6, want) {
+			t.Fatalf("figure 6 missing layer %q", want)
+		}
+	}
+	if gj := m6.GeoJSON(); !strings.Contains(gj, "FeatureCollection") {
+		t.Fatal("figure 6 GeoJSON malformed")
+	}
+
+	m7, err := Figure7(42, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m7.SVG(600), "MODIS hotspots") {
+		t.Fatal("figure 7 missing MODIS layer")
+	}
+}
+
+func TestTable1Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 1 protocol is slow")
+	}
+	res, err := Table1(42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plain.TotalMSG == 0 {
+		t.Fatal("plain chain produced no hotspots at all")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Table 1") {
+		t.Fatalf("render: %s", out)
+	}
+	// The refinement must not raise the omission error.
+	if res.Refined.OmissionPct > res.Plain.OmissionPct+1e-9 {
+		t.Fatalf("refinement raised omission: %.2f -> %.2f",
+			res.Plain.OmissionPct, res.Refined.OmissionPct)
+	}
+}

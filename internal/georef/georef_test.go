@@ -1,0 +1,119 @@
+package georef
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/array"
+)
+
+func TestPolyEval(t *testing.T) {
+	p := Poly2{1, 2, 3, 0.5, 0.25, 0.125}
+	got := p.Eval(2, 4)
+	want := 1 + 2*2 + 3*4 + 0.5*4 + 0.25*8 + 0.125*16
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("eval = %g, want %g", got, want)
+	}
+}
+
+func TestFitRecoversPolynomial(t *testing.T) {
+	truthX := Poly2{5, 1.01, 0.02, 0.0001, 0.00005, 0}
+	truthY := Poly2{3, -0.01, 0.99, 0, 0.00002, 0.0001}
+	var pts []ControlPoint
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			dx, dy := float64(i*20), float64(j*20)
+			pts = append(pts, ControlPoint{
+				DstX: dx, DstY: dy,
+				SrcX: truthX.Eval(dx, dy),
+				SrcY: truthY.Eval(dx, dy),
+			})
+		}
+	}
+	sx, sy, err := Fit(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truthX {
+		if math.Abs(sx[i]-truthX[i]) > 1e-6 || math.Abs(sy[i]-truthY[i]) > 1e-6 {
+			t.Fatalf("coefficient %d drifted: %g vs %g / %g vs %g", i, sx[i], truthX[i], sy[i], truthY[i])
+		}
+	}
+	if rms := ResidualRMS(pts, sx, sy); rms > 1e-6 {
+		t.Fatalf("residual RMS = %g", rms)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, _, err := Fit(nil); err == nil {
+		t.Fatal("no control points should fail")
+	}
+	// Collinear points: degenerate normal equations.
+	var pts []ControlPoint
+	for i := 0; i < 8; i++ {
+		pts = append(pts, ControlPoint{DstX: float64(i), DstY: 0, SrcX: float64(i), SrcY: 0})
+	}
+	if _, _, err := Fit(pts); err == nil {
+		t.Fatal("collinear control points should fail")
+	}
+}
+
+func TestTransformGeoPixel(t *testing.T) {
+	tr := Transform{
+		DstWidth: 100, DstHeight: 80,
+		LonMin: 20, LatMax: 40, LonStep: 0.04, LatStep: 0.04,
+	}
+	lon, lat := tr.PixelToGeo(0, 0)
+	if math.Abs(lon-20.02) > 1e-9 || math.Abs(lat-39.98) > 1e-9 {
+		t.Fatalf("pixel(0,0) at (%g,%g)", lon, lat)
+	}
+	x, y := tr.GeoToPixel(lon, lat)
+	if x != 0 || y != 0 {
+		t.Fatalf("roundtrip pixel = (%d,%d)", x, y)
+	}
+	x, y = tr.GeoToPixel(21.0, 39.0)
+	lon2, lat2 := tr.PixelToGeo(x, y)
+	if math.Abs(lon2-21.0) > tr.LonStep || math.Abs(lat2-39.0) > tr.LatStep {
+		t.Fatalf("pixel centre (%g,%g) too far from (21,39)", lon2, lat2)
+	}
+}
+
+func TestApplyIdentityTransform(t *testing.T) {
+	src := array.New(20, 20)
+	for y := 0; y < 20; y++ {
+		for x := 0; x < 20; x++ {
+			src.Set(x, y, float64(x*100+y))
+		}
+	}
+	tr := Transform{
+		SrcX:     Poly2{0, 1, 0, 0, 0, 0},
+		SrcY:     Poly2{0, 0, 1, 0, 0, 0},
+		DstWidth: 20, DstHeight: 20,
+	}
+	out := tr.Apply(src)
+	for y := 1; y < 18; y++ {
+		for x := 1; x < 18; x++ {
+			if math.Abs(out.Get(x, y)-src.Get(x, y)) > 1e-9 {
+				t.Fatalf("identity warp changed (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestApplyShiftTransform(t *testing.T) {
+	src := array.New(20, 20)
+	for y := 0; y < 20; y++ {
+		for x := 0; x < 20; x++ {
+			src.Set(x, y, float64(x))
+		}
+	}
+	tr := Transform{
+		SrcX:     Poly2{2, 1, 0, 0, 0, 0}, // dst x maps to src x+2
+		SrcY:     Poly2{0, 0, 1, 0, 0, 0},
+		DstWidth: 15, DstHeight: 15,
+	}
+	out := tr.Apply(src)
+	if got := out.Get(5, 5); math.Abs(got-7) > 1e-9 {
+		t.Fatalf("shifted value = %g, want 7", got)
+	}
+}

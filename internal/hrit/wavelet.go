@@ -1,0 +1,170 @@
+package hrit
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file implements the codec's compression stage: a multi-level
+// lossless integer Haar wavelet (lifting scheme) in the Mallat layout,
+// followed by zig-zag varint entropy coding. Natural imagery concentrates
+// energy in the shrinking low-pass quadrant, so almost all coefficients
+// are small high-pass values that varint-code to single bytes — the same
+// rationale as the operational wavelet compression of the MSG
+// dissemination chain.
+
+// waveletLevels bounds the pyramid depth; beyond ~5 levels the low-pass
+// band is already tiny for SEVIRI crop sizes.
+const waveletLevels = 5
+
+// compressWavelet transforms and entropy-codes a w×h count field.
+func compressWavelet(counts []uint16, w, h int) []byte {
+	c := make([]int32, len(counts))
+	for i, v := range counts {
+		c[i] = int32(v)
+	}
+	haarForward(c, w, h)
+	out := make([]byte, 0, len(c))
+	var tmp [binary.MaxVarintLen32]byte
+	for _, v := range c {
+		n := binary.PutUvarint(tmp[:], zigzag(v))
+		out = append(out, tmp[:n]...)
+	}
+	return out
+}
+
+func decompressWavelet(data []byte, w, h int) ([]uint16, error) {
+	n := w * h
+	c := make([]int32, n)
+	pos := 0
+	for i := 0; i < n; i++ {
+		v, used := binary.Uvarint(data[pos:])
+		if used <= 0 {
+			return nil, fmt.Errorf("hrit: truncated wavelet stream at coefficient %d", i)
+		}
+		pos += used
+		c[i] = unzigzag(v)
+	}
+	haarInverse(c, w, h)
+	out := make([]uint16, n)
+	for i, v := range c {
+		if v < 0 || v > 1023 {
+			return nil, fmt.Errorf("hrit: wavelet reconstruction out of range (%d)", v)
+		}
+		out[i] = uint16(v)
+	}
+	return out, nil
+}
+
+func zigzag(v int32) uint64 {
+	return uint64(uint32(v<<1) ^ uint32(v>>31))
+}
+
+func unzigzag(u uint64) int32 {
+	return int32(uint32(u)>>1) ^ -int32(u&1)
+}
+
+// levelDims returns the pyramid of sub-rectangle sizes processed by the
+// forward transform, largest first.
+func levelDims(w, h int) [][2]int {
+	var out [][2]int
+	cw, ch := w, h
+	for level := 0; level < waveletLevels && cw >= 2 && ch >= 2; level++ {
+		out = append(out, [2]int{cw, ch})
+		cw = (cw + 1) / 2
+		ch = (ch + 1) / 2
+	}
+	return out
+}
+
+// haarForward applies the multi-level integer Haar lifting transform in
+// place: each level transforms the current low-pass quadrant's rows then
+// columns, leaving the Mallat layout (ss quadrant top-left).
+func haarForward(c []int32, w, h int) {
+	buf := make([]int32, max(w, h))
+	for _, dims := range levelDims(w, h) {
+		cw, ch := dims[0], dims[1]
+		for y := 0; y < ch; y++ {
+			row := buf[:cw]
+			copy(row, c[y*w:y*w+cw])
+			liftForward(row)
+			copy(c[y*w:y*w+cw], row)
+		}
+		for x := 0; x < cw; x++ {
+			col := buf[:ch]
+			for y := 0; y < ch; y++ {
+				col[y] = c[y*w+x]
+			}
+			liftForward(col)
+			for y := 0; y < ch; y++ {
+				c[y*w+x] = col[y]
+			}
+		}
+	}
+}
+
+func haarInverse(c []int32, w, h int) {
+	dims := levelDims(w, h)
+	buf := make([]int32, max(w, h))
+	for i := len(dims) - 1; i >= 0; i-- {
+		cw, ch := dims[i][0], dims[i][1]
+		for x := 0; x < cw; x++ {
+			col := buf[:ch]
+			for y := 0; y < ch; y++ {
+				col[y] = c[y*w+x]
+			}
+			liftInverse(col)
+			for y := 0; y < ch; y++ {
+				c[y*w+x] = col[y]
+			}
+		}
+		for y := 0; y < ch; y++ {
+			row := buf[:cw]
+			copy(row, c[y*w:y*w+cw])
+			liftInverse(row)
+			copy(c[y*w:y*w+cw], row)
+		}
+	}
+}
+
+// liftForward rearranges pairs (a, b) into low-pass s = a + floor(d/2)
+// and high-pass d = b − a, laid out [s..., (odd tail), d...]. The odd
+// tail sample joins the low-pass band so multi-level recursion covers it.
+func liftForward(v []int32) {
+	n := len(v) / 2
+	if n == 0 {
+		return
+	}
+	sLen := n + len(v)%2
+	s := make([]int32, sLen)
+	d := make([]int32, n)
+	for i := 0; i < n; i++ {
+		a, b := v[2*i], v[2*i+1]
+		d[i] = b - a
+		s[i] = a + (d[i] >> 1)
+	}
+	if len(v)%2 == 1 {
+		s[n] = v[len(v)-1]
+	}
+	copy(v[:sLen], s)
+	copy(v[sLen:], d)
+}
+
+func liftInverse(v []int32) {
+	n := len(v) / 2
+	if n == 0 {
+		return
+	}
+	sLen := n + len(v)%2
+	out := make([]int32, len(v))
+	for i := 0; i < n; i++ {
+		s, d := v[i], v[sLen+i]
+		a := s - (d >> 1)
+		b := a + d
+		out[2*i], out[2*i+1] = a, b
+	}
+	if len(v)%2 == 1 {
+		out[len(v)-1] = v[n]
+	}
+	copy(v, out)
+}

@@ -1,0 +1,99 @@
+package mapgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func testMap() *Map {
+	m := New(geom.Envelope{MinX: 20, MinY: 35, MaxX: 26, MaxY: 40}, "Test Map")
+	m.AddLayer(Layer{
+		Name: "Areas", Stroke: "#333", Fill: "#cde",
+		Geoms: []geom.Geometry{geom.NewSquare(22, 38, 1)},
+	})
+	m.AddLayer(Layer{
+		Name: "Points", Stroke: "#900",
+		Geoms:  []geom.Geometry{geom.Point{X: 23, Y: 37}},
+		Labels: []string{"Athens & <co>"},
+	})
+	m.AddLayer(Layer{
+		Name: "Lines", Stroke: "#060", Width: 2,
+		Geoms: []geom.Geometry{geom.LineString{{X: 21, Y: 36}, {X: 24, Y: 39}}},
+	})
+	return m
+}
+
+func TestSVGStructure(t *testing.T) {
+	svg := testMap().SVG(600)
+	for _, want := range []string{
+		"<svg", "</svg>", "<path", "<circle", "<polyline",
+		"Test Map", "Athens &amp; &lt;co&gt;",
+		`id="areas"`, `id="points"`, `id="lines"`,
+	} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// Default width applies when non-positive.
+	if !strings.Contains(New(geom.Envelope{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, "").SVG(0), `width="800"`) {
+		t.Fatal("default width not applied")
+	}
+}
+
+func TestGeoJSONStructure(t *testing.T) {
+	gj := testMap().GeoJSON()
+	for _, want := range []string{
+		`"type":"FeatureCollection"`, `"type":"Polygon"`,
+		`"type":"Point"`, `"type":"LineString"`, `"layer":"Areas"`,
+	} {
+		if !strings.Contains(gj, want) {
+			t.Fatalf("GeoJSON missing %q", want)
+		}
+	}
+}
+
+func TestGeoJSONAllGeometryKinds(t *testing.T) {
+	m := New(geom.Envelope{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, "")
+	m.AddLayer(Layer{Name: "all", Geoms: []geom.Geometry{
+		geom.MultiPoint{{X: 1, Y: 1}, {X: 2, Y: 2}},
+		geom.MultiLineString{{{X: 0, Y: 0}, {X: 1, Y: 1}}},
+		geom.MultiPolygon{geom.NewSquare(5, 5, 1)},
+		geom.Collection{geom.Point{X: 3, Y: 3}},
+	}})
+	gj := m.GeoJSON()
+	for _, want := range []string{"MultiPoint", "MultiLineString", "MultiPolygon", "GeometryCollection"} {
+		if !strings.Contains(gj, want) {
+			t.Fatalf("GeoJSON missing %q", want)
+		}
+	}
+}
+
+func TestSortLayersBottomUp(t *testing.T) {
+	m := New(geom.Envelope{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, "")
+	m.AddLayer(Layer{Name: "pts", Geoms: []geom.Geometry{geom.Point{X: 1, Y: 1}}})
+	m.AddLayer(Layer{Name: "lines", Geoms: []geom.Geometry{geom.LineString{{X: 0, Y: 0}, {X: 1, Y: 1}}}})
+	m.AddLayer(Layer{Name: "polys", Geoms: []geom.Geometry{geom.NewSquare(5, 5, 2)}})
+	m.SortLayersBottomUp()
+	if m.Layers[0].Name != "polys" || m.Layers[2].Name != "pts" {
+		t.Fatalf("layer order: %s, %s, %s", m.Layers[0].Name, m.Layers[1].Name, m.Layers[2].Name)
+	}
+}
+
+func TestPolygonWithHoleRendersEvenOdd(t *testing.T) {
+	donut := geom.Polygon{
+		Shell: geom.Ring{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 4, Y: 4}, {X: 0, Y: 4}, {X: 0, Y: 0}},
+		Holes: []geom.Ring{{{X: 1, Y: 1}, {X: 1, Y: 2}, {X: 2, Y: 2}, {X: 2, Y: 1}, {X: 1, Y: 1}}},
+	}
+	m := New(geom.Envelope{MinX: -1, MinY: -1, MaxX: 5, MaxY: 5}, "")
+	m.AddLayer(Layer{Name: "donut", Fill: "#abc", Geoms: []geom.Geometry{donut}})
+	svg := m.SVG(100)
+	if !strings.Contains(svg, `fill-rule="evenodd"`) {
+		t.Fatal("holes need even-odd fill rule")
+	}
+	// Two subpaths (shell + hole) in one path element.
+	if strings.Count(svg, "M") < 2 {
+		t.Fatal("hole subpath missing")
+	}
+}

@@ -1,0 +1,137 @@
+// Package modis simulates the MODIS fire products used as the reference
+// in the paper's thematic-accuracy protocol (Table 1): the Terra and Aqua
+// platforms overpass the region twice a day each (the paper: Aqua at
+// 00:30 and 11:30, Terra at 09:30 and 20:30 local), and FIRMS-style
+// hotspot points are derived at 1 km resolution from the same ground
+// truth the SEVIRI simulator renders. Being 16× finer than MSG pixels,
+// MODIS resolves small fires that MSG misses — the omission-error source
+// — while seeing none of the glint/smoke artifacts that MSG turns into
+// false alarms.
+package modis
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/seviri"
+)
+
+// PixelKm is the MODIS fire-product resolution (the paper's "1 km pixel
+// size of MODIS").
+const PixelKm = 1.0
+
+// Overpass is one platform pass over the region.
+type Overpass struct {
+	Platform string // "Terra" / "Aqua"
+	Time     time.Time
+}
+
+// Hotspot is one FIRMS-style fire detection point.
+type Hotspot struct {
+	Platform string
+	Time     time.Time
+	Location geom.Point
+	// FRP is a fire-radiative-power-like intensity score.
+	FRP float64
+}
+
+// DailyOverpasses returns the four passes of a UTC day, using the
+// paper's local times (EEST = UTC+3 in August).
+func DailyOverpasses(day time.Time) []Overpass {
+	day = day.Truncate(24 * time.Hour)
+	local := func(h, m int) time.Time {
+		return day.Add(time.Duration(h)*time.Hour + time.Duration(m)*time.Minute).
+			Add(-3 * time.Hour) // local -> UTC
+	}
+	return []Overpass{
+		{Platform: "Aqua", Time: local(0, 30)},
+		{Platform: "Terra", Time: local(9, 30)},
+		{Platform: "Aqua", Time: local(11, 30)},
+		{Platform: "Terra", Time: local(20, 30)},
+	}
+}
+
+// OverpassesFor lists every overpass within [start, start+days).
+func OverpassesFor(start time.Time, days int) []Overpass {
+	var out []Overpass
+	for d := 0; d < days; d++ {
+		out = append(out, DailyOverpasses(start.Add(time.Duration(d)*24*time.Hour))...)
+	}
+	return out
+}
+
+// Detect renders the MODIS hotspot points of one overpass from a
+// scenario's ground truth: every 1 km pixel whose fire coverage exceeds
+// the detection threshold yields a point at the pixel centre.
+func Detect(sc *seviri.Scenario, op Overpass) []Hotspot {
+	var out []Hotspot
+	active := sc.ActiveAt(op.Time)
+	const stepLon = PixelKm / seviri.KmPerDegLon
+	const stepLat = PixelKm / seviri.KmPerDegLat
+	n := 0
+	for _, f := range active {
+		// Scan the 1 km grid cells covering the fire disk.
+		radDegLon := f.RadiusKm / seviri.KmPerDegLon
+		radDegLat := f.RadiusKm / seviri.KmPerDegLat
+		x0 := math.Floor((f.Event.Center.X-radDegLon)/stepLon) * stepLon
+		y0 := math.Floor((f.Event.Center.Y-radDegLat)/stepLat) * stepLat
+		for y := y0; y <= f.Event.Center.Y+radDegLat+stepLat; y += stepLat {
+			for x := x0; x <= f.Event.Center.X+radDegLon+stepLon; x += stepLon {
+				centre := geom.Point{X: x + stepLon/2, Y: y + stepLat/2}
+				frac := fireFraction(centre, f)
+				// MODIS detects from ~10% pixel coverage at 1 km.
+				if frac < 0.1 {
+					continue
+				}
+				n++
+				out = append(out, Hotspot{
+					Platform: op.Platform,
+					Time:     op.Time,
+					Location: centre,
+					FRP:      f.Event.Intensity * frac,
+				})
+			}
+		}
+	}
+	_ = n
+	return dedup(out)
+}
+
+func fireFraction(pix geom.Point, f seviri.ActiveFire) float64 {
+	dx := (pix.X - f.Event.Center.X) * seviri.KmPerDegLon
+	dy := (pix.Y - f.Event.Center.Y) * seviri.KmPerDegLat
+	d := math.Hypot(dx, dy)
+	switch {
+	case d <= f.RadiusKm-PixelKm/2:
+		return 1
+	case d >= f.RadiusKm+PixelKm/2:
+		return 0
+	default:
+		return (f.RadiusKm + PixelKm/2 - d) / PixelKm
+	}
+}
+
+func dedup(hs []Hotspot) []Hotspot {
+	seen := make(map[string]bool, len(hs))
+	out := hs[:0]
+	for _, h := range hs {
+		k := fmt.Sprintf("%.4f|%.4f|%d", h.Location.X, h.Location.Y, h.Time.Unix())
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// DetectAll runs Detect over every overpass of a window and returns the
+// per-overpass results keyed by overpass time.
+func DetectAll(sc *seviri.Scenario, start time.Time, days int) map[time.Time][]Hotspot {
+	out := make(map[time.Time][]Hotspot)
+	for _, op := range OverpassesFor(start, days) {
+		out[op.Time] = append(out[op.Time], Detect(sc, op)...)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package modis
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/auxdata"
+	"repro/internal/seviri"
+)
+
+func testScenario() *seviri.Scenario {
+	w := auxdata.Generate(42)
+	cfg := seviri.DefaultScenarioConfig()
+	cfg.Days = 1
+	cfg.FiresPerDay = 6
+	return seviri.GenerateScenario(w, 43, cfg)
+}
+
+func TestDailyOverpasses(t *testing.T) {
+	day := time.Date(2007, 8, 24, 0, 0, 0, 0, time.UTC)
+	ops := DailyOverpasses(day)
+	if len(ops) != 4 {
+		t.Fatalf("overpasses = %d", len(ops))
+	}
+	platforms := map[string]int{}
+	for _, op := range ops {
+		platforms[op.Platform]++
+	}
+	if platforms["Terra"] != 2 || platforms["Aqua"] != 2 {
+		t.Fatalf("platform mix = %v", platforms)
+	}
+	all := OverpassesFor(day, 3)
+	if len(all) != 12 {
+		t.Fatalf("3-day overpasses = %d", len(all))
+	}
+}
+
+func TestDetectSeesActiveFires(t *testing.T) {
+	sc := testScenario()
+	// Find an afternoon overpass during which at least one decent fire burns.
+	found := false
+	for _, op := range OverpassesFor(time.Date(2007, 8, 24, 0, 0, 0, 0, time.UTC), 1) {
+		active := sc.ActiveAt(op.Time)
+		bigActive := 0
+		for _, f := range active {
+			if f.RadiusKm > 1 {
+				bigActive++
+			}
+		}
+		hs := Detect(sc, op)
+		if bigActive > 0 {
+			found = true
+			if len(hs) == 0 {
+				t.Fatalf("overpass %v: %d big fires active but no MODIS detections", op.Time, bigActive)
+			}
+		}
+		if bigActive == 0 && len(active) == 0 && len(hs) != 0 {
+			t.Fatalf("overpass %v: no fires but %d detections", op.Time, len(hs))
+		}
+	}
+	if !found {
+		t.Skip("no overpass coincided with a big fire in this seed")
+	}
+}
+
+func TestDetectResolvesSmallFires(t *testing.T) {
+	// A 0.6 km fire covers a meaningful share of 1 km MODIS pixels but a
+	// tiny share of 4 km MSG pixels.
+	w := auxdata.Generate(42)
+	cfg := seviri.DefaultScenarioConfig()
+	cfg.Days = 1
+	cfg.FiresPerDay = 0
+	sc := seviri.GenerateScenario(w, 7, cfg)
+	p, ok := w.RandomForestPoint(rand.New(rand.NewSource(7)))
+	if !ok {
+		t.Skip("no forest point")
+	}
+	start := time.Date(2007, 8, 24, 9, 0, 0, 0, time.UTC)
+	sc.Fires = append(sc.Fires, seviri.FireEvent{
+		ID: 1, Center: p,
+		Start: start, End: start.Add(6 * time.Hour),
+		PeakRadiusKm: 0.6, Intensity: 20,
+	})
+	op := Overpass{Platform: "Terra", Time: start.Add(3 * time.Hour)}
+	hs := Detect(sc, op)
+	if len(hs) == 0 {
+		t.Fatal("MODIS should resolve a 0.6 km fire")
+	}
+	for _, h := range hs {
+		d := h.Location.DistanceTo(p)
+		if d > 0.05 {
+			t.Fatalf("detection %v too far from fire %v", h.Location, p)
+		}
+		if h.FRP <= 0 {
+			t.Fatal("non-positive FRP")
+		}
+	}
+}
+
+func TestDetectAllGroupsByOverpass(t *testing.T) {
+	sc := testScenario()
+	byOp := DetectAll(sc, time.Date(2007, 8, 24, 0, 0, 0, 0, time.UTC), 1)
+	if len(byOp) != 4 {
+		t.Fatalf("overpass groups = %d", len(byOp))
+	}
+}

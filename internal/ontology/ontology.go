@@ -1,0 +1,155 @@
+// Package ontology defines the vocabularies of the service: the NOA
+// ontology of Section 3.2.1 (RawData / Shapefile / Hotspot with their
+// annotation properties, aligned to SWEET), and the term IRIs of the
+// auxiliary datasets (Corine Land Cover, Greek coastline, Greek
+// Administrative Geography, LinkedGeoData, GeoNames).
+package ontology
+
+import "repro/internal/rdf"
+
+// Namespace bases; the prefixes match rdf.NewNamespaces.
+const (
+	NOA   = "http://teleios.di.uoa.gr/ontologies/noaOntology.owl#"
+	CLC   = "http://teleios.di.uoa.gr/ontologies/clcOntology.owl#"
+	Coast = "http://teleios.di.uoa.gr/ontologies/coastlineOntology.owl#"
+	GAG   = "http://teleios.di.uoa.gr/ontologies/gagOntology.owl#"
+	LGD   = "http://linkedgeodata.org/triplify/"
+	LGDO  = "http://linkedgeodata.org/ontology/"
+	GN    = "http://www.geonames.org/ontology#"
+	GNRes = "http://sws.geonames.org/"
+	SWEET = "http://sweet.jpl.nasa.gov/ontology/"
+	StRDF = "http://strdf.di.uoa.gr/ontology#"
+	RDFS  = "http://www.w3.org/2000/01/rdf-schema#"
+	OWL   = "http://www.w3.org/2002/07/owl#"
+)
+
+// NOA ontology classes.
+const (
+	ClassRawData   = NOA + "RawData"
+	ClassShapefile = NOA + "Shapefile"
+	ClassHotspot   = NOA + "Hotspot"
+)
+
+// NOA ontology properties (the annotations of Figure 5).
+const (
+	PropAcquisitionDateTime = NOA + "hasAcquisitionDateTime"
+	PropConfidence          = NOA + "hasConfidence"
+	PropConfirmation        = NOA + "hasConfirmation"
+	PropSensor              = NOA + "isDerivedFromSensor"
+	PropSatellite           = NOA + "isDerivedFromSatellite"
+	PropProducedBy          = NOA + "isProducedBy"
+	PropProcessingChain     = NOA + "isFromProcessingChain"
+	PropFilename            = NOA + "hasFilename"
+	PropIsInMunicipality    = NOA + "isInMunicipality"
+	PropExtractedFrom       = NOA + "isExtractedFrom"
+	HasGeometry             = StRDF + "hasGeometry"
+)
+
+// Confirmation individuals.
+const (
+	ConfirmedFire   = NOA + "confirmed"
+	UnconfirmedFire = NOA + "unconfirmed"
+)
+
+// Corine Land Cover vocabulary (three-level taxonomy per the paper).
+const (
+	ClassCLCArea  = CLC + "Area"
+	PropLandUse   = CLC + "hasLandUse"
+	PropCLCCode   = CLC + "hasCode"
+	ClassArtifial = CLC + "ArtificialSurface" // level 1
+	ClassAgri     = CLC + "AgriculturalArea"  // level 1
+	ClassForestSN = CLC + "ForestAndSemiNaturalArea"
+	ClassWater    = CLC + "WaterBody"
+
+	ClassUrbanFabric = CLC + "ContinuousUrbanFabric" // level 3 under Artificial
+	ClassArable      = CLC + "NonIrrigatedArableLand"
+	ClassConiferous  = CLC + "ConiferousForest"
+	ClassSclerophyll = CLC + "SclerophyllousVegetation"
+	ClassSea         = CLC + "SeaAndOcean"
+)
+
+// Coastline vocabulary.
+const (
+	ClassCoastline = Coast + "Coastline"
+)
+
+// Greek Administrative Geography vocabulary.
+const (
+	ClassMunicipality = GAG + "Municipality"
+	ClassPrefecture   = GAG + "Prefecture"
+	PropPopulation    = GAG + "hasPopulation"
+	PropIsPartOf      = GAG + "isPartOf"
+	PropYpesCode      = GAG + "hasYpesCode"
+)
+
+// LinkedGeoData vocabulary.
+const (
+	ClassLGDNode        = LGDO + "Node"
+	ClassLGDWay         = LGDO + "Way"
+	ClassLGDAmenity     = LGDO + "Amenity"
+	ClassLGDFireStation = LGDO + "FireStation"
+	ClassLGDHospital    = LGDO + "Hospital"
+	ClassLGDPrimary     = LGDO + "Primary"
+	PropLGDDirectType   = LGDO + "directType"
+)
+
+// GeoNames vocabulary.
+const (
+	ClassGNFeature     = GN + "Feature"
+	PropGNName         = GN + "name"
+	PropGNAltName      = GN + "alternateName"
+	PropGNCountryCode  = GN + "countryCode"
+	PropGNFeatureClass = GN + "featureClass"
+	PropGNFeatureCode  = GN + "featureCode"
+	PropGNParentADM1   = GN + "parentADM1"
+	CodePPLA           = GN + "P.PPLA" // first-order admin seat
+	CodePPL            = GN + "P.PPL"  // populated place
+)
+
+// RDFS / label helpers.
+const (
+	PropLabel      = RDFS + "label"
+	PropSubClassOf = RDFS + "subClassOf"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI(s) }
+
+// Triples returns the NOA ontology's schema triples: the class hierarchy
+// of Figure 5 including the SWEET alignment, and the Corine level
+// taxonomy. Loading these enables subclass-aware queries.
+func Triples() []rdf.Triple {
+	sub := func(c, super string) rdf.Triple {
+		return rdf.Triple{S: iri(c), P: iri(PropSubClassOf), O: iri(super)}
+	}
+	typ := func(s, c string) rdf.Triple {
+		return rdf.Triple{S: iri(s), P: iri(rdf.RDFType), O: iri(c)}
+	}
+	owlClass := OWL + "Class"
+	return []rdf.Triple{
+		typ(ClassRawData, owlClass),
+		typ(ClassShapefile, owlClass),
+		typ(ClassHotspot, owlClass),
+		// SWEET alignment (the paper: "these classes have been defined as
+		// subclasses of corresponding classes of the SWEET ontology").
+		sub(ClassRawData, SWEET+"data/Data"),
+		sub(ClassShapefile, SWEET+"data/Dataset"),
+		sub(ClassHotspot, SWEET+"phenAtmo/Fire"),
+		// Corine level taxonomy.
+		sub(ClassUrbanFabric, ClassArtifial),
+		sub(ClassArable, ClassAgri),
+		sub(ClassConiferous, ClassForestSN),
+		sub(ClassSclerophyll, ClassForestSN),
+		sub(ClassSea, ClassWater),
+	}
+}
+
+// FireInconsistentCovers lists the level-3 land covers on which a real
+// forest-fire alarm is implausible — the "fully inconsistent land
+// use/land cover classes, like urban or permanent agriculture areas" of
+// the paper. The InvalidForFires refinement deletes hotspots whose pixel
+// lies entirely on these.
+var FireInconsistentCovers = map[string]bool{
+	ClassUrbanFabric: true,
+	ClassArable:      true,
+	ClassSea:         true,
+}

@@ -1,0 +1,128 @@
+// Package products models the outputs of the processing chain: hotspot
+// records vectorised from classified pixel arrays ("selects pixels
+// classified as fire or potential fire and outputs a POLYGON description
+// in Well-known Text"), an ESRI-shapefile-subset binary container for
+// dissemination, and the RDF-ization of products under the NOA ontology
+// (Section 3.2.2).
+package products
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/geom"
+	"repro/internal/georef"
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+)
+
+// Hotspot is one detected fire pixel.
+type Hotspot struct {
+	ID           string
+	Geometry     geom.Polygon // the ~4×4 km pixel footprint
+	Confidence   float64      // 0.5 for potential fire, 1.0 for fire
+	AcquiredAt   time.Time
+	Sensor       string // "MSG1" / "MSG2"
+	Chain        string // processing chain name
+	Producer     string // "noa"
+	Confirmation bool
+}
+
+// Product is one acquisition's hotspot set (the paper's shapefile).
+type Product struct {
+	Sensor     string
+	Chain      string
+	AcquiredAt time.Time
+	Hotspots   []Hotspot
+}
+
+// Vectorize converts a classified confidence array (0/1/2 per pixel, on
+// the georeferenced grid) into hotspot polygons using the grid geometry.
+func Vectorize(conf *array.Dense, tr georef.Transform, sensor, chain string, at time.Time) *Product {
+	p := &Product{Sensor: sensor, Chain: chain, AcquiredAt: at}
+	x0, y0 := conf.Origin()
+	n := 0
+	for y := 0; y < conf.Height(); y++ {
+		for x := 0; x < conf.Width(); x++ {
+			c := conf.Get(x0+x, y0+y)
+			if c < 1 {
+				continue
+			}
+			lon, lat := tr.PixelToGeo(x0+x, y0+y)
+			n++
+			confidence := 0.5
+			if c >= 2 {
+				confidence = 1.0
+			}
+			p.Hotspots = append(p.Hotspots, Hotspot{
+				ID: fmt.Sprintf("%s_%s_%d", sensor,
+					at.UTC().Format("20060102T150405"), n),
+				Geometry:     geom.NewSquare(lon, lat, tr.LonStep),
+				Confidence:   confidence,
+				AcquiredAt:   at,
+				Sensor:       sensor,
+				Chain:        chain,
+				Producer:     "noa",
+				Confirmation: c >= 2,
+			})
+		}
+	}
+	return p
+}
+
+// NOA ontology individuals and helpers.
+
+func iri(s string) rdf.Term { return rdf.NewIRI(s) }
+
+// HotspotURI returns the RDF subject of a hotspot.
+func HotspotURI(h Hotspot) string { return ontology.NOA + "Hotspot_" + h.ID }
+
+// Triples renders a hotspot under the NOA ontology, shaped exactly like
+// the paper's Section 3.2.2 example.
+func (h Hotspot) Triples() []rdf.Triple {
+	s := iri(HotspotURI(h))
+	confirmation := ontology.UnconfirmedFire
+	if h.Confirmation {
+		confirmation = ontology.ConfirmedFire
+	}
+	return []rdf.Triple{
+		{S: s, P: iri(rdf.RDFType), O: iri(ontology.ClassHotspot)},
+		{S: s, P: iri(ontology.PropAcquisitionDateTime),
+			O: rdf.NewDateTime(h.AcquiredAt.UTC().Format("2006-01-02T15:04:05"))},
+		{S: s, P: iri(ontology.PropConfidence), O: rdf.NewFloat(h.Confidence)},
+		{S: s, P: iri(ontology.PropConfirmation), O: iri(confirmation)},
+		{S: s, P: iri(ontology.HasGeometry), O: rdf.NewGeometry(geom.WKT(h.Geometry))},
+		{S: s, P: iri(ontology.PropSensor), O: rdf.NewTypedLiteral(h.Sensor, rdf.XSDString)},
+		{S: s, P: iri(ontology.PropProducedBy), O: iri(ontology.NOA + "noa")},
+		{S: s, P: iri(ontology.PropProcessingChain), O: rdf.NewTypedLiteral(h.Chain, rdf.XSDString)},
+	}
+}
+
+// Triples renders the whole product: a noa:Shapefile individual plus
+// every hotspot, linked by noa:isExtractedFrom.
+func (p *Product) Triples() []rdf.Triple {
+	shp := iri(fmt.Sprintf("%sShapefile_%s_%s", ontology.NOA, p.Sensor,
+		p.AcquiredAt.UTC().Format("20060102T150405")))
+	out := []rdf.Triple{
+		{S: shp, P: iri(rdf.RDFType), O: iri(ontology.ClassShapefile)},
+		{S: shp, P: iri(ontology.PropAcquisitionDateTime),
+			O: rdf.NewDateTime(p.AcquiredAt.UTC().Format("2006-01-02T15:04:05"))},
+		{S: shp, P: iri(ontology.PropSensor), O: rdf.NewTypedLiteral(p.Sensor, rdf.XSDString)},
+		{S: shp, P: iri(ontology.PropProcessingChain), O: rdf.NewTypedLiteral(p.Chain, rdf.XSDString)},
+		{S: shp, P: iri(ontology.PropFilename),
+			O: rdf.NewLiteral(p.Filename())},
+	}
+	for _, h := range p.Hotspots {
+		out = append(out, h.Triples()...)
+		out = append(out, rdf.Triple{
+			S: iri(HotspotURI(h)), P: iri(ontology.PropExtractedFrom), O: shp,
+		})
+	}
+	return out
+}
+
+// Filename renders the dissemination filename of the product.
+func (p *Product) Filename() string {
+	return fmt.Sprintf("HMSG_%s_%s.shp", p.Sensor, p.AcquiredAt.UTC().Format("20060102_1504"))
+}

@@ -1,0 +1,180 @@
+package products
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// This file implements the ESRI-shapefile-subset writer and reader the
+// service uses for dissemination ("exporting the final product to raster
+// and vector formats (ESRI shapefiles)"): the .shp geometry stream with
+// the standard 100-byte header and Polygon (type 5) records. Attribute
+// data (.dbf) is out of scope — the RDF-ization carries the attributes.
+
+const (
+	shpFileCode    = 9994
+	shpVersion     = 1000
+	shpTypePolygon = 5
+)
+
+// WriteSHP serialises the product's hotspot polygons as a .shp stream.
+func (p *Product) WriteSHP(w io.Writer) error {
+	var body bytes.Buffer
+	be := binary.BigEndian
+	le := binary.LittleEndian
+
+	env := geom.EmptyEnvelope()
+	for _, h := range p.Hotspots {
+		env = env.Expand(h.Geometry.Envelope())
+	}
+	if env.IsEmpty() {
+		env = geom.Envelope{}
+	}
+
+	for i, h := range p.Hotspots {
+		rec := encodePolygonRecord(h.Geometry)
+		var hdr [8]byte
+		be.PutUint32(hdr[0:], uint32(i+1))
+		be.PutUint32(hdr[4:], uint32(len(rec)/2)) // length in 16-bit words
+		body.Write(hdr[:])
+		body.Write(rec)
+	}
+
+	// 100-byte main header.
+	var head [100]byte
+	be.PutUint32(head[0:], shpFileCode)
+	be.PutUint32(head[24:], uint32((100+body.Len())/2))
+	le.PutUint32(head[28:], shpVersion)
+	le.PutUint32(head[32:], shpTypePolygon)
+	le.PutUint64(head[36:], math.Float64bits(env.MinX))
+	le.PutUint64(head[44:], math.Float64bits(env.MinY))
+	le.PutUint64(head[52:], math.Float64bits(env.MaxX))
+	le.PutUint64(head[60:], math.Float64bits(env.MaxY))
+	if _, err := w.Write(head[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body.Bytes())
+	return err
+}
+
+func encodePolygonRecord(poly geom.Polygon) []byte {
+	le := binary.LittleEndian
+	rings := poly.Rings()
+	nPoints := 0
+	for _, r := range rings {
+		nPoints += len(r)
+	}
+	buf := make([]byte, 4+32+8+len(rings)*4+nPoints*16)
+	le.PutUint32(buf[0:], shpTypePolygon)
+	env := poly.Envelope()
+	le.PutUint64(buf[4:], math.Float64bits(env.MinX))
+	le.PutUint64(buf[12:], math.Float64bits(env.MinY))
+	le.PutUint64(buf[20:], math.Float64bits(env.MaxX))
+	le.PutUint64(buf[28:], math.Float64bits(env.MaxY))
+	le.PutUint32(buf[36:], uint32(len(rings)))
+	le.PutUint32(buf[40:], uint32(nPoints))
+	off := 44
+	idx := 0
+	for _, r := range rings {
+		le.PutUint32(buf[off:], uint32(idx))
+		off += 4
+		idx += len(r)
+	}
+	for _, r := range rings {
+		// Shapefile outer rings are clockwise.
+		ring := r
+		if ring.IsCCW() {
+			ring = ring.Reversed()
+		}
+		for _, pt := range ring {
+			le.PutUint64(buf[off:], math.Float64bits(pt.X))
+			le.PutUint64(buf[off+8:], math.Float64bits(pt.Y))
+			off += 16
+		}
+	}
+	return buf
+}
+
+// ReadSHP parses a .shp stream produced by WriteSHP, returning the
+// polygons in record order.
+func ReadSHP(r io.Reader) ([]geom.Polygon, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 100 {
+		return nil, fmt.Errorf("products: shapefile too short (%d bytes)", len(raw))
+	}
+	be := binary.BigEndian
+	le := binary.LittleEndian
+	if be.Uint32(raw[0:]) != shpFileCode {
+		return nil, fmt.Errorf("products: bad shapefile code")
+	}
+	if le.Uint32(raw[32:]) != shpTypePolygon {
+		return nil, fmt.Errorf("products: unsupported shape type %d", le.Uint32(raw[32:]))
+	}
+	var out []geom.Polygon
+	pos := 100
+	for pos+8 <= len(raw) {
+		recLen := int(be.Uint32(raw[pos+4:])) * 2
+		pos += 8
+		if pos+recLen > len(raw) {
+			return nil, fmt.Errorf("products: truncated record at offset %d", pos)
+		}
+		rec := raw[pos : pos+recLen]
+		pos += recLen
+		poly, err := decodePolygonRecord(rec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, poly)
+	}
+	return out, nil
+}
+
+func decodePolygonRecord(rec []byte) (geom.Polygon, error) {
+	le := binary.LittleEndian
+	if len(rec) < 44 {
+		return geom.Polygon{}, fmt.Errorf("products: short polygon record")
+	}
+	if le.Uint32(rec[0:]) != shpTypePolygon {
+		return geom.Polygon{}, fmt.Errorf("products: unexpected shape type in record")
+	}
+	nRings := int(le.Uint32(rec[36:]))
+	nPoints := int(le.Uint32(rec[40:]))
+	need := 44 + nRings*4 + nPoints*16
+	if len(rec) < need {
+		return geom.Polygon{}, fmt.Errorf("products: record wants %d bytes, has %d", need, len(rec))
+	}
+	starts := make([]int, nRings+1)
+	for i := 0; i < nRings; i++ {
+		starts[i] = int(le.Uint32(rec[44+i*4:]))
+	}
+	starts[nRings] = nPoints
+	ptsOff := 44 + nRings*4
+	readPoint := func(i int) geom.Point {
+		off := ptsOff + i*16
+		return geom.Point{
+			X: math.Float64frombits(le.Uint64(rec[off:])),
+			Y: math.Float64frombits(le.Uint64(rec[off+8:])),
+		}
+	}
+	var poly geom.Polygon
+	for ri := 0; ri < nRings; ri++ {
+		ring := make(geom.Ring, 0, starts[ri+1]-starts[ri])
+		for i := starts[ri]; i < starts[ri+1]; i++ {
+			ring = append(ring, readPoint(i))
+		}
+		if ri == 0 {
+			poly.Shell = ring
+		} else {
+			poly.Holes = append(poly.Holes, ring)
+		}
+	}
+	return poly.Normalized(), nil
+}

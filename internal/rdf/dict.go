@@ -1,0 +1,53 @@
+package rdf
+
+// ID is a dense dictionary identifier for a term. 0 is reserved as the
+// wildcard / "no term" sentinel so that pattern matching can use the zero
+// value naturally.
+type ID uint32
+
+// Wildcard matches any term in pattern lookups.
+const Wildcard ID = 0
+
+// Dictionary maps terms to dense IDs and back. The mapping is append-only:
+// terms are never garbage-collected, mirroring the dictionary columns of a
+// column store.
+type Dictionary struct {
+	byKey map[string]ID
+	terms []Term // terms[i-1] holds the term for ID i
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{byKey: make(map[string]ID)}
+}
+
+// Encode interns a term, returning its ID (allocating one if new).
+func (d *Dictionary) Encode(t Term) ID {
+	k := t.key()
+	if id, ok := d.byKey[k]; ok {
+		return id
+	}
+	d.terms = append(d.terms, t)
+	id := ID(len(d.terms))
+	d.byKey[k] = id
+	return id
+}
+
+// Lookup returns the ID for a term without interning; ok is false when the
+// term has never been seen.
+func (d *Dictionary) Lookup(t Term) (ID, bool) {
+	id, ok := d.byKey[t.key()]
+	return id, ok
+}
+
+// Decode returns the term for an ID. Decoding the wildcard or an unknown
+// ID returns the zero Term.
+func (d *Dictionary) Decode(id ID) Term {
+	if id == 0 || int(id) > len(d.terms) {
+		return Term{}
+	}
+	return d.terms[id-1]
+}
+
+// Len reports the number of interned terms.
+func (d *Dictionary) Len() int { return len(d.terms) }

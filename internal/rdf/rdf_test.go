@@ -1,0 +1,412 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestTermConstructors(t *testing.T) {
+	iri := NewIRI("http://example.org/a")
+	if !iri.IsIRI() || iri.IsLiteral() || iri.IsBlank() {
+		t.Fatal("IRI kind flags wrong")
+	}
+	b := NewBlank("n1")
+	if !b.IsBlank() {
+		t.Fatal("blank kind wrong")
+	}
+	lit := NewLiteral("hello")
+	if !lit.IsLiteral() {
+		t.Fatal("literal kind wrong")
+	}
+	n := NewInteger(42)
+	if v, ok := n.Integer(); !ok || v != 42 {
+		t.Fatalf("Integer() = %v, %v", v, ok)
+	}
+	f := NewFloat(2.5)
+	if v, ok := f.Float(); !ok || v != 2.5 {
+		t.Fatalf("Float() = %v, %v", v, ok)
+	}
+	bo := NewBoolean(true)
+	if v, ok := bo.Bool(); !ok || !v {
+		t.Fatalf("Bool() = %v, %v", v, ok)
+	}
+	g := NewGeometry("POINT (1 2)")
+	if !g.IsGeometry() {
+		t.Fatal("geometry literal not recognized")
+	}
+	wkt := NewTypedLiteral("POINT (1 2)", StRDFWKT)
+	if !wkt.IsGeometry() {
+		t.Fatal("strdf:WKT literal not recognized as geometry")
+	}
+	if NewLiteral("POINT (1 2)").IsGeometry() {
+		t.Fatal("plain literal must not be geometry")
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{NewIRI("http://e/x"), "<http://e/x>"},
+		{NewBlank("b0"), "_:b0"},
+		{NewLiteral("hi"), `"hi"`},
+		{NewLangLiteral("Patras", "en"), `"Patras"@en`},
+		{NewInteger(7), `"7"^^<` + XSDInteger + `>`},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String() = %s, want %s", got, c.want)
+		}
+	}
+}
+
+func TestDictionaryRoundTrip(t *testing.T) {
+	d := NewDictionary()
+	terms := []Term{
+		NewIRI("http://e/a"),
+		NewIRI("http://e/b"),
+		NewBlank("x"),
+		NewLiteral("lit"),
+		NewTypedLiteral("lit", XSDString),
+		NewLangLiteral("lit", "el"),
+		NewGeometry("POINT (1 1)"),
+	}
+	ids := make([]ID, len(terms))
+	for i, tm := range terms {
+		ids[i] = d.Encode(tm)
+		if ids[i] == Wildcard {
+			t.Fatal("encode returned wildcard id")
+		}
+	}
+	// Re-encoding returns identical IDs.
+	for i, tm := range terms {
+		if got := d.Encode(tm); got != ids[i] {
+			t.Fatalf("re-encode changed id: %d vs %d", got, ids[i])
+		}
+	}
+	for i, id := range ids {
+		if got := d.Decode(id); !got.Equal(terms[i]) {
+			t.Fatalf("decode(%d) = %v, want %v", id, got, terms[i])
+		}
+	}
+	if _, ok := d.Lookup(NewIRI("http://nowhere/")); ok {
+		t.Fatal("lookup of unseen term succeeded")
+	}
+	if !d.Decode(Wildcard).IsZero() {
+		t.Fatal("decoding wildcard should be zero term")
+	}
+	if !d.Decode(9999).IsZero() {
+		t.Fatal("decoding unknown id should be zero term")
+	}
+	// Distinct literals with same lexical form must get distinct IDs.
+	a := d.Encode(NewLiteral("v"))
+	b := d.Encode(NewLangLiteral("v", "en"))
+	c := d.Encode(NewTypedLiteral("v", XSDInteger))
+	if a == b || b == c || a == c {
+		t.Fatal("literal variants collided in dictionary")
+	}
+}
+
+func tr(s, p, o string) Triple {
+	return Triple{S: NewIRI(s), P: NewIRI(p), O: NewIRI(o)}
+}
+
+func TestStoreAddRemove(t *testing.T) {
+	s := NewStore()
+	t1 := tr("http://e/s1", "http://e/p", "http://e/o1")
+	if !s.Add(t1) {
+		t.Fatal("first add should be new")
+	}
+	if s.Add(t1) {
+		t.Fatal("duplicate add should report false")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if !s.Has(t1) {
+		t.Fatal("Has should find the triple")
+	}
+	if !s.Remove(t1) {
+		t.Fatal("remove failed")
+	}
+	if s.Remove(t1) {
+		t.Fatal("second remove should fail")
+	}
+	if s.Len() != 0 || s.Has(t1) {
+		t.Fatal("store should be empty")
+	}
+}
+
+func TestStoreMatchPatterns(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 10; i++ {
+		s.Add(tr(fmt.Sprintf("http://e/s%d", i%3), "http://e/p1", fmt.Sprintf("http://e/o%d", i)))
+	}
+	s.Add(tr("http://e/s0", "http://e/p2", "http://e/o0"))
+
+	d := s.Dict()
+	s0, _ := d.Lookup(NewIRI("http://e/s0"))
+	p1, _ := d.Lookup(NewIRI("http://e/p1"))
+	p2, _ := d.Lookup(NewIRI("http://e/p2"))
+	o0, _ := d.Lookup(NewIRI("http://e/o0"))
+
+	count := func(a, b, c ID) int { return s.Count(a, b, c) }
+
+	if got := count(s0, Wildcard, Wildcard); got != 5 {
+		t.Fatalf("S-bound count = %d, want 5", got)
+	}
+	if got := count(Wildcard, p1, Wildcard); got != 10 {
+		t.Fatalf("P-bound count = %d, want 10", got)
+	}
+	if got := count(Wildcard, Wildcard, o0); got != 2 {
+		t.Fatalf("O-bound count = %d, want 2", got)
+	}
+	if got := count(s0, p2, Wildcard); got != 1 {
+		t.Fatalf("SP-bound count = %d, want 1", got)
+	}
+	if got := count(s0, Wildcard, o0); got != 2 {
+		t.Fatalf("SO-bound count = %d, want 2", got)
+	}
+	if got := count(Wildcard, p1, o0); got != 1 {
+		t.Fatalf("PO-bound count = %d, want 1", got)
+	}
+	if got := count(s0, p1, o0); got != 1 {
+		t.Fatalf("SPO-bound count = %d, want 1", got)
+	}
+	if got := count(Wildcard, Wildcard, Wildcard); got != 11 {
+		t.Fatalf("full scan count = %d, want 11", got)
+	}
+}
+
+func TestStoreMatchTermsWildcards(t *testing.T) {
+	s := NewStore()
+	s.Add(tr("http://e/s", "http://e/p", "http://e/o"))
+	var seen int
+	s.MatchTerms(Term{}, NewIRI("http://e/p"), Term{}, func(Triple) bool {
+		seen++
+		return true
+	})
+	if seen != 1 {
+		t.Fatalf("matched %d", seen)
+	}
+	// Unknown term short-circuits.
+	s.MatchTerms(NewIRI("http://unknown/"), Term{}, Term{}, func(Triple) bool {
+		t.Fatal("should not match")
+		return false
+	})
+}
+
+func TestStoreSubjects(t *testing.T) {
+	s := NewStore()
+	typ := NewIRI(RDFType)
+	hotspot := NewIRI("http://e/Hotspot")
+	for i := 0; i < 5; i++ {
+		s.Add(Triple{S: NewIRI(fmt.Sprintf("http://e/h%d", i)), P: typ, O: hotspot})
+	}
+	tid, _ := s.Dict().Lookup(typ)
+	hid, _ := s.Dict().Lookup(hotspot)
+	subs := s.Subjects(tid, hid)
+	if len(subs) != 5 {
+		t.Fatalf("subjects = %d, want 5", len(subs))
+	}
+}
+
+func TestNamespaces(t *testing.T) {
+	ns := NewNamespaces()
+	iri, err := ns.Expand("noa:Hotspot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(iri, "#Hotspot") {
+		t.Fatalf("expanded = %q", iri)
+	}
+	if q := ns.Shrink(iri); q != "noa:Hotspot" {
+		t.Fatalf("shrink = %q", q)
+	}
+	if _, err := ns.Expand("nope:X"); err == nil {
+		t.Fatal("unknown prefix should error")
+	}
+	if _, err := ns.Expand("noprefix"); err == nil {
+		t.Fatal("name without colon should error")
+	}
+	ns.Bind("ex", "http://example.org/")
+	if got, _ := ns.Expand("ex:a"); got != "http://example.org/a" {
+		t.Fatalf("custom prefix expand = %q", got)
+	}
+}
+
+func TestParseTurtlePaperExample(t *testing.T) {
+	// The hotspot example from Section 3.2.2 of the paper, verbatim
+	// modulo whitespace.
+	src := `
+noa:Hotspot_1 a noa:Hotspot ;
+  noa:hasAcquisitionDateTime "2007-08-24T18:15:00"^^xsd:dateTime;
+  noa:hasConfidence 1.0 ;
+  noa:hasConfirmation noa:confirmed ;
+  strdf:hasGeometry "POLYGON ((21.52 37.91,21.57 37.91,21.56 37.88,21.56 37.88,21.52 37.87,21.52 37.91))"^^strdf:geometry ;
+  noa:isDerivedFromSensor "MSG2"^^xsd:string ;
+  noa:isProducedBy noa:noa ;
+  noa:isFromProcessingChain "cloud-masked"^^xsd:string .
+`
+	triples, err := ParseTurtle(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 8 {
+		t.Fatalf("parsed %d triples, want 8", len(triples))
+	}
+	var geomFound, dtFound, confFound bool
+	for _, tp := range triples {
+		if tp.O.IsGeometry() {
+			geomFound = true
+		}
+		if tp.O.Datatype == XSDDateTime {
+			dtFound = true
+		}
+		if v, ok := tp.O.Float(); ok && v == 1.0 && tp.O.Datatype == XSDDouble {
+			confFound = true
+		}
+	}
+	if !geomFound || !dtFound || !confFound {
+		t.Fatalf("missing literal kinds: geom=%v dt=%v conf=%v", geomFound, dtFound, confFound)
+	}
+}
+
+func TestParseTurtleGeoNamesExample(t *testing.T) {
+	src := `
+<http://sws.geonames.org/255683/> a gn:Feature ;
+  gn:alternateName "Patrae" ;
+  gn:alternateName "Patras"@en ;
+  gn:name "Patras" ;
+  gn:countryCode "GR" ;
+  gn:featureClass gn:P ;
+  gn:parentCountry <http://sws.geonames.org/390903/> ;
+  strdf:hasGeometry "POINT(21.73 38.24)"^^strdf:geometry .
+`
+	triples, err := ParseTurtle(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 8 {
+		t.Fatalf("parsed %d triples, want 8", len(triples))
+	}
+	var langLit bool
+	for _, tp := range triples {
+		if tp.O.Lang == "en" && tp.O.Value == "Patras" {
+			langLit = true
+		}
+	}
+	if !langLit {
+		t.Fatal("language-tagged literal not parsed")
+	}
+}
+
+func TestParseTurtleDirectivesAndLists(t *testing.T) {
+	src := `
+@prefix ex: <http://example.org/> .
+ex:s ex:p ex:o1, ex:o2, ex:o3 .
+ex:s2 ex:q 42 ; ex:r 3.14 ; ex:t true .
+_:b1 ex:p ex:o1 .
+# a comment line
+ex:s3 ex:u "multi\nline" .
+`
+	triples, err := ParseTurtle(src, NewNamespaces())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(triples) != 8 {
+		t.Fatalf("parsed %d triples, want 8", len(triples))
+	}
+	if triples[0].O.Value != "http://example.org/o1" {
+		t.Fatalf("object list first = %v", triples[0].O)
+	}
+	if triples[6].S.Kind != TermBlank {
+		t.Fatalf("blank subject = %v", triples[6].S)
+	}
+}
+
+func TestParseTurtleErrors(t *testing.T) {
+	for _, src := range []string{
+		`ex:s ex:p ex:o .`,                // unknown prefix
+		`@prefix ex <http://e/> .`,        // missing colon
+		`<http://e/s> <http://e/p>`,       // missing object and dot
+		`"lit" <http://e/p> "x" .`,        // literal subject
+		`<http://e/s> "p" <http://e/o> .`, // literal predicate
+		`<http://e/s> <http://e/p> "unterminated .`,
+	} {
+		if _, err := ParseTurtle(src, nil); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestTurtleRoundTrip(t *testing.T) {
+	ns := NewNamespaces()
+	ns.Bind("ex", "http://example.org/")
+	orig := []Triple{
+		{S: NewIRI("http://example.org/h1"), P: NewIRI(RDFType), O: NewIRI("http://example.org/Hotspot")},
+		{S: NewIRI("http://example.org/h1"), P: NewIRI("http://example.org/conf"), O: NewFloat(0.5)},
+		{S: NewIRI("http://example.org/h1"), P: NewIRI("http://example.org/geo"), O: NewGeometry("POINT (1 2)")},
+		{S: NewIRI("http://example.org/h2"), P: NewIRI("http://example.org/label"), O: NewLangLiteral("Αθήνα", "el")},
+	}
+	text := WriteTurtle(orig, ns)
+	back, err := ParseTurtle(text, ns)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("roundtrip count %d != %d\n%s", len(back), len(orig), text)
+	}
+	s := NewStore()
+	for _, tp := range orig {
+		s.Add(tp)
+	}
+	for _, tp := range back {
+		if !s.Has(tp) {
+			t.Fatalf("roundtrip invented triple %v", tp)
+		}
+	}
+}
+
+func TestStoreRandomizedAgainstMap(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	s := NewStore()
+	ref := make(map[string]Triple)
+	key := func(t Triple) string { return t.String() }
+	mk := func() Triple {
+		return tr(
+			fmt.Sprintf("http://e/s%d", r.Intn(20)),
+			fmt.Sprintf("http://e/p%d", r.Intn(5)),
+			fmt.Sprintf("http://e/o%d", r.Intn(30)),
+		)
+	}
+	for i := 0; i < 5000; i++ {
+		t3 := mk()
+		if r.Float64() < 0.7 {
+			added := s.Add(t3)
+			_, existed := ref[key(t3)]
+			if added == existed {
+				t.Fatalf("add mismatch for %v: added=%v existed=%v", t3, added, existed)
+			}
+			ref[key(t3)] = t3
+		} else {
+			removed := s.Remove(t3)
+			_, existed := ref[key(t3)]
+			if removed != existed {
+				t.Fatalf("remove mismatch for %v", t3)
+			}
+			delete(ref, key(t3))
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("size drift: store %d vs ref %d", s.Len(), len(ref))
+		}
+	}
+	for _, t3 := range s.Triples() {
+		if _, ok := ref[key(t3)]; !ok {
+			t.Fatalf("store has phantom triple %v", t3)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package rdf
+
+// EncodedTriple is a dictionary-encoded statement.
+type EncodedTriple struct {
+	S, P, O ID
+}
+
+// index is a two-level map from first key to second key to a set of third
+// keys. Three instances in different orders give the SPO, POS and OSP
+// access paths of the store.
+type index map[ID]map[ID]map[ID]struct{}
+
+func (ix index) add(a, b, c ID) bool {
+	m1, ok := ix[a]
+	if !ok {
+		m1 = make(map[ID]map[ID]struct{})
+		ix[a] = m1
+	}
+	m2, ok := m1[b]
+	if !ok {
+		m2 = make(map[ID]struct{})
+		m1[b] = m2
+	}
+	if _, exists := m2[c]; exists {
+		return false
+	}
+	m2[c] = struct{}{}
+	return true
+}
+
+func (ix index) remove(a, b, c ID) bool {
+	m1, ok := ix[a]
+	if !ok {
+		return false
+	}
+	m2, ok := m1[b]
+	if !ok {
+		return false
+	}
+	if _, exists := m2[c]; !exists {
+		return false
+	}
+	delete(m2, c)
+	if len(m2) == 0 {
+		delete(m1, b)
+		if len(m1) == 0 {
+			delete(ix, a)
+		}
+	}
+	return true
+}
+
+// Store is an in-memory dictionary-encoded triple store with three
+// complete orderings, the classic layout of RDF column stores (and of
+// Strabon's underlying schema).
+type Store struct {
+	dict *Dictionary
+	spo  index
+	pos  index
+	osp  index
+	size int
+}
+
+// NewStore returns an empty store with a fresh dictionary.
+func NewStore() *Store {
+	return &Store{
+		dict: NewDictionary(),
+		spo:  make(index),
+		pos:  make(index),
+		osp:  make(index),
+	}
+}
+
+// Dict exposes the store's dictionary.
+func (s *Store) Dict() *Dictionary { return s.dict }
+
+// Len reports the number of distinct triples.
+func (s *Store) Len() int { return s.size }
+
+// Add inserts a triple; it reports whether the triple was new.
+func (s *Store) Add(t Triple) bool {
+	return s.AddEncoded(EncodedTriple{
+		S: s.dict.Encode(t.S),
+		P: s.dict.Encode(t.P),
+		O: s.dict.Encode(t.O),
+	})
+}
+
+// AddEncoded inserts an already-encoded triple.
+func (s *Store) AddEncoded(t EncodedTriple) bool {
+	if !s.spo.add(t.S, t.P, t.O) {
+		return false
+	}
+	s.pos.add(t.P, t.O, t.S)
+	s.osp.add(t.O, t.S, t.P)
+	s.size++
+	return true
+}
+
+// Remove deletes a triple; it reports whether the triple was present.
+func (s *Store) Remove(t Triple) bool {
+	sid, ok := s.dict.Lookup(t.S)
+	if !ok {
+		return false
+	}
+	pid, ok := s.dict.Lookup(t.P)
+	if !ok {
+		return false
+	}
+	oid, ok := s.dict.Lookup(t.O)
+	if !ok {
+		return false
+	}
+	return s.RemoveEncoded(EncodedTriple{S: sid, P: pid, O: oid})
+}
+
+// RemoveEncoded deletes an encoded triple.
+func (s *Store) RemoveEncoded(t EncodedTriple) bool {
+	if !s.spo.remove(t.S, t.P, t.O) {
+		return false
+	}
+	s.pos.remove(t.P, t.O, t.S)
+	s.osp.remove(t.O, t.S, t.P)
+	s.size--
+	return true
+}
+
+// Has reports whether the triple is present.
+func (s *Store) Has(t Triple) bool {
+	sid, ok := s.dict.Lookup(t.S)
+	if !ok {
+		return false
+	}
+	pid, ok := s.dict.Lookup(t.P)
+	if !ok {
+		return false
+	}
+	oid, ok := s.dict.Lookup(t.O)
+	if !ok {
+		return false
+	}
+	m1, ok := s.spo[sid]
+	if !ok {
+		return false
+	}
+	m2, ok := m1[pid]
+	if !ok {
+		return false
+	}
+	_, ok = m2[oid]
+	return ok
+}
+
+// Match streams every encoded triple matching the pattern, where Wildcard
+// (0) components match anything. The visit function returns false to stop.
+// The best available index ordering is selected from the bound components.
+func (s *Store) Match(sub, pred, obj ID, visit func(EncodedTriple) bool) {
+	switch {
+	case sub != Wildcard:
+		m1, ok := s.spo[sub]
+		if !ok {
+			return
+		}
+		if pred != Wildcard {
+			m2, ok := m1[pred]
+			if !ok {
+				return
+			}
+			if obj != Wildcard {
+				if _, ok := m2[obj]; ok {
+					visit(EncodedTriple{sub, pred, obj})
+				}
+				return
+			}
+			for o := range m2 {
+				if !visit(EncodedTriple{sub, pred, o}) {
+					return
+				}
+			}
+			return
+		}
+		if obj != Wildcard {
+			// S and O bound: scan predicates of subject.
+			for p, m2 := range m1 {
+				if _, ok := m2[obj]; ok {
+					if !visit(EncodedTriple{sub, p, obj}) {
+						return
+					}
+				}
+			}
+			return
+		}
+		for p, m2 := range m1 {
+			for o := range m2 {
+				if !visit(EncodedTriple{sub, p, o}) {
+					return
+				}
+			}
+		}
+	case pred != Wildcard:
+		m1, ok := s.pos[pred]
+		if !ok {
+			return
+		}
+		if obj != Wildcard {
+			m2, ok := m1[obj]
+			if !ok {
+				return
+			}
+			for sid := range m2 {
+				if !visit(EncodedTriple{sid, pred, obj}) {
+					return
+				}
+			}
+			return
+		}
+		for o, m2 := range m1 {
+			for sid := range m2 {
+				if !visit(EncodedTriple{sid, pred, o}) {
+					return
+				}
+			}
+		}
+	case obj != Wildcard:
+		m1, ok := s.osp[obj]
+		if !ok {
+			return
+		}
+		for sid, m2 := range m1 {
+			for p := range m2 {
+				if !visit(EncodedTriple{sid, p, obj}) {
+					return
+				}
+			}
+		}
+	default:
+		for sid, m1 := range s.spo {
+			for p, m2 := range m1 {
+				for o := range m2 {
+					if !visit(EncodedTriple{sid, p, o}) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatchTerms streams decoded triples matching a term pattern; zero Terms
+// act as wildcards.
+func (s *Store) MatchTerms(sub, pred, obj Term, visit func(Triple) bool) {
+	var sid, pid, oid ID
+	var ok bool
+	if !sub.IsZero() {
+		if sid, ok = s.dict.Lookup(sub); !ok {
+			return
+		}
+	}
+	if !pred.IsZero() {
+		if pid, ok = s.dict.Lookup(pred); !ok {
+			return
+		}
+	}
+	if !obj.IsZero() {
+		if oid, ok = s.dict.Lookup(obj); !ok {
+			return
+		}
+	}
+	s.Match(sid, pid, oid, func(t EncodedTriple) bool {
+		return visit(Triple{
+			S: s.dict.Decode(t.S),
+			P: s.dict.Decode(t.P),
+			O: s.dict.Decode(t.O),
+		})
+	})
+}
+
+// Count returns the number of triples matching the pattern.
+func (s *Store) Count(sub, pred, obj ID) int {
+	n := 0
+	s.Match(sub, pred, obj, func(EncodedTriple) bool { n++; return true })
+	return n
+}
+
+// Triples returns all triples, decoded. Intended for tests and small
+// exports; large scans should use Match.
+func (s *Store) Triples() []Triple {
+	out := make([]Triple, 0, s.size)
+	s.Match(Wildcard, Wildcard, Wildcard, func(t EncodedTriple) bool {
+		out = append(out, Triple{
+			S: s.dict.Decode(t.S),
+			P: s.dict.Decode(t.P),
+			O: s.dict.Decode(t.O),
+		})
+		return true
+	})
+	return out
+}
+
+// Subjects returns the distinct subject IDs with predicate pred and object
+// obj (either may be Wildcard).
+func (s *Store) Subjects(pred, obj ID) []ID {
+	seen := make(map[ID]struct{})
+	var out []ID
+	s.Match(Wildcard, pred, obj, func(t EncodedTriple) bool {
+		if _, dup := seen[t.S]; !dup {
+			seen[t.S] = struct{}{}
+			out = append(out, t.S)
+		}
+		return true
+	})
+	return out
+}

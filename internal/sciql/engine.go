@@ -1,0 +1,745 @@
+package sciql
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/array"
+)
+
+// TableFunc is a registered table-producing function callable from FROM
+// clauses, e.g. the data vault's "hrit_load_image('uri')".
+type TableFunc func(args []string) (*Frame, error)
+
+// Engine is the SciQL execution engine: a catalog of named arrays plus
+// registered table functions. It is the role MonetDB/SciQL plays in the
+// paper's architecture.
+type Engine struct {
+	arrays   map[string]*Frame
+	declared map[string]*CreateArray
+	fns      map[string]TableFunc
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{
+		arrays:   make(map[string]*Frame),
+		declared: make(map[string]*CreateArray),
+		fns:      make(map[string]TableFunc),
+	}
+}
+
+// RegisterFunc installs a table function under a (lower-cased) name.
+func (e *Engine) RegisterFunc(name string, fn TableFunc) {
+	e.fns[strings.ToLower(name)] = fn
+}
+
+// RegisterArray installs a Go-side array into the catalog as a
+// single-column array.
+func (e *Engine) RegisterArray(name string, d *array.Dense, colName string) {
+	e.arrays[name] = FromDense(d, colName)
+}
+
+// RegisterFrame installs a multi-column frame into the catalog.
+func (e *Engine) RegisterFrame(name string, f *Frame) { e.arrays[name] = f }
+
+// Array fetches a stored array's column as a Dense.
+func (e *Engine) Array(name, col string) (*array.Dense, error) {
+	f, ok := e.arrays[name]
+	if !ok {
+		return nil, fmt.Errorf("sciql: unknown array %q", name)
+	}
+	return f.Dense(col)
+}
+
+// Frame fetches a stored frame.
+func (e *Engine) Frame(name string) (*Frame, bool) {
+	f, ok := e.arrays[name]
+	return f, ok
+}
+
+// Names lists the catalog entries, sorted.
+func (e *Engine) Names() []string {
+	out := make([]string, 0, len(e.arrays))
+	for n := range e.arrays {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Exec parses and executes one statement. SELECTs return the result
+// frame; other statements return nil.
+func (e *Engine) Exec(src string) (*Frame, error) {
+	stmt, err := ParseStmt(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecStmt(stmt)
+}
+
+// ExecScript executes a ';'-separated script, returning the frame of the
+// final SELECT (if any).
+func (e *Engine) ExecScript(src string) (*Frame, error) {
+	stmts, err := ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	var last *Frame
+	for _, s := range stmts {
+		f, err := e.ExecStmt(s)
+		if err != nil {
+			return nil, err
+		}
+		if f != nil {
+			last = f
+		}
+	}
+	return last, nil
+}
+
+// ExecStmt executes a parsed statement.
+func (e *Engine) ExecStmt(stmt Stmt) (*Frame, error) {
+	switch s := stmt.(type) {
+	case *CreateArray:
+		return nil, e.createArray(s)
+	case *DropArray:
+		if _, ok := e.arrays[s.Name]; !ok {
+			return nil, fmt.Errorf("sciql: DROP of unknown array %q", s.Name)
+		}
+		delete(e.arrays, s.Name)
+		delete(e.declared, s.Name)
+		return nil, nil
+	case *InsertValues:
+		return nil, e.insertValues(s)
+	case *InsertSelect:
+		f, err := e.evalSelect(s.Sel)
+		if err != nil {
+			return nil, err
+		}
+		return nil, e.storeInto(s.Name, f)
+	case *Select:
+		return e.evalSelect(s)
+	default:
+		return nil, fmt.Errorf("sciql: unsupported statement %T", stmt)
+	}
+}
+
+func (e *Engine) createArray(s *CreateArray) error {
+	if _, exists := e.arrays[s.Name]; exists {
+		return fmt.Errorf("sciql: array %q already exists", s.Name)
+	}
+	x, y := s.Dims[0], s.Dims[1]
+	var f *Frame
+	if x.HasRange && y.HasRange {
+		f = NewFrame(x.Lo, y.Lo, x.Hi-x.Lo, y.Hi-y.Lo)
+	} else {
+		f = NewFrame(0, 0, 0, 0)
+	}
+	for _, c := range s.Cols {
+		if err := f.AddColumn("", c.Name, make([]float64, f.Len())); err != nil {
+			return err
+		}
+	}
+	e.arrays[s.Name] = f
+	e.declared[s.Name] = s
+	return nil
+}
+
+func (e *Engine) insertValues(s *InsertValues) error {
+	f, ok := e.arrays[s.Name]
+	if !ok {
+		return fmt.Errorf("sciql: INSERT into unknown array %q", s.Name)
+	}
+	ncols := len(f.cols)
+	for _, row := range s.Rows {
+		if len(row) != 2+ncols {
+			return fmt.Errorf("sciql: INSERT row wants %d values (x, y, %d columns), got %d",
+				2+ncols, ncols, len(row))
+		}
+	}
+	if f.Len() == 0 {
+		// Unbounded array: size from the data's bounding box.
+		minX, minY := math.Inf(1), math.Inf(1)
+		maxX, maxY := math.Inf(-1), math.Inf(-1)
+		for _, row := range s.Rows {
+			minX = math.Min(minX, row[0])
+			maxX = math.Max(maxX, row[0])
+			minY = math.Min(minY, row[1])
+			maxY = math.Max(maxY, row[1])
+		}
+		nf := NewFrame(int(minX), int(minY), int(maxX-minX)+1, int(maxY-minY)+1)
+		for _, c := range f.cols {
+			if err := nf.AddColumn("", c.Name, make([]float64, nf.Len())); err != nil {
+				return err
+			}
+		}
+		f = nf
+		e.arrays[s.Name] = f
+	}
+	for _, row := range s.Rows {
+		x, y := int(row[0]), int(row[1])
+		if x < f.X0 || x >= f.X0+f.W || y < f.Y0 || y >= f.Y0+f.H {
+			return fmt.Errorf("sciql: INSERT cell (%d,%d) outside array %q domain", x, y, s.Name)
+		}
+		i := (y-f.Y0)*f.W + (x - f.X0)
+		for c := range f.cols {
+			f.cols[c].Data[i] = row[2+c]
+		}
+	}
+	return nil
+}
+
+// storeInto replaces the contents of a declared array with a select
+// result, renaming result columns to the declared value columns.
+func (e *Engine) storeInto(name string, f *Frame) error {
+	decl, declared := e.declared[name]
+	if _, exists := e.arrays[name]; !exists {
+		return fmt.Errorf("sciql: INSERT into unknown array %q", name)
+	}
+	if declared {
+		if len(f.cols) != len(decl.Cols) {
+			return fmt.Errorf("sciql: INSERT SELECT produces %d columns, array %q has %d",
+				len(f.cols), name, len(decl.Cols))
+		}
+		for i := range f.cols {
+			f.cols[i].Name = decl.Cols[i].Name
+			f.cols[i].Qualifier = ""
+		}
+	}
+	e.arrays[name] = f
+	return nil
+}
+
+// --- SELECT evaluation ---
+
+func (e *Engine) evalSelect(s *Select) (*Frame, error) {
+	base, err := e.evalFrom(s.From)
+	if err != nil {
+		return nil, err
+	}
+
+	// WHERE: split the conjunction into dimension-range constraints
+	// (cropping, the paper's range query) and residual cell predicates
+	// (validity masking).
+	if s.Where != nil {
+		crop, residual := splitWhere(s.Where)
+		if crop != nil {
+			base = base.Crop(crop.x0, crop.x1, crop.y0, crop.y1)
+		}
+		if residual != nil && base.Len() > 0 {
+			mask, err := e.evalExprCol(base, residual, nil)
+			if err != nil {
+				return nil, err
+			}
+			base.MaskInvalid(mask)
+		}
+	}
+
+	// Validate the GROUP BY target references this FROM.
+	if s.GroupBy != nil {
+		if !frameHasQualifier(base, s.GroupBy.Target) {
+			return nil, fmt.Errorf("sciql: GROUP BY target %q is not a source of this query", s.GroupBy.Target)
+		}
+	}
+
+	out := NewFrame(base.X0, base.Y0, base.W, base.H)
+	out.valid = base.valid
+	sawDim := map[string]bool{}
+	anon := 0
+	for _, item := range s.Items {
+		if item.Dim != "" {
+			sawDim[item.Dim] = true
+			continue
+		}
+		col, err := e.evalExprCol(base, item.Expr, s.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+		name := item.Alias
+		if name == "" {
+			if cr, ok := item.Expr.(*ColRef); ok {
+				name = cr.Name
+			} else {
+				anon++
+				name = fmt.Sprintf("col%d", anon)
+			}
+		}
+		if err := out.AddColumn("", name, col); err != nil {
+			return nil, err
+		}
+	}
+	if len(out.cols) == 0 {
+		return nil, fmt.Errorf("sciql: SELECT projects no value columns")
+	}
+	_ = sawDim // dimension projections are implicit in the array result
+	return out, nil
+}
+
+func frameHasQualifier(f *Frame, q string) bool {
+	for _, c := range f.cols {
+		if c.Qualifier == q {
+			return true
+		}
+	}
+	// A single-source frame may be addressed by its stored name even when
+	// unaliased.
+	return len(f.cols) > 0 && f.cols[0].Qualifier == ""
+}
+
+func (e *Engine) evalFrom(fc FromClause) (*Frame, error) {
+	switch src := fc.(type) {
+	case *TableRef:
+		stored, ok := e.arrays[src.Name]
+		if !ok {
+			return nil, fmt.Errorf("sciql: unknown array %q", src.Name)
+		}
+		f := stored.Clone()
+		alias := src.Alias
+		if alias == "" {
+			alias = src.Name
+		}
+		f.Requalify(alias)
+		if src.Slice != nil {
+			f = f.Crop(src.Slice.X0, src.Slice.X1, src.Slice.Y0, src.Slice.Y1)
+		}
+		return f, nil
+	case *FuncRef:
+		fn, ok := e.fns[src.Name]
+		if !ok {
+			return nil, fmt.Errorf("sciql: unknown table function %q", src.Name)
+		}
+		f, err := fn(src.Args)
+		if err != nil {
+			return nil, fmt.Errorf("sciql: %s: %w", src.Name, err)
+		}
+		if src.Alias != "" {
+			f.Requalify(src.Alias)
+		}
+		return f, nil
+	case *SubqueryRef:
+		f, err := e.evalSelect(src.Sel)
+		if err != nil {
+			return nil, err
+		}
+		f.Requalify(src.Alias)
+		return f, nil
+	case *JoinRef:
+		l, err := e.evalFrom(src.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.evalFrom(src.R)
+		if err != nil {
+			return nil, err
+		}
+		if !isDimEquiJoin(src.On) {
+			return nil, fmt.Errorf("sciql: only dimension equi-joins (x = x AND y = y) are supported")
+		}
+		return joinFrames(l, r)
+	default:
+		return nil, fmt.Errorf("sciql: unsupported FROM clause %T", fc)
+	}
+}
+
+// isDimEquiJoin accepts conjunctions of equalities between dimension
+// references, the paper's "ON T039.x = T108.x AND T039.y = T108.y".
+func isDimEquiJoin(e Expr) bool {
+	switch v := e.(type) {
+	case *BinExpr:
+		if v.Op == "AND" {
+			return isDimEquiJoin(v.L) && isDimEquiJoin(v.R)
+		}
+		if v.Op == "=" {
+			_, lOK := v.L.(*DimRef)
+			_, rOK := v.R.(*DimRef)
+			return lOK && rOK
+		}
+	}
+	return false
+}
+
+// joinFrames aligns two frames on the overlap of their domains and merges
+// their columns.
+func joinFrames(l, r *Frame) (*Frame, error) {
+	x0 := max(l.X0, r.X0)
+	y0 := max(l.Y0, r.Y0)
+	x1 := min(l.X0+l.W, r.X0+r.W)
+	y1 := min(l.Y0+l.H, r.Y0+r.H)
+	lc := l.Crop(x0, x1, y0, y1)
+	rc := r.Crop(x0, x1, y0, y1)
+	out := NewFrame(lc.X0, lc.Y0, lc.W, lc.H)
+	out.cols = append(out.cols, lc.cols...)
+	out.cols = append(out.cols, rc.cols...)
+	if lc.valid != nil || rc.valid != nil {
+		out.valid = make([]bool, out.Len())
+		for i := range out.valid {
+			out.valid[i] = lc.Valid(i) && rc.Valid(i)
+		}
+	}
+	return out, nil
+}
+
+// cropBox accumulates dimension constraints from a WHERE conjunction.
+type cropBox struct {
+	x0, x1, y0, y1 int
+}
+
+// splitWhere separates dimension-range conjuncts from residual cell
+// predicates.
+func splitWhere(e Expr) (*cropBox, Expr) {
+	box := &cropBox{x0: math.MinInt32, x1: math.MaxInt32, y0: math.MinInt32, y1: math.MaxInt32}
+	residual := collectCrop(e, box)
+	if box.x0 == math.MinInt32 && box.x1 == math.MaxInt32 &&
+		box.y0 == math.MinInt32 && box.y1 == math.MaxInt32 {
+		return nil, residual
+	}
+	return box, residual
+}
+
+// collectCrop extracts range constraints on bare dimensions; it returns
+// the residual expression (nil when fully consumed).
+func collectCrop(e Expr, box *cropBox) Expr {
+	switch v := e.(type) {
+	case *BinExpr:
+		if v.Op == "AND" {
+			l := collectCrop(v.L, box)
+			r := collectCrop(v.R, box)
+			switch {
+			case l == nil:
+				return r
+			case r == nil:
+				return l
+			default:
+				return &BinExpr{Op: "AND", L: l, R: r}
+			}
+		}
+		if dim, lit, op, ok := dimComparison(v); ok {
+			applyDimBound(box, dim, op, lit)
+			return nil
+		}
+	case *BetweenExpr:
+		if d, ok := v.X.(*DimRef); ok {
+			lo, okLo := v.Lo.(*NumLit)
+			hi, okHi := v.Hi.(*NumLit)
+			if okLo && okHi {
+				applyDimBound(box, d.Name, ">=", lo.V)
+				applyDimBound(box, d.Name, "<=", hi.V)
+				return nil
+			}
+		}
+	}
+	return e
+}
+
+// dimComparison matches "dim OP number" or "number OP dim".
+func dimComparison(v *BinExpr) (dim string, lit float64, op string, ok bool) {
+	if d, okD := v.L.(*DimRef); okD {
+		if n, okN := v.R.(*NumLit); okN {
+			return d.Name, n.V, v.Op, true
+		}
+	}
+	if d, okD := v.R.(*DimRef); okD {
+		if n, okN := v.L.(*NumLit); okN {
+			return d.Name, n.V, flipOp(v.Op), true
+		}
+	}
+	return "", 0, "", false
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default:
+		return op
+	}
+}
+
+func applyDimBound(box *cropBox, dim, op string, v float64) {
+	lo, hi := &box.x0, &box.x1
+	if dim == "y" {
+		lo, hi = &box.y0, &box.y1
+	}
+	switch op {
+	case ">=":
+		*lo = max(*lo, int(math.Ceil(v)))
+	case ">":
+		*lo = max(*lo, int(math.Floor(v))+1)
+	case "<":
+		*hi = min(*hi, int(math.Ceil(v)))
+	case "<=":
+		*hi = min(*hi, int(math.Floor(v))+1)
+	case "=":
+		*lo = max(*lo, int(v))
+		*hi = min(*hi, int(v)+1)
+	}
+}
+
+// --- expression evaluation (vectorised per column) ---
+
+func (e *Engine) evalExprCol(f *Frame, expr Expr, win *GroupSpec) ([]float64, error) {
+	n := f.Len()
+	switch v := expr.(type) {
+	case *NumLit:
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = v.V
+		}
+		return out, nil
+	case *ColRef:
+		col, err := f.Resolve(v.Qualifier, v.Name)
+		if err != nil {
+			return nil, err
+		}
+		return col, nil
+	case *DimRef:
+		return f.DimColumn(v.Name)
+	case *UnaryExpr:
+		x, err := e.evalExprCol(f, v.X, win)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, n)
+		switch v.Op {
+		case "-":
+			for i := range out {
+				out[i] = -x[i]
+			}
+		case "NOT":
+			for i := range out {
+				if x[i] == 0 {
+					out[i] = 1
+				}
+			}
+		default:
+			return nil, fmt.Errorf("sciql: unknown unary operator %q", v.Op)
+		}
+		return out, nil
+	case *BinExpr:
+		l, err := e.evalExprCol(f, v.L, win)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.evalExprCol(f, v.R, win)
+		if err != nil {
+			return nil, err
+		}
+		return applyBinOp(v.Op, l, r)
+	case *BetweenExpr:
+		x, err := e.evalExprCol(f, v.X, win)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := e.evalExprCol(f, v.Lo, win)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := e.evalExprCol(f, v.Hi, win)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, n)
+		for i := range out {
+			if x[i] >= lo[i] && x[i] <= hi[i] {
+				out[i] = 1
+			}
+		}
+		return out, nil
+	case *CaseExpr:
+		out := make([]float64, n)
+		decided := make([]bool, n)
+		for _, w := range v.Whens {
+			cond, err := e.evalExprCol(f, w.Cond, win)
+			if err != nil {
+				return nil, err
+			}
+			then, err := e.evalExprCol(f, w.Then, win)
+			if err != nil {
+				return nil, err
+			}
+			for i := range out {
+				if !decided[i] && cond[i] != 0 {
+					out[i] = then[i]
+					decided[i] = true
+				}
+			}
+		}
+		if v.Else != nil {
+			els, err := e.evalExprCol(f, v.Else, win)
+			if err != nil {
+				return nil, err
+			}
+			for i := range out {
+				if !decided[i] {
+					out[i] = els[i]
+				}
+			}
+		}
+		return out, nil
+	case *FuncExpr:
+		return e.evalFuncCol(f, v, win)
+	default:
+		return nil, fmt.Errorf("sciql: unsupported expression %T", expr)
+	}
+}
+
+func applyBinOp(op string, l, r []float64) ([]float64, error) {
+	out := make([]float64, len(l))
+	switch op {
+	case "+":
+		for i := range out {
+			out[i] = l[i] + r[i]
+		}
+	case "-":
+		for i := range out {
+			out[i] = l[i] - r[i]
+		}
+	case "*":
+		for i := range out {
+			out[i] = l[i] * r[i]
+		}
+	case "/":
+		for i := range out {
+			if r[i] != 0 {
+				out[i] = l[i] / r[i]
+			}
+		}
+	case "=":
+		for i := range out {
+			out[i] = b2f(l[i] == r[i])
+		}
+	case "<>":
+		for i := range out {
+			out[i] = b2f(l[i] != r[i])
+		}
+	case "<":
+		for i := range out {
+			out[i] = b2f(l[i] < r[i])
+		}
+	case "<=":
+		for i := range out {
+			out[i] = b2f(l[i] <= r[i])
+		}
+	case ">":
+		for i := range out {
+			out[i] = b2f(l[i] > r[i])
+		}
+	case ">=":
+		for i := range out {
+			out[i] = b2f(l[i] >= r[i])
+		}
+	case "AND":
+		for i := range out {
+			out[i] = b2f(l[i] != 0 && r[i] != 0)
+		}
+	case "OR":
+		for i := range out {
+			out[i] = b2f(l[i] != 0 || r[i] != 0)
+		}
+	default:
+		return nil, fmt.Errorf("sciql: unknown operator %q", op)
+	}
+	return out, nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (e *Engine) evalFuncCol(f *Frame, fn *FuncExpr, win *GroupSpec) ([]float64, error) {
+	if aggregateFns[fn.Name] {
+		if win == nil {
+			return nil, fmt.Errorf("sciql: aggregate %s outside structural GROUP BY", fn.Name)
+		}
+		spec := array.WindowSpec{XLo: win.XLo, XHi: win.XHi, YLo: win.YLo, YHi: win.YHi}
+		if fn.Name == "COUNT" {
+			d := array.NewWithOrigin(f.X0, f.Y0, f.W, f.H)
+			return d.WindowCount(spec).Values(), nil
+		}
+		if len(fn.Args) != 1 {
+			return nil, fmt.Errorf("sciql: %s wants one argument", fn.Name)
+		}
+		arg, err := e.evalExprCol(f, fn.Args[0], win)
+		if err != nil {
+			return nil, err
+		}
+		d := array.NewWithOrigin(f.X0, f.Y0, f.W, f.H)
+		copy(d.Values(), arg)
+		switch fn.Name {
+		case "AVG":
+			return d.WindowAvg(spec).Values(), nil
+		case "SUM":
+			return d.WindowSum(spec).Values(), nil
+		case "MIN":
+			return d.WindowMin(spec).Values(), nil
+		case "MAX":
+			return d.WindowMax(spec).Values(), nil
+		}
+	}
+	// Scalar functions.
+	args := make([][]float64, len(fn.Args))
+	for i, a := range fn.Args {
+		col, err := e.evalExprCol(f, a, win)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = col
+	}
+	unary := func(g func(float64) float64) ([]float64, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("sciql: %s wants one argument", fn.Name)
+		}
+		out := make([]float64, len(args[0]))
+		for i, v := range args[0] {
+			out[i] = g(v)
+		}
+		return out, nil
+	}
+	switch fn.Name {
+	case "SQRT":
+		return unary(func(v float64) float64 {
+			if v < 0 {
+				return 0
+			}
+			return math.Sqrt(v)
+		})
+	case "ABS":
+		return unary(math.Abs)
+	case "FLOOR":
+		return unary(math.Floor)
+	case "CEIL", "CEILING":
+		return unary(math.Ceil)
+	case "EXP":
+		return unary(math.Exp)
+	case "LN", "LOG":
+		return unary(func(v float64) float64 {
+			if v <= 0 {
+				return 0
+			}
+			return math.Log(v)
+		})
+	case "POWER", "POW":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("sciql: POWER wants two arguments")
+		}
+		out := make([]float64, len(args[0]))
+		for i := range out {
+			out[i] = math.Pow(args[0][i], args[1][i])
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("sciql: unknown function %s", fn.Name)
+	}
+}

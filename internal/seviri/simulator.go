@@ -1,0 +1,280 @@
+package seviri
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/array"
+	"repro/internal/auxdata"
+	"repro/internal/geom"
+	"repro/internal/georef"
+	"repro/internal/hrit"
+	"repro/internal/solar"
+)
+
+// Sensor describes one of the two MSG platforms of the paper.
+type Sensor struct {
+	Name    string
+	Cadence time.Duration
+}
+
+// The paper's platforms: "MSG-1 Seviri (5 mins), MSG-2 Seviri (15 mins)".
+var (
+	MSG1 = Sensor{Name: "MSG1", Cadence: 5 * time.Minute}
+	MSG2 = Sensor{Name: "MSG2", Cadence: 15 * time.Minute}
+)
+
+// PixelDeg is the MSG/SEVIRI ground sampling distance over Greece in
+// degrees (~4 km, the paper's "nearly 4x4 km").
+const PixelDeg = 0.04
+
+// PixelKm is the nominal MSG pixel size.
+const PixelKm = 4.0
+
+// Simulator renders acquisitions of a scenario.
+type Simulator struct {
+	Scenario *Scenario
+	// Geo grid covering auxdata.Region at PixelDeg.
+	GeoWidth, GeoHeight int
+	// Raw grid: the distorted scan geometry; slightly larger.
+	RawWidth, RawHeight int
+	// geoToRaw maps geo pixel coordinates to raw pixel coordinates — the
+	// "precalculated" polynomial the chain's georeferencing step applies.
+	geoToRaw georef.Transform
+}
+
+// NewSimulator builds the simulator and its scan geometry.
+func NewSimulator(sc *Scenario) *Simulator {
+	region := auxdata.Region
+	gw := int(region.Width()/PixelDeg + 0.5)
+	gh := int(region.Height()/PixelDeg + 0.5)
+	s := &Simulator{
+		Scenario: sc,
+		GeoWidth: gw, GeoHeight: gh,
+		RawWidth: gw + 14, RawHeight: gh + 12,
+	}
+	// The scan geometry: a mild affine skew plus a weak quadratic term —
+	// the shape a geostationary view of a mid-latitude region has.
+	s.geoToRaw = georef.Transform{
+		SrcX:      georef.Poly2{6.0, 1.01, 0.015, 0.00002, 0.000008, 0},
+		SrcY:      georef.Poly2{5.0, -0.01, 1.008, 0, 0.000006, 0.00002},
+		DstWidth:  gw,
+		DstHeight: gh,
+		LonMin:    region.MinX,
+		LatMax:    region.MaxY,
+		LonStep:   PixelDeg,
+		LatStep:   PixelDeg,
+	}
+	return s
+}
+
+// Transform exposes the chain's georeferencing transform (known a priori
+// in the operational service; Fit can re-derive it from control points).
+func (s *Simulator) Transform() georef.Transform { return s.geoToRaw }
+
+// ControlPoints samples ground control points tying geo pixels to raw
+// pixels, for refitting the polynomial after satellite drift.
+func (s *Simulator) ControlPoints(n int) []georef.ControlPoint {
+	out := make([]georef.ControlPoint, 0, n)
+	side := int(math.Sqrt(float64(n))) + 1
+	for i := 0; i < side; i++ {
+		for j := 0; j < side && len(out) < n; j++ {
+			dx := float64(i) * float64(s.GeoWidth-1) / float64(side-1)
+			dy := float64(j) * float64(s.GeoHeight-1) / float64(side-1)
+			out = append(out, georef.ControlPoint{
+				DstX: dx, DstY: dy,
+				SrcX: s.geoToRaw.SrcX.Eval(dx, dy),
+				SrcY: s.geoToRaw.SrcY.Eval(dx, dy),
+			})
+		}
+	}
+	return out
+}
+
+// GeoTemperatures renders the two brightness-temperature fields on the
+// geographic grid at time t (the physical scene before scan distortion).
+func (s *Simulator) GeoTemperatures(t time.Time) (t039, t108 *array.Dense) {
+	w, h := s.GeoWidth, s.GeoHeight
+	t039 = array.New(w, h)
+	t108 = array.New(w, h)
+	world := s.Scenario.World
+	active := s.Scenario.ActiveAt(t)
+	var arts []Artifact
+	for _, a := range s.Scenario.Artifacts {
+		if !t.Before(a.Start) && !t.After(a.End) {
+			arts = append(arts, a)
+		}
+	}
+	// Deterministic per-acquisition sensor noise.
+	noise := rand.New(rand.NewSource(s.Scenario.Seed ^ t.Unix()))
+
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			lon, lat := s.geoToRaw.PixelToGeo(x, y)
+			p := geom.Point{X: lon, Y: lat}
+			zen := solar.ZenithAngle(t, lon, lat)
+			daylight := math.Max(0, math.Cos(zen*math.Pi/180))
+
+			var base108 float64
+			if world.LandAt(p) {
+				base108 = 286 + 16*daylight
+				switch world.CoverAt(p) {
+				case auxdata.CoverUrban:
+					base108 += 3
+				case auxdata.CoverAgricultural:
+					base108 += 2
+				case auxdata.CoverScrub:
+					base108 += 1
+				}
+			} else {
+				base108 = 291 + 1.5*daylight
+			}
+			base039 := base108 + 1.0 + 0.5*daylight
+
+			// Ground-truth fires: strong sub-pixel-sensitive 3.9 µm bump.
+			for _, f := range active {
+				frac := coverageFraction(p, f.Event.Center, f.RadiusKm, PixelKm)
+				if frac <= 0 {
+					continue
+				}
+				// The 3.9 µm channel saturates quickly with fire fraction
+				// (the paper: "a small portion of a pixel ... will
+				// suffice").
+				bump := f.Event.Intensity * math.Min(1, 6*math.Sqrt(frac))
+				base039 += bump
+				base108 += f.Event.Intensity * 0.25 * frac
+			}
+			// Artifacts.
+			for _, a := range arts {
+				frac := coverageFraction(p, a.Center, 2.0, PixelKm)
+				if frac <= 0 {
+					continue
+				}
+				switch a.Kind {
+				case ArtifactGlint:
+					// Glint needs daylight.
+					base039 += a.Strength * frac * daylight * 2.5
+				case ArtifactAgriBurn:
+					base039 += a.Strength * math.Min(1, 3*frac)
+					base108 += a.Strength * 0.15 * frac
+				case ArtifactSmoke:
+					base039 += a.Strength * math.Min(1, 2*frac)
+				}
+			}
+			t039.Set(x, y, base039+noise.NormFloat64()*0.4)
+			t108.Set(x, y, base108+noise.NormFloat64()*0.3)
+		}
+	}
+	return t039, t108
+}
+
+// RawAcquisition is one acquisition in raw form: per-channel HRIT
+// segment files (encoded bytes), as delivered by the ground station.
+type RawAcquisition struct {
+	Sensor    Sensor
+	Timestamp time.Time
+	// Segments maps channel name to its encoded segment files, in
+	// arrival order (shuffled deterministically — segments arrive
+	// out-of-order in the operational feed).
+	Segments map[string][][]byte
+}
+
+// Acquire renders the scene at t, warps it to the raw scan grid,
+// calibrates temperatures to 10-bit counts, and encodes HRIT segments.
+func (s *Simulator) Acquire(sensor Sensor, t time.Time, segments int, compressed bool) (*RawAcquisition, error) {
+	t039, t108 := s.GeoTemperatures(t)
+	raw039 := s.warpToRaw(t039)
+	raw108 := s.warpToRaw(t108)
+
+	out := &RawAcquisition{Sensor: sensor, Timestamp: t, Segments: make(map[string][][]byte)}
+	shuffle := rand.New(rand.NewSource(s.Scenario.Seed ^ t.Unix() ^ int64(len(sensor.Name))))
+	for _, band := range []struct {
+		channel string
+		img     *array.Dense
+	}{
+		{hrit.ChannelIR039, raw039},
+		{hrit.ChannelIR108, raw108},
+	} {
+		cal, err := hrit.CalibrationFor(band.channel)
+		if err != nil {
+			return nil, err
+		}
+		counts := make([]uint16, band.img.Len())
+		vals := band.img.Values()
+		for i, v := range vals {
+			counts[i] = cal.TempToCount(v)
+		}
+		hdr := hrit.SegmentHeader{
+			ProductName: fmt.Sprintf("%s-SEVIRI", sensor.Name),
+			Channel:     band.channel,
+			Timestamp:   t,
+			Compressed:  compressed,
+		}
+		segs, err := hrit.Split(counts, band.img.Width(), segments, hdr)
+		if err != nil {
+			return nil, err
+		}
+		encoded := make([][]byte, len(segs))
+		for i, sg := range segs {
+			raw, err := hrit.Encode(sg)
+			if err != nil {
+				return nil, err
+			}
+			encoded[i] = raw
+		}
+		shuffle.Shuffle(len(encoded), func(i, j int) {
+			encoded[i], encoded[j] = encoded[j], encoded[i]
+		})
+		out.Segments[band.channel] = encoded
+	}
+	return out, nil
+}
+
+// warpToRaw resamples a geo-grid field onto the raw scan grid using the
+// inverse of the chain's transform (Newton iteration on the polynomial).
+func (s *Simulator) warpToRaw(geoImg *array.Dense) *array.Dense {
+	inv := func(u, v int) (float64, float64) {
+		// Solve geoToRaw(x, y) = (u, v) for (x, y).
+		x, y := float64(u)-6, float64(v)-5 // affine initial guess
+		for iter := 0; iter < 4; iter++ {
+			fx := s.geoToRaw.SrcX.Eval(x, y) - float64(u)
+			fy := s.geoToRaw.SrcY.Eval(x, y) - float64(v)
+			// Jacobian of the near-affine transform.
+			j11 := s.geoToRaw.SrcX[1] + 2*s.geoToRaw.SrcX[3]*x + s.geoToRaw.SrcX[4]*y
+			j12 := s.geoToRaw.SrcX[2] + s.geoToRaw.SrcX[4]*x + 2*s.geoToRaw.SrcX[5]*y
+			j21 := s.geoToRaw.SrcY[1] + 2*s.geoToRaw.SrcY[3]*x + s.geoToRaw.SrcY[4]*y
+			j22 := s.geoToRaw.SrcY[2] + s.geoToRaw.SrcY[4]*x + 2*s.geoToRaw.SrcY[5]*y
+			det := j11*j22 - j12*j21
+			if math.Abs(det) < 1e-12 {
+				break
+			}
+			x -= (fx*j22 - fy*j12) / det
+			y -= (fy*j11 - fx*j21) / det
+		}
+		return x, y
+	}
+	out := array.New(s.RawWidth, s.RawHeight)
+	// Fill with a sane background so border pixels calibrate validly.
+	out.Fill(280)
+	resampled := geoImg.Resample(s.RawWidth, s.RawHeight, inv)
+	x0, y0 := resampled.Origin()
+	for y := 0; y < s.RawHeight; y++ {
+		for x := 0; x < s.RawWidth; x++ {
+			if resampled.Valid(x0+x, y0+y) {
+				out.Set(x, y, resampled.Get(x0+x, y0+y))
+			}
+		}
+	}
+	return out
+}
+
+// AcquisitionTimes lists a sensor's acquisition timestamps over a window.
+func AcquisitionTimes(sensor Sensor, from time.Time, span time.Duration) []time.Time {
+	var out []time.Time
+	for t := from; t.Before(from.Add(span)); t = t.Add(sensor.Cadence) {
+		out = append(out, t)
+	}
+	return out
+}

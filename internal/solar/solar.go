@@ -1,0 +1,86 @@
+// Package solar computes the solar zenith angle used by the fire
+// classification algorithm to select day/night thresholds: the paper
+// defines day as zenith < 70°, night as zenith > 90°, and linearly
+// interpolates thresholds in between. The implementation uses the
+// standard low-precision solar position algorithm (declination from day
+// of year, hour angle from the equation of time), accurate to a fraction
+// of a degree — far below the 20° width of the twilight band.
+package solar
+
+import (
+	"math"
+	"time"
+)
+
+const deg = math.Pi / 180
+
+// ZenithAngle returns the solar zenith angle in degrees at the given UTC
+// time and geographic position (longitude east, latitude north, degrees).
+func ZenithAngle(t time.Time, lon, lat float64) float64 {
+	t = t.UTC()
+	doy := float64(t.YearDay())
+	// Fractional year (radians).
+	hours := float64(t.Hour()) + float64(t.Minute())/60 + float64(t.Second())/3600
+	gamma := 2 * math.Pi / 365 * (doy - 1 + (hours-12)/24)
+
+	// Equation of time (minutes) and declination (radians) — Spencer 1971.
+	eqTime := 229.18 * (0.000075 + 0.001868*math.Cos(gamma) - 0.032077*math.Sin(gamma) -
+		0.014615*math.Cos(2*gamma) - 0.040849*math.Sin(2*gamma))
+	decl := 0.006918 - 0.399912*math.Cos(gamma) + 0.070257*math.Sin(gamma) -
+		0.006758*math.Cos(2*gamma) + 0.000907*math.Sin(2*gamma) -
+		0.002697*math.Cos(3*gamma) + 0.00148*math.Sin(3*gamma)
+
+	// True solar time (minutes).
+	timeOffset := eqTime + 4*lon
+	tst := hours*60 + timeOffset
+	// Hour angle (degrees): 0 at solar noon.
+	ha := tst/4 - 180
+
+	cosZen := math.Sin(lat*deg)*math.Sin(decl) +
+		math.Cos(lat*deg)*math.Cos(decl)*math.Cos(ha*deg)
+	cosZen = math.Max(-1, math.Min(1, cosZen))
+	return math.Acos(cosZen) / deg
+}
+
+// Regime classifies illumination per the paper's thresholds.
+type Regime int
+
+// Illumination regimes.
+const (
+	Day Regime = iota
+	Twilight
+	Night
+)
+
+// Day/night zenith bounds from the paper: "Day is defined with a local
+// solar zenith angle lower than 70° while night with a solar zenith angle
+// of higher than 90°".
+const (
+	DayMaxZenith   = 70.0
+	NightMinZenith = 90.0
+)
+
+// Classify maps a zenith angle to its regime.
+func Classify(zenith float64) Regime {
+	switch {
+	case zenith < DayMaxZenith:
+		return Day
+	case zenith > NightMinZenith:
+		return Night
+	default:
+		return Twilight
+	}
+}
+
+// TwilightWeight returns the day-weight in [0, 1] for threshold
+// interpolation: 1 in full day, 0 at night, linear in between.
+func TwilightWeight(zenith float64) float64 {
+	switch {
+	case zenith <= DayMaxZenith:
+		return 1
+	case zenith >= NightMinZenith:
+		return 0
+	default:
+		return (NightMinZenith - zenith) / (NightMinZenith - DayMaxZenith)
+	}
+}

@@ -1,0 +1,64 @@
+package solar
+
+import (
+	"testing"
+	"time"
+)
+
+func TestZenithDiurnalCycle(t *testing.T) {
+	lon, lat := 23.7, 38.0 // Athens
+	day := time.Date(2007, 8, 24, 0, 0, 0, 0, time.UTC)
+	minZen, maxZen := 180.0, 0.0
+	var minAt time.Time
+	for h := 0; h < 24; h++ {
+		z := ZenithAngle(day.Add(time.Duration(h)*time.Hour), lon, lat)
+		if z < minZen {
+			minZen, minAt = z, day.Add(time.Duration(h)*time.Hour)
+		}
+		if z > maxZen {
+			maxZen = z
+		}
+	}
+	// August noon at 38N: zenith ~27 degrees; midnight far below horizon.
+	if minZen > 35 {
+		t.Fatalf("noon zenith = %g", minZen)
+	}
+	if maxZen < 100 {
+		t.Fatalf("midnight zenith = %g", maxZen)
+	}
+	// Solar noon near 10 UTC (23.7E is UTC+1.6 solar).
+	if h := minAt.Hour(); h < 9 || h > 11 {
+		t.Fatalf("solar noon at %d UTC", h)
+	}
+}
+
+func TestRegimesAndWeights(t *testing.T) {
+	cases := []struct {
+		zen    float64
+		regime Regime
+		weight float64
+	}{
+		{30, Day, 1},
+		{69.9, Day, 1},
+		{80, Twilight, 0.5},
+		{90.1, Night, 0},
+		{120, Night, 0},
+	}
+	for _, c := range cases {
+		if got := Classify(c.zen); got != c.regime {
+			t.Errorf("Classify(%g) = %v, want %v", c.zen, got, c.regime)
+		}
+		if got := TwilightWeight(c.zen); got < c.weight-0.01 || got > c.weight+0.01 {
+			t.Errorf("TwilightWeight(%g) = %g, want %g", c.zen, got, c.weight)
+		}
+	}
+}
+
+func TestWinterSummerContrast(t *testing.T) {
+	lon, lat := 23.7, 38.0
+	summer := ZenithAngle(time.Date(2007, 6, 21, 10, 0, 0, 0, time.UTC), lon, lat)
+	winter := ZenithAngle(time.Date(2007, 12, 21, 10, 0, 0, 0, time.UTC), lon, lat)
+	if winter-summer < 30 {
+		t.Fatalf("seasonal contrast too small: summer %g, winter %g", summer, winter)
+	}
+}

@@ -1,0 +1,341 @@
+package strabon
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rdf"
+)
+
+const fixtureTurtle = `
+@prefix noa: <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#> .
+@prefix strdf: <http://strdf.di.uoa.gr/ontology#> .
+@prefix coast: <http://teleios.di.uoa.gr/ontologies/coastlineOntology.owl#> .
+
+noa:Hotspot_1 a noa:Hotspot ;
+  noa:hasConfidence 1.0 ;
+  strdf:hasGeometry "POLYGON ((2 2, 3 2, 3 3, 2 3, 2 2))"^^strdf:geometry .
+
+noa:Hotspot_2 a noa:Hotspot ;
+  noa:hasConfidence 0.5 ;
+  strdf:hasGeometry "POLYGON ((20 20, 21 20, 21 21, 20 21, 20 20))"^^strdf:geometry .
+
+coast:Coastline_1 a coast:Coastline ;
+  strdf:hasGeometry "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))"^^strdf:geometry .
+`
+
+func TestLoadTurtleAndQuery(t *testing.T) {
+	s := New()
+	n, err := s.LoadTurtle(fixtureTurtle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Fatalf("loaded %d triples, want 8", n)
+	}
+	res, err := s.Query(`SELECT ?h WHERE { ?h a noa:Hotspot . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestSpatialQueryUsesIndex(t *testing.T) {
+	s := New()
+	if _, err := s.LoadTurtle(fixtureTurtle); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query(`
+SELECT ?h WHERE {
+  ?h a noa:Hotspot ;
+     strdf:hasGeometry ?g .
+  FILTER( strdf:anyInteract(?g, "POLYGON ((1 1, 4 1, 4 4, 1 4, 1 1))"^^strdf:WKT) )
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(res.Rows))
+	}
+	if s.Stats().IndexHits == 0 {
+		t.Fatal("spatial index was not consulted")
+	}
+}
+
+func TestIndexDisabledGivesSameResults(t *testing.T) {
+	query := `
+SELECT ?h ?c WHERE {
+  ?h a noa:Hotspot ; strdf:hasGeometry ?hg .
+  ?c a coast:Coastline ; strdf:hasGeometry ?cg .
+  FILTER( strdf:anyInteract(?hg, ?cg) )
+}`
+	indexed := New()
+	plain := NewWithoutIndex()
+	for _, s := range []*Store{indexed, plain} {
+		if _, err := s.LoadTurtle(fixtureTurtle); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r1, err := indexed.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := plain.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Rows) != len(r2.Rows) || len(r1.Rows) != 1 {
+		t.Fatalf("indexed %d vs plain %d rows", len(r1.Rows), len(r2.Rows))
+	}
+	if plain.Stats().IndexHits != 0 {
+		t.Fatal("disabled index was consulted")
+	}
+}
+
+func TestUpdateMaintainsIndex(t *testing.T) {
+	s := New()
+	if _, err := s.LoadTurtle(fixtureTurtle); err != nil {
+		t.Fatal(err)
+	}
+	// Delete the sea hotspot entirely.
+	stats, err := s.Update(`
+DELETE { ?h ?p ?o }
+WHERE {
+  ?h a noa:Hotspot ;
+     strdf:hasGeometry ?hGeo ;
+     ?p ?o .
+  OPTIONAL {
+    ?c a coast:Coastline ; strdf:hasGeometry ?cGeo .
+    FILTER( strdf:anyInteract(?hGeo, ?cGeo) )
+  }
+  FILTER( !bound(?c) )
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Deleted != 3 {
+		t.Fatalf("deleted = %d, want 3", stats.Deleted)
+	}
+	// The index must no longer return the deleted geometry.
+	found := 0
+	s.MatchGeometryWindow(geom.Envelope{MinX: 19, MinY: 19, MaxX: 22, MaxY: 22},
+		func(rdf.Triple) bool { found++; return true })
+	if found != 0 {
+		t.Fatalf("index still holds %d deleted entries", found)
+	}
+	// The remaining hotspot and the coastline must still be indexed.
+	found = 0
+	s.MatchGeometryWindow(geom.Envelope{MinX: 0, MinY: 0, MaxX: 5, MaxY: 5},
+		func(rdf.Triple) bool { found++; return true })
+	if found != 2 {
+		t.Fatalf("index returned %d entries, want hotspot + coastline", found)
+	}
+}
+
+func TestInsertedGeometriesBecomeIndexed(t *testing.T) {
+	s := New()
+	_, err := s.Update(`
+INSERT DATA {
+  noa:h9 a noa:Hotspot ;
+    strdf:hasGeometry "POLYGON ((5 5, 6 5, 6 6, 5 6, 5 5))"^^strdf:geometry .
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	s.MatchGeometryWindow(geom.Envelope{MinX: 4, MinY: 4, MaxX: 7, MaxY: 7},
+		func(rdf.Triple) bool { found++; return true })
+	if found != 1 {
+		t.Fatalf("found %d indexed geometries, want 1", found)
+	}
+}
+
+func TestAskThroughQuery(t *testing.T) {
+	s := New()
+	if _, err := s.LoadTurtle(fixtureTurtle); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query(`ASK { ?h a noa:Hotspot . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Rows[0]["ask"].Bool(); !v {
+		t.Fatal("ask should be true")
+	}
+}
+
+func TestQueryRejectsUpdate(t *testing.T) {
+	s := New()
+	if _, err := s.Query(`DELETE WHERE { ?s ?p ?o }`); err == nil {
+		t.Fatal("Query should reject updates")
+	}
+	if _, err := s.Update(`SELECT ?s WHERE { ?s ?p ?o }`); err == nil {
+		t.Fatal("Update should reject queries")
+	}
+}
+
+func TestTimedOperations(t *testing.T) {
+	s := New()
+	if _, err := s.LoadTurtle(fixtureTurtle); err != nil {
+		t.Fatal(err)
+	}
+	res, d, err := s.TimedQuery(`SELECT ?h WHERE { ?h a noa:Hotspot . }`)
+	if err != nil || d <= 0 || len(res.Rows) != 2 {
+		t.Fatalf("timed query: rows=%d d=%v err=%v", len(res.Rows), d, err)
+	}
+	_, d2, err := s.TimedUpdate(`INSERT DATA { noa:x a noa:Hotspot . }`)
+	if err != nil || d2 <= 0 {
+		t.Fatalf("timed update: d=%v err=%v", d2, err)
+	}
+}
+
+func TestLargeSpatialJoinCorrectness(t *testing.T) {
+	// Build a grid of polygons and verify the index path returns exactly
+	// the brute-force answer for a window join.
+	indexed := New()
+	plain := NewWithoutIndex()
+	var triples []rdf.Triple
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			subj := rdf.NewIRI(fmt.Sprintf("http://e/cell_%d_%d", i, j))
+			wkt := fmt.Sprintf("POLYGON ((%d %d, %d %d, %d %d, %d %d, %d %d))",
+				i, j, i+1, j, i+1, j+1, i, j+1, i, j)
+			triples = append(triples,
+				rdf.Triple{S: subj, P: rdf.NewIRI(rdf.RDFType), O: rdf.NewIRI("http://e/Cell")},
+				rdf.Triple{S: subj, P: rdf.NewIRI("http://strdf.di.uoa.gr/ontology#hasGeometry"), O: rdf.NewGeometry(wkt)},
+			)
+		}
+	}
+	indexed.LoadTriples(triples)
+	plain.LoadTriples(triples)
+	q := `
+PREFIX e: <http://e/>
+SELECT ?c WHERE {
+  ?c a e:Cell ; strdf:hasGeometry ?g .
+  FILTER( strdf:within(?g, "POLYGON ((4.5 4.5, 10.5 4.5, 10.5 10.5, 4.5 10.5, 4.5 4.5))"^^strdf:WKT) )
+}`
+	r1, err := indexed.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := plain.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cells fully inside (4.5..10.5)^2: x,y in 5..9 => 5x5 = 25.
+	if len(r1.Rows) != 25 || len(r2.Rows) != 25 {
+		t.Fatalf("indexed=%d plain=%d, want 25", len(r1.Rows), len(r2.Rows))
+	}
+	if indexed.Stats().IndexHits == 0 {
+		t.Fatal("index unused in indexed store")
+	}
+}
+
+func TestGeometryCacheGrows(t *testing.T) {
+	s := New()
+	if _, err := s.LoadTurtle(fixtureTurtle); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Query(`
+SELECT ?h WHERE {
+  ?h a noa:Hotspot ; strdf:hasGeometry ?g .
+  FILTER( strdf:area(?g) > 0.5 )
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cache.Size() == 0 {
+		t.Fatal("geometry cache empty after spatial query")
+	}
+	before := s.cache.Size()
+	if _, err := s.Query(`
+SELECT ?h WHERE {
+  ?h a noa:Hotspot ; strdf:hasGeometry ?g .
+  FILTER( strdf:area(?g) > 0.5 )
+}`); err != nil {
+		t.Fatal(err)
+	}
+	if s.cache.Size() != before {
+		t.Fatalf("cache grew on repeat query: %d -> %d", before, s.cache.Size())
+	}
+}
+
+func TestMunicipalityAssociationPattern(t *testing.T) {
+	// The "Municipalities" refinement op: annotate each hotspot with the
+	// municipality containing its centre.
+	s := New()
+	ttl := fixtureTurtle + `
+@prefix gag: <http://teleios.di.uoa.gr/ontologies/gagOntology.owl#> .
+gag:munA a gag:Municipality ;
+  strdf:hasGeometry "POLYGON ((0 0, 5 0, 5 10, 0 10, 0 0))"^^strdf:geometry .
+gag:munB a gag:Municipality ;
+  strdf:hasGeometry "POLYGON ((5 0, 10 0, 10 10, 5 10, 5 0))"^^strdf:geometry .
+`
+	if _, err := s.LoadTurtle(ttl); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := s.Update(`
+INSERT { ?h noa:isInMunicipality ?m }
+WHERE {
+  ?h a noa:Hotspot ; strdf:hasGeometry ?hg .
+  ?m a gag:Municipality ; strdf:hasGeometry ?mg .
+  FILTER( strdf:anyInteract(?hg, ?mg) )
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Inserted != 1 {
+		t.Fatalf("inserted = %d, want 1 (only the land hotspot)", stats.Inserted)
+	}
+	res, err := s.Query(`SELECT ?m WHERE { noa:Hotspot_1 noa:isInMunicipality ?m . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if got := res.Rows[0]["m"].Value; got != "http://teleios.di.uoa.gr/ontologies/gagOntology.owl#munA" {
+		t.Fatalf("municipality = %q", got)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	s := New()
+	if _, err := s.LoadTurtle(fixtureTurtle); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Query(`SELECT ?h WHERE { ?h a noa:Hotspot . }`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Update(`INSERT DATA { noa:y a noa:Hotspot . }`); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Queries != 3 || st.Updates != 1 || st.TriplesLoaded != 8 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAreaFunctionThroughEndpoint(t *testing.T) {
+	s := New()
+	if _, err := s.LoadTurtle(fixtureTurtle); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Query(`
+SELECT ?h (strdf:area(?g) AS ?a) WHERE { ?h a noa:Hotspot ; strdf:hasGeometry ?g . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		a, ok := row["a"].Float()
+		if !ok || math.Abs(a-1) > 1e-9 {
+			t.Fatalf("area = %v", row["a"])
+		}
+	}
+}

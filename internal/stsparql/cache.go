@@ -1,0 +1,25 @@
+package stsparql
+
+// Cache is a shareable geometry-parse cache. A store that runs many
+// queries against the same datasets (the refinement loop re-reads the
+// same coastline literals on every acquisition) should create one Cache
+// and hand it to every evaluator instead of letting each evaluator
+// re-parse WKT.
+type Cache struct {
+	inner *geomCache
+}
+
+// NewCache returns an empty shared cache.
+func NewCache() *Cache { return &Cache{inner: newGeomCache()} }
+
+// Size reports the number of cached geometries.
+func (c *Cache) Size() int { return len(c.inner.geoms) }
+
+// NewEvaluatorWithCache returns an evaluator over src that shares the
+// given geometry cache. The evaluator itself is still single-goroutine.
+func NewEvaluatorWithCache(src Source, cache *Cache) *Evaluator {
+	if cache == nil {
+		return NewEvaluator(src)
+	}
+	return &Evaluator{src: src, cache: cache.inner}
+}

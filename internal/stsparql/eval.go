@@ -1,0 +1,904 @@
+package stsparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/rdf"
+)
+
+// Source is the triple source queries run against.
+type Source interface {
+	// MatchTerms streams triples matching a pattern; zero Terms are
+	// wildcards.
+	MatchTerms(s, p, o rdf.Term, visit func(rdf.Triple) bool)
+}
+
+// UpdatableSource additionally supports mutation, required by
+// DELETE/INSERT requests.
+type UpdatableSource interface {
+	Source
+	Add(rdf.Triple) bool
+	Remove(rdf.Triple) bool
+}
+
+// SpatialSource is an optional Source extension: a store that maintains a
+// spatial index over strdf:hasGeometry objects can serve window queries,
+// which the evaluator uses to prune spatial-join candidates.
+type SpatialSource interface {
+	Source
+	// SpatialIndexEnabled reports whether the window path may be used.
+	SpatialIndexEnabled() bool
+	// MatchGeometryWindow streams (subject, hasGeometry-pred, geometry)
+	// triples whose geometry envelope intersects env.
+	MatchGeometryWindow(env geom.Envelope, visit func(rdf.Triple) bool)
+}
+
+// GeometryPredicates lists the predicate IRIs treated as geometry
+// attachment points for index acceleration (the datasets use
+// strdf:hasGeometry; the paper's queries also write noa:hasGeometry).
+var GeometryPredicates = map[string]bool{
+	"http://strdf.di.uoa.gr/ontology#hasGeometry":                     true,
+	"http://teleios.di.uoa.gr/ontologies/noaOntology.owl#hasGeometry": true,
+}
+
+// Binding maps variable names to RDF terms.
+type Binding map[string]rdf.Term
+
+func (b Binding) clone() Binding {
+	out := make(Binding, len(b)+2)
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// Result is the outcome of a SELECT evaluation.
+type Result struct {
+	Vars []string
+	Rows []Binding
+}
+
+// UpdateStats reports the effect of an update request.
+type UpdateStats struct {
+	Matched  int // WHERE solutions
+	Deleted  int // triples removed
+	Inserted int // triples added
+}
+
+// Evaluator executes parsed queries against a source. It is not safe for
+// concurrent use; create one per goroutine (the geometry cache may be
+// shared through NewEvaluatorWithCache).
+type Evaluator struct {
+	src   Source
+	cache *geomCache
+}
+
+// NewEvaluator returns an evaluator over src.
+func NewEvaluator(src Source) *Evaluator {
+	return &Evaluator{src: src, cache: newGeomCache()}
+}
+
+// Select evaluates a SELECT query.
+func (e *Evaluator) Select(q *SelectQuery) (*Result, error) {
+	return e.evalSelect(q, []Binding{{}})
+}
+
+// Ask evaluates an ASK query.
+func (e *Evaluator) Ask(q *AskQuery) (bool, error) {
+	rows, err := e.evalGroup(q.Where, []Binding{{}})
+	if err != nil {
+		return false, err
+	}
+	return len(rows) > 0, nil
+}
+
+// Update executes a DELETE/INSERT request against an updatable source.
+func (e *Evaluator) Update(q *UpdateQuery) (UpdateStats, error) {
+	up, ok := e.src.(UpdatableSource)
+	if !ok {
+		return UpdateStats{}, fmt.Errorf("stsparql: source is not updatable")
+	}
+	var stats UpdateStats
+	var solutions []Binding
+	if q.Where != nil {
+		rows, err := e.evalGroup(q.Where, []Binding{{}})
+		if err != nil {
+			return stats, err
+		}
+		solutions = rows
+	} else {
+		solutions = []Binding{{}}
+	}
+	stats.Matched = len(solutions)
+
+	// SPARQL Update semantics: both template instantiations are computed
+	// against the pre-update state, then deletes apply before inserts.
+	seen := make(map[string]bool)
+	var toDelete, toInsert []rdf.Triple
+	for _, row := range solutions {
+		for _, tpl := range q.Delete {
+			if t, ok := instantiate(tpl, row); ok {
+				if k := t.String(); !seen["D"+k] {
+					seen["D"+k] = true
+					toDelete = append(toDelete, t)
+				}
+			}
+		}
+		for _, tpl := range q.Insert {
+			if t, ok := instantiate(tpl, row); ok {
+				if k := t.String(); !seen["I"+k] {
+					seen["I"+k] = true
+					toInsert = append(toInsert, t)
+				}
+			}
+		}
+	}
+	for _, t := range toDelete {
+		if up.Remove(t) {
+			stats.Deleted++
+		}
+	}
+	for _, t := range toInsert {
+		if up.Add(t) {
+			stats.Inserted++
+		}
+	}
+	return stats, nil
+}
+
+func instantiate(tpl TriplePattern, row Binding) (rdf.Triple, bool) {
+	resolve := func(tv TermOrVar) (rdf.Term, bool) {
+		if !tv.IsVar() {
+			return tv.Term, true
+		}
+		t, ok := row[tv.Var]
+		return t, ok && !t.IsZero()
+	}
+	s, ok1 := resolve(tpl.S)
+	p, ok2 := resolve(tpl.P)
+	o, ok3 := resolve(tpl.O)
+	if !ok1 || !ok2 || !ok3 || s.IsLiteral() || !p.IsIRI() {
+		return rdf.Triple{}, false
+	}
+	return rdf.Triple{S: s, P: p, O: o}, true
+}
+
+// --- SELECT evaluation ---
+
+func (e *Evaluator) evalSelect(q *SelectQuery, seed []Binding) (*Result, error) {
+	rows, err := e.evalGroup(q.Where, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	grouped := len(q.GroupBy) > 0 || len(q.Having) > 0 || projectionHasAggregates(q)
+	if grouped {
+		rows, err = e.aggregate(q, rows)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Projection.
+	vars := e.projectionVars(q, rows)
+	projected := make([]Binding, 0, len(rows))
+	for _, row := range rows {
+		out := make(Binding, len(vars))
+		for _, item := range q.Projection {
+			if item.Expr != nil && !grouped {
+				if t, ok := e.evalExpr(item.Expr, row).asTerm(); ok {
+					out[item.Var] = t
+				}
+				continue
+			}
+			// Plain variables, and grouped rows (which already carry the
+			// computed aggregate bindings), copy through.
+			if t, ok := row[item.Var]; ok {
+				out[item.Var] = t
+			}
+		}
+		if q.Star {
+			for k, v := range row {
+				out[k] = v
+			}
+		}
+		projected = append(projected, out)
+	}
+
+	if q.Distinct {
+		projected = distinctRows(projected, vars)
+	}
+	if len(q.OrderBy) > 0 {
+		e.orderRows(projected, q.OrderBy)
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(projected) {
+			projected = nil
+		} else {
+			projected = projected[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(projected) {
+		projected = projected[:q.Limit]
+	}
+	return &Result{Vars: vars, Rows: projected}, nil
+}
+
+func (b Binding) has(v string) bool {
+	t, ok := b[v]
+	return ok && !t.IsZero()
+}
+
+func projectionHasAggregates(q *SelectQuery) bool {
+	for _, item := range q.Projection {
+		if item.Expr != nil && containsAggregate(item.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Evaluator) projectionVars(q *SelectQuery, rows []Binding) []string {
+	if !q.Star {
+		vars := make([]string, len(q.Projection))
+		for i, item := range q.Projection {
+			vars[i] = item.Var
+		}
+		return vars
+	}
+	set := make(map[string]bool)
+	for _, row := range rows {
+		for k := range row {
+			set[k] = true
+		}
+	}
+	vars := make([]string, 0, len(set))
+	for k := range set {
+		vars = append(vars, k)
+	}
+	sort.Strings(vars)
+	return vars
+}
+
+func distinctRows(rows []Binding, vars []string) []Binding {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, row := range rows {
+		var b strings.Builder
+		for _, v := range vars {
+			b.WriteString(row[v].String())
+			b.WriteByte('|')
+		}
+		k := b.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func (e *Evaluator) orderRows(rows []Binding, keys []OrderKey) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			vi := e.evalExpr(k.Expr, rows[i])
+			vj := e.evalExpr(k.Expr, rows[j])
+			c, err := vi.compare(vj)
+			if err != nil {
+				continue
+			}
+			if c != 0 {
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+// --- grouping & aggregates ---
+
+func (e *Evaluator) aggregate(q *SelectQuery, rows []Binding) ([]Binding, error) {
+	type grp struct {
+		key  Binding
+		rows []Binding
+	}
+	groups := make(map[string]*grp)
+	var order []string
+	for _, row := range rows {
+		var kb strings.Builder
+		key := Binding{}
+		for _, ge := range q.GroupBy {
+			v := e.evalExpr(ge, row)
+			t, _ := v.asTerm()
+			kb.WriteString(t.String())
+			kb.WriteByte('|')
+			if ve, ok := ge.(*VarExpr); ok {
+				key[ve.Name] = t
+			}
+		}
+		k := kb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &grp{key: key}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.rows = append(g.rows, row)
+	}
+	// With no GROUP BY, all rows form one implicit group (even zero rows
+	// for COUNT(*) = 0).
+	if len(q.GroupBy) == 0 && len(groups) == 0 {
+		groups[""] = &grp{key: Binding{}}
+		order = append(order, "")
+	}
+
+	var out []Binding
+	for _, k := range order {
+		g := groups[k]
+		row := Binding{}
+		// Group keys are visible in the output row.
+		for v, t := range g.key {
+			row[v] = t
+		}
+		// Representative bindings for non-aggregate var references.
+		var rep Binding
+		if len(g.rows) > 0 {
+			rep = g.rows[0]
+		} else {
+			rep = Binding{}
+		}
+		ok := true
+		for _, h := range q.Having {
+			v := e.evalAggExpr(h, g.rows, rep)
+			pass, err := v.effectiveBool()
+			if err != nil || !pass {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, item := range q.Projection {
+			if item.Expr == nil {
+				if t, bound := rep[item.Var]; bound {
+					row[item.Var] = t
+				}
+				continue
+			}
+			v := e.evalAggExpr(item.Expr, g.rows, rep)
+			if t, okT := v.asTerm(); okT {
+				row[item.Var] = t
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// evalAggExpr evaluates an expression in aggregate context: aggregate
+// calls consume the group's rows, everything else evaluates against the
+// representative binding.
+func (e *Evaluator) evalAggExpr(expr Expr, rows []Binding, rep Binding) Value {
+	switch v := expr.(type) {
+	case *CallExpr:
+		if v.isAggregate() {
+			return e.evalAggregateCall(v, rows)
+		}
+		args := make([]Value, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = e.evalAggExpr(a, rows, rep)
+		}
+		return e.applyFunction(v, args, rep)
+	case *BinaryExpr:
+		return e.applyBinary(v.Op,
+			e.evalAggExpr(v.L, rows, rep),
+			e.evalAggExpr(v.R, rows, rep))
+	case *UnaryExpr:
+		return e.applyUnary(v.Op, e.evalAggExpr(v.X, rows, rep))
+	default:
+		return e.evalExpr(expr, rep)
+	}
+}
+
+func (e *Evaluator) evalAggregateCall(c *CallExpr, rows []Binding) Value {
+	collect := func() []Value {
+		var vals []Value
+		seen := make(map[string]bool)
+		for _, row := range rows {
+			if len(c.Args) == 0 {
+				continue
+			}
+			v := e.evalExpr(c.Args[0], row)
+			if v.Kind == VUnbound || v.Kind == VErr {
+				continue
+			}
+			if c.Distinct {
+				t, _ := v.asTerm()
+				k := t.String()
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+			}
+			vals = append(vals, v)
+		}
+		return vals
+	}
+	switch c.Name {
+	case "count":
+		if c.Star {
+			if c.Distinct {
+				return numValue(float64(len(distinctAll(rows))))
+			}
+			return numValue(float64(len(rows)))
+		}
+		return numValue(float64(len(collect())))
+	case "sum", "avg":
+		vals := collect()
+		var sum float64
+		n := 0
+		for _, v := range vals {
+			if v.Kind == VNum {
+				sum += v.Num
+				n++
+			}
+		}
+		if c.Name == "avg" {
+			if n == 0 {
+				return numValue(0)
+			}
+			return numValue(sum / float64(n))
+		}
+		return numValue(sum)
+	case "min", "max":
+		vals := collect()
+		if len(vals) == 0 {
+			return unboundValue()
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c2, err := v.compare(best)
+			if err != nil {
+				continue
+			}
+			if (c.Name == "min" && c2 < 0) || (c.Name == "max" && c2 > 0) {
+				best = v
+			}
+		}
+		return best
+	case "sample":
+		vals := collect()
+		if len(vals) == 0 {
+			return unboundValue()
+		}
+		return vals[0]
+	case "strdf:union":
+		vals := collect()
+		var polys []geom.Polygon
+		var rest geom.Collection
+		for _, v := range vals {
+			if v.Kind != VGeom {
+				continue
+			}
+			_, _, ps := geomParts(v.Geom)
+			if len(ps) > 0 {
+				polys = append(polys, ps...)
+			} else {
+				rest = append(rest, v.Geom)
+			}
+		}
+		u := geom.UnionAllPolygons(polys)
+		if len(rest) == 0 {
+			return geomValue(u)
+		}
+		return geomValue(append(rest, u))
+	case "strdf:extent":
+		vals := collect()
+		env := geom.EmptyEnvelope()
+		for _, v := range vals {
+			if v.Kind == VGeom {
+				env = env.Expand(v.Geom.Envelope())
+			}
+		}
+		if env.IsEmpty() {
+			return unboundValue()
+		}
+		return geomValue(env.ToPolygon())
+	default:
+		return errValue("stsparql: unknown aggregate %q", c.Name)
+	}
+}
+
+func distinctAll(rows []Binding) []Binding {
+	seen := make(map[string]bool)
+	var out []Binding
+	for _, row := range rows {
+		keys := make([]string, 0, len(row))
+		for k, v := range row {
+			keys = append(keys, k+"="+v.String())
+		}
+		sort.Strings(keys)
+		k := strings.Join(keys, "|")
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+func geomParts(g geom.Geometry) ([]geom.Point, []geom.LineString, []geom.Polygon) {
+	switch v := g.(type) {
+	case geom.Point:
+		return []geom.Point{v}, nil, nil
+	case geom.MultiPoint:
+		return v, nil, nil
+	case geom.LineString:
+		return nil, []geom.LineString{v}, nil
+	case geom.MultiLineString:
+		return nil, v, nil
+	case geom.Polygon:
+		return nil, nil, []geom.Polygon{v}
+	case geom.MultiPolygon:
+		return nil, nil, v
+	case geom.Collection:
+		var pts []geom.Point
+		var ls []geom.LineString
+		var ps []geom.Polygon
+		for _, m := range v {
+			p2, l2, g2 := geomParts(m)
+			pts = append(pts, p2...)
+			ls = append(ls, l2...)
+			ps = append(ps, g2...)
+		}
+		return pts, ls, ps
+	}
+	return nil, nil, nil
+}
+
+// --- group graph pattern evaluation ---
+
+func (e *Evaluator) evalGroup(gp *GroupPattern, seed []Binding) ([]Binding, error) {
+	if gp == nil {
+		return seed, nil
+	}
+	rows := seed
+	// Filters apply over the whole group; they are additionally pushed
+	// into BGP joins when their variables are certainly bound (see
+	// joinBGP).
+	var filters []*FilterElement
+	for _, el := range gp.Elements {
+		if f, ok := el.(*FilterElement); ok {
+			filters = append(filters, f)
+		}
+	}
+	for _, el := range gp.Elements {
+		var err error
+		switch v := el.(type) {
+		case *BGPElement:
+			rows, err = e.joinBGP(rows, v.Patterns, filters)
+		case *FilterElement:
+			// applied at group end
+		case *OptionalElement:
+			rows, err = e.leftJoin(rows, v.Pattern)
+		case *UnionElement:
+			rows, err = e.union(rows, v)
+		case *GroupPattern:
+			rows, err = e.evalGroup(v, rows)
+		case *SubSelectElement:
+			rows, err = e.subSelect(rows, v.Select)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) == 0 {
+			break
+		}
+	}
+	// Final filter pass (error => row dropped, per SPARQL semantics).
+	out := rows[:0]
+	for _, row := range rows {
+		keep := true
+		for _, f := range filters {
+			v := e.evalExpr(f.Cond, row)
+			pass, err := v.effectiveBool()
+			if err != nil || !pass {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+func (e *Evaluator) leftJoin(rows []Binding, pat *GroupPattern) ([]Binding, error) {
+	var out []Binding
+	for _, row := range rows {
+		sub, err := e.evalGroup(pat, []Binding{row})
+		if err != nil {
+			return nil, err
+		}
+		if len(sub) == 0 {
+			out = append(out, row)
+		} else {
+			out = append(out, sub...)
+		}
+	}
+	return out, nil
+}
+
+func (e *Evaluator) union(rows []Binding, u *UnionElement) ([]Binding, error) {
+	var out []Binding
+	for _, row := range rows {
+		for _, br := range u.Branches {
+			sub, err := e.evalGroup(br, []Binding{row})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+		}
+	}
+	return out, nil
+}
+
+func (e *Evaluator) subSelect(rows []Binding, q *SelectQuery) ([]Binding, error) {
+	res, err := e.evalSelect(q, []Binding{{}})
+	if err != nil {
+		return nil, err
+	}
+	// Join on shared variables.
+	var out []Binding
+	for _, row := range rows {
+		for _, sub := range res.Rows {
+			merged, ok := mergeCompatible(row, sub)
+			if ok {
+				out = append(out, merged)
+			}
+		}
+	}
+	return out, nil
+}
+
+func mergeCompatible(a, b Binding) (Binding, bool) {
+	out := a.clone()
+	for k, v := range b {
+		if existing, ok := out[k]; ok && !existing.IsZero() {
+			if !existing.Equal(v) {
+				return nil, false
+			}
+			continue
+		}
+		out[k] = v
+	}
+	return out, true
+}
+
+// joinBGP extends each row through the triple patterns, greedily ordering
+// patterns by boundness and eagerly applying any group filter whose
+// variables are certainly bound.
+func (e *Evaluator) joinBGP(rows []Binding, patterns []TriplePattern, filters []*FilterElement) ([]Binding, error) {
+	remaining := append([]TriplePattern(nil), patterns...)
+	applied := make(map[*FilterElement]bool)
+
+	boundVars := make(map[string]bool)
+	for _, row := range rows {
+		for k := range row {
+			boundVars[k] = true
+		}
+		break // seed rows share the same domain
+	}
+
+	for len(remaining) > 0 {
+		// Pick the most selective pattern: most bound components.
+		best, bestScore := 0, -1
+		for i, p := range remaining {
+			score := 0
+			for _, tv := range []TermOrVar{p.S, p.P, p.O} {
+				if !tv.IsVar() || boundVars[tv.Var] {
+					score += 2
+				}
+			}
+			if !p.P.IsVar() {
+				score++ // prefer bound predicates: POS index is effective
+			}
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		pat := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+
+		// Which filters become certainly-bound after this pattern?
+		for _, tv := range []TermOrVar{pat.S, pat.P, pat.O} {
+			if tv.IsVar() {
+				boundVars[tv.Var] = true
+			}
+		}
+		var eager []*FilterElement
+		for _, f := range filters {
+			if applied[f] {
+				continue
+			}
+			vars := map[string]bool{}
+			exprVars(f.Cond, vars)
+			all := true
+			for v := range vars {
+				if !boundVars[v] {
+					all = false
+					break
+				}
+			}
+			if all && !usesBoundFn(f.Cond) {
+				eager = append(eager, f)
+				applied[f] = true
+			}
+		}
+
+		var next []Binding
+		for _, row := range rows {
+			e.scanPattern(pat, row, filters, func(extended Binding) {
+				for _, f := range eager {
+					v := e.evalExpr(f.Cond, extended)
+					pass, err := v.effectiveBool()
+					if err != nil || !pass {
+						return
+					}
+				}
+				next = append(next, extended)
+			})
+		}
+		rows = next
+		if len(rows) == 0 {
+			return rows, nil
+		}
+	}
+	return rows, nil
+}
+
+// usesBoundFn reports whether the expression calls bound(); such filters
+// must wait for the end of the group (OPTIONAL may bind later).
+func usesBoundFn(e Expr) bool {
+	switch v := e.(type) {
+	case *CallExpr:
+		if v.Name == "bound" {
+			return true
+		}
+		for _, a := range v.Args {
+			if usesBoundFn(a) {
+				return true
+			}
+		}
+	case *BinaryExpr:
+		return usesBoundFn(v.L) || usesBoundFn(v.R)
+	case *UnaryExpr:
+		return usesBoundFn(v.X)
+	}
+	return false
+}
+
+// scanPattern matches one triple pattern under a row, emitting extended
+// rows. When the pattern binds a fresh geometry variable that a pending
+// spatial filter constrains against an already-known geometry, and the
+// source has a spatial index, the scan is served by an R-tree window
+// query instead of a full predicate scan.
+func (e *Evaluator) scanPattern(pat TriplePattern, row Binding, filters []*FilterElement, emit func(Binding)) {
+	resolve := func(tv TermOrVar) rdf.Term {
+		if !tv.IsVar() {
+			return tv.Term
+		}
+		if t, ok := row[tv.Var]; ok {
+			return t
+		}
+		return rdf.Term{}
+	}
+	s, p, o := resolve(pat.S), resolve(pat.P), resolve(pat.O)
+
+	tryBind := func(t rdf.Triple) {
+		out := row
+		cloned := false
+		bind := func(tv TermOrVar, val rdf.Term) bool {
+			if !tv.IsVar() {
+				return true
+			}
+			if existing, ok := out[tv.Var]; ok && !existing.IsZero() {
+				return existing.Equal(val)
+			}
+			if !cloned {
+				out = row.clone()
+				cloned = true
+			}
+			out[tv.Var] = val
+			return true
+		}
+		if !bind(pat.S, t.S) || !bind(pat.P, t.P) || !bind(pat.O, t.O) {
+			return
+		}
+		if !cloned {
+			out = row.clone()
+		}
+		emit(out)
+	}
+
+	// Spatial index fast path.
+	if ss, ok := e.src.(SpatialSource); ok && ss.SpatialIndexEnabled() &&
+		!p.IsZero() && GeometryPredicates[p.Value] && pat.O.IsVar() && o.IsZero() {
+		if env, found := e.spatialWindowFor(pat.O.Var, row, filters); found {
+			ss.MatchGeometryWindow(env, func(t rdf.Triple) bool {
+				if !p.IsZero() && t.P.Value != p.Value {
+					return true
+				}
+				if !s.IsZero() && !t.S.Equal(s) {
+					return true
+				}
+				tryBind(t)
+				return true
+			})
+			return
+		}
+	}
+
+	e.src.MatchTerms(s, p, o, func(t rdf.Triple) bool {
+		tryBind(t)
+		return true
+	})
+}
+
+// spatialWindowFor inspects pending filters for a spatial predicate
+// constraining variable v against a geometry already computable under row;
+// it returns the candidate envelope.
+func (e *Evaluator) spatialWindowFor(v string, row Binding, filters []*FilterElement) (geom.Envelope, bool) {
+	for _, f := range filters {
+		if env, ok := e.findSpatialConstraint(f.Cond, v, row); ok {
+			return env, true
+		}
+	}
+	return geom.Envelope{}, false
+}
+
+var spatialJoinFns = map[string]bool{
+	"strdf:anyinteract": true,
+	"strdf:intersects":  true,
+	"strdf:contains":    true,
+	"strdf:within":      true,
+	"strdf:overlap":     true,
+	"strdf:overlaps":    true,
+	"strdf:touches":     true,
+	"strdf:touch":       true,
+	"strdf:equals":      true,
+	"strdf:coveredby":   true,
+	"strdf:covers":      true,
+}
+
+func (e *Evaluator) findSpatialConstraint(expr Expr, v string, row Binding) (geom.Envelope, bool) {
+	switch n := expr.(type) {
+	case *CallExpr:
+		if spatialJoinFns[n.Name] && len(n.Args) == 2 {
+			for i := 0; i < 2; i++ {
+				if ve, ok := n.Args[i].(*VarExpr); ok && ve.Name == v {
+					other := e.evalExpr(n.Args[1-i], row)
+					if other.Kind == VGeom {
+						return other.Geom.Envelope(), true
+					}
+				}
+			}
+		}
+	case *BinaryExpr:
+		if n.Op == "&&" {
+			if env, ok := e.findSpatialConstraint(n.L, v, row); ok {
+				return env, true
+			}
+			return e.findSpatialConstraint(n.R, v, row)
+		}
+	}
+	return geom.Envelope{}, false
+}

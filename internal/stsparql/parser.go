@@ -1,0 +1,763 @@
+package stsparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Parse parses an stSPARQL query or update request. The namespace table
+// provides prefix bindings in addition to any PREFIX declarations in the
+// request itself; pass nil for the default TELEIOS namespaces.
+func Parse(src string, ns *rdf.Namespaces) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	if ns == nil {
+		ns = rdf.NewNamespaces()
+	}
+	p := &parser{toks: toks, ns: ns}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("trailing tokens after query")
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	ns   *rdf.Namespaces
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) atEOF() bool { return p.cur().kind == tokEOF }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("stsparql: line %d: %s (near %q)", p.cur().line,
+		fmt.Sprintf(format, args...), p.cur().text)
+}
+
+// isKeyword reports whether the current token is the given keyword
+// (case-insensitive).
+func (p *parser) isKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokWord && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s", kw)
+	}
+	return nil
+}
+
+func (p *parser) isPunct(s string) bool {
+	t := p.cur()
+	return t.kind == tokPunct && t.text == s
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.isPunct(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errf("expected %q", s)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	// Prologue.
+	for p.isKeyword("PREFIX") {
+		p.advance()
+		name := p.advance()
+		if name.kind != tokWord || !strings.HasSuffix(name.text, ":") {
+			return nil, p.errf("PREFIX wants 'name:'")
+		}
+		iri := p.advance()
+		if iri.kind != tokIRI {
+			return nil, p.errf("PREFIX wants an IRI")
+		}
+		p.ns.Bind(strings.TrimSuffix(name.text, ":"), iri.text)
+	}
+	switch {
+	case p.isKeyword("SELECT"):
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &Query{Select: sel}, nil
+	case p.isKeyword("ASK"):
+		p.advance()
+		p.acceptKeyword("WHERE")
+		gp, err := p.parseGroupPattern()
+		if err != nil {
+			return nil, err
+		}
+		return &Query{Ask: &AskQuery{Where: gp}}, nil
+	case p.isKeyword("DELETE") || p.isKeyword("INSERT"):
+		up, err := p.parseUpdate()
+		if err != nil {
+			return nil, err
+		}
+		return &Query{Update: up}, nil
+	default:
+		return nil, p.errf("expected SELECT, ASK, DELETE or INSERT")
+	}
+}
+
+func (p *parser) parseSelect() (*SelectQuery, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &SelectQuery{Limit: -1}
+	if p.acceptKeyword("DISTINCT") {
+		q.Distinct = true
+	} else {
+		p.acceptKeyword("REDUCED")
+	}
+	// Projection.
+	if p.cur().kind == tokOp && p.cur().text == "*" {
+		p.advance()
+		q.Star = true
+	} else {
+		for {
+			switch {
+			case p.cur().kind == tokVar:
+				q.Projection = append(q.Projection, SelectItem{Var: p.advance().text})
+			case p.isPunct("("):
+				p.advance()
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectKeyword("AS"); err != nil {
+					return nil, err
+				}
+				if p.cur().kind != tokVar {
+					return nil, p.errf("AS wants a variable")
+				}
+				v := p.advance().text
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				q.Projection = append(q.Projection, SelectItem{Var: v, Expr: e})
+			default:
+				if len(q.Projection) == 0 {
+					return nil, p.errf("SELECT wants at least one projection")
+				}
+				goto projDone
+			}
+		}
+	}
+projDone:
+	p.acceptKeyword("WHERE")
+	gp, err := p.parseGroupPattern()
+	if err != nil {
+		return nil, err
+	}
+	q.Where = gp
+
+	// Solution modifiers.
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseGroupByKey()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, e)
+			if p.cur().kind == tokVar || p.isPunct("(") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			q.Having = append(q.Having, e)
+			if p.isPunct("(") || p.cur().kind == tokVar {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			var key OrderKey
+			switch {
+			case p.acceptKeyword("ASC"):
+				if err := p.expectPunct("("); err != nil {
+					return nil, err
+				}
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				key = OrderKey{Expr: e}
+			case p.acceptKeyword("DESC"):
+				if err := p.expectPunct("("); err != nil {
+					return nil, err
+				}
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				key = OrderKey{Expr: e, Desc: true}
+			case p.cur().kind == tokVar:
+				key = OrderKey{Expr: &VarExpr{Name: p.advance().text}}
+			default:
+				goto orderDone
+			}
+			q.OrderBy = append(q.OrderBy, key)
+		}
+	}
+orderDone:
+	if p.acceptKeyword("LIMIT") {
+		n, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		q.Limit = n
+	}
+	if p.acceptKeyword("OFFSET") {
+		n, err := p.parseInt()
+		if err != nil {
+			return nil, err
+		}
+		q.Offset = n
+	}
+	return q, nil
+}
+
+// parseGroupByKey accepts "?v" or "(expr)" or "(expr AS ?v)".
+func (p *parser) parseGroupByKey() (Expr, error) {
+	if p.cur().kind == tokVar {
+		return &VarExpr{Name: p.advance().text}, nil
+	}
+	if p.acceptPunct("(") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf("GROUP BY wants a variable or parenthesised expression")
+}
+
+func (p *parser) parseInt() (int, error) {
+	t := p.advance()
+	if t.kind != tokNumber {
+		return 0, p.errf("expected integer")
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, p.errf("bad integer %q", t.text)
+	}
+	return n, nil
+}
+
+func (p *parser) parseUpdate() (*UpdateQuery, error) {
+	up := &UpdateQuery{}
+	dataForm := false
+	deleteWhereShorthand := false
+	if p.acceptKeyword("DELETE") {
+		switch {
+		case p.acceptKeyword("DATA"):
+			dataForm = true
+			tpl, err := p.parseTemplate()
+			if err != nil {
+				return nil, err
+			}
+			up.Delete = tpl
+		case p.isKeyword("WHERE"):
+			deleteWhereShorthand = true
+		default:
+			tpl, err := p.parseTemplate()
+			if err != nil {
+				return nil, err
+			}
+			up.Delete = tpl
+		}
+	}
+	if p.acceptKeyword("INSERT") {
+		if p.acceptKeyword("DATA") {
+			dataForm = true
+		}
+		tpl, err := p.parseTemplate()
+		if err != nil {
+			return nil, err
+		}
+		up.Insert = tpl
+	}
+	if dataForm {
+		return up, nil
+	}
+	if err := p.expectKeyword("WHERE"); err != nil {
+		return nil, err
+	}
+	gp, err := p.parseGroupPattern()
+	if err != nil {
+		return nil, err
+	}
+	up.Where = gp
+	if deleteWhereShorthand {
+		// DELETE WHERE { pattern }: the pattern doubles as the template.
+		up.Delete = collectPatterns(gp)
+	}
+	return up, nil
+}
+
+func collectPatterns(gp *GroupPattern) []TriplePattern {
+	var out []TriplePattern
+	for _, el := range gp.Elements {
+		switch v := el.(type) {
+		case *BGPElement:
+			out = append(out, v.Patterns...)
+		case *GroupPattern:
+			out = append(out, collectPatterns(v)...)
+		}
+	}
+	return out
+}
+
+// parseTemplate parses "{ triples }" allowing variables everywhere.
+func (p *parser) parseTemplate() ([]TriplePattern, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var out []TriplePattern
+	for !p.isPunct("}") {
+		pats, err := p.parseTriplesStatement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pats...)
+		p.acceptPunct(".")
+	}
+	p.advance() // consume '}'
+	return out, nil
+}
+
+func (p *parser) parseGroupPattern() (*GroupPattern, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	gp := &GroupPattern{}
+	for {
+		switch {
+		case p.isPunct("}"):
+			p.advance()
+			return gp, nil
+		case p.isPunct("."):
+			p.advance() // tolerate stray separators
+		case p.isKeyword("FILTER"):
+			p.advance()
+			cond, err := p.parseFilterCondition()
+			if err != nil {
+				return nil, err
+			}
+			gp.Elements = append(gp.Elements, &FilterElement{Cond: cond})
+		case p.isKeyword("OPTIONAL"):
+			p.advance()
+			sub, err := p.parseGroupPattern()
+			if err != nil {
+				return nil, err
+			}
+			gp.Elements = append(gp.Elements, &OptionalElement{Pattern: sub})
+		case p.isKeyword("SELECT"):
+			sel, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			gp.Elements = append(gp.Elements, &SubSelectElement{Select: sel})
+		case p.isPunct("{"):
+			first, err := p.parseGroupPattern()
+			if err != nil {
+				return nil, err
+			}
+			if p.isKeyword("UNION") {
+				u := &UnionElement{Branches: []*GroupPattern{first}}
+				for p.acceptKeyword("UNION") {
+					br, err := p.parseGroupPattern()
+					if err != nil {
+						return nil, err
+					}
+					u.Branches = append(u.Branches, br)
+				}
+				gp.Elements = append(gp.Elements, u)
+			} else {
+				gp.Elements = append(gp.Elements, first)
+			}
+		case p.atEOF():
+			return nil, p.errf("unterminated group pattern")
+		default:
+			pats, err := p.parseTriplesStatement()
+			if err != nil {
+				return nil, err
+			}
+			gp.Elements = append(gp.Elements, &BGPElement{Patterns: pats})
+		}
+	}
+}
+
+// parseFilterCondition accepts "FILTER (expr)" and "FILTER fn(args)".
+func (p *parser) parseFilterCondition() (Expr, error) {
+	if p.isPunct("(") {
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	// Builtin-call form, possibly negated.
+	return p.parseUnary()
+}
+
+// parseTriplesStatement parses one subject with its predicate-object list.
+// It stops at '.', '}' or before a FILTER/OPTIONAL keyword that follows a
+// dangling ';' (a tolerance for the paper's listings).
+func (p *parser) parseTriplesStatement() ([]TriplePattern, error) {
+	subj, err := p.parseTermOrVar()
+	if err != nil {
+		return nil, err
+	}
+	var out []TriplePattern
+	for {
+		verb, err := p.parseVerb()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			obj, err := p.parseTermOrVar()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, TriplePattern{S: subj, P: verb, O: obj})
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+		if p.acceptPunct(";") {
+			// Dangling ';' before '}', '.', FILTER, OPTIONAL is tolerated.
+			if p.isPunct("}") || p.isPunct(".") || p.isKeyword("FILTER") || p.isKeyword("OPTIONAL") {
+				if p.isPunct(".") {
+					p.advance()
+				}
+				return out, nil
+			}
+			continue
+		}
+		p.acceptPunct(".")
+		return out, nil
+	}
+}
+
+func (p *parser) parseVerb() (TermOrVar, error) {
+	t := p.cur()
+	if t.kind == tokWord && t.text == "a" {
+		p.advance()
+		return TermOrVar{Term: rdf.NewIRI(rdf.RDFType)}, nil
+	}
+	return p.parseTermOrVar()
+}
+
+func (p *parser) parseTermOrVar() (TermOrVar, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokVar:
+		p.advance()
+		return TermOrVar{Var: t.text}, nil
+	case tokIRI:
+		p.advance()
+		return TermOrVar{Term: rdf.NewIRI(t.text)}, nil
+	case tokString:
+		p.advance()
+		term, err := p.literalTerm(t)
+		if err != nil {
+			return TermOrVar{}, err
+		}
+		return TermOrVar{Term: term}, nil
+	case tokNumber:
+		p.advance()
+		return TermOrVar{Term: numberTerm(t.text)}, nil
+	case tokWord:
+		switch strings.ToLower(t.text) {
+		case "true":
+			p.advance()
+			return TermOrVar{Term: rdf.NewBoolean(true)}, nil
+		case "false":
+			p.advance()
+			return TermOrVar{Term: rdf.NewBoolean(false)}, nil
+		}
+		if strings.HasPrefix(t.text, "_:") {
+			p.advance()
+			return TermOrVar{Term: rdf.NewBlank(strings.TrimPrefix(t.text, "_:"))}, nil
+		}
+		iri, err := p.ns.Expand(t.text)
+		if err != nil {
+			return TermOrVar{}, p.errf("%v", err)
+		}
+		p.advance()
+		return TermOrVar{Term: rdf.NewIRI(iri)}, nil
+	default:
+		return TermOrVar{}, p.errf("expected term or variable")
+	}
+}
+
+func (p *parser) literalTerm(t token) (rdf.Term, error) {
+	switch {
+	case t.lang != "":
+		return rdf.NewLangLiteral(t.text, t.lang), nil
+	case t.datatype != "":
+		dt := t.datatype
+		if !strings.Contains(dt, "://") {
+			expanded, err := p.ns.Expand(dt)
+			if err != nil {
+				return rdf.Term{}, p.errf("%v", err)
+			}
+			dt = expanded
+		}
+		return rdf.NewTypedLiteral(t.text, dt), nil
+	default:
+		return rdf.NewLiteral(t.text), nil
+	}
+}
+
+func numberTerm(text string) rdf.Term {
+	if strings.ContainsAny(text, ".eE") {
+		return rdf.NewTypedLiteral(text, rdf.XSDDouble)
+	}
+	return rdf.NewTypedLiteral(text, rdf.XSDInteger)
+}
+
+// --- expressions ---
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOp && p.cur().text == "||" {
+		p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseRelational()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOp && p.cur().text == "&&" {
+		p.advance()
+		r, err := p.parseRelational()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseRelational() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.kind == tokOp {
+		switch t.text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			p.advance()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &BinaryExpr{Op: t.text, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for t := p.cur(); t.kind == tokOp && (t.text == "+" || t.text == "-"); t = p.cur() {
+		p.advance()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: t.text, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for t := p.cur(); t.kind == tokOp && (t.text == "*" || t.text == "/"); t = p.cur() {
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: t.text, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if t := p.cur(); t.kind == tokOp && (t.text == "!" || t.text == "-") {
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.text, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokPunct:
+		if t.text == "(" {
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, p.errf("unexpected %q in expression", t.text)
+	case tokVar:
+		p.advance()
+		return &VarExpr{Name: t.text}, nil
+	case tokNumber:
+		p.advance()
+		return &ConstExpr{Term: numberTerm(t.text)}, nil
+	case tokString:
+		p.advance()
+		term, err := p.literalTerm(t)
+		if err != nil {
+			return nil, err
+		}
+		return &ConstExpr{Term: term}, nil
+	case tokIRI:
+		p.advance()
+		return &ConstExpr{Term: rdf.NewIRI(t.text)}, nil
+	case tokWord:
+		word := t.text
+		lower := strings.ToLower(word)
+		if lower == "true" || lower == "false" {
+			p.advance()
+			return &ConstExpr{Term: rdf.NewBoolean(lower == "true")}, nil
+		}
+		// Function call?
+		if p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "(" {
+			p.advance() // name
+			p.advance() // '('
+			call := &CallExpr{Name: lower}
+			if p.acceptKeyword("DISTINCT") {
+				call.Distinct = true
+			}
+			if p.cur().kind == tokOp && p.cur().text == "*" {
+				p.advance()
+				call.Star = true
+			} else if !p.isPunct(")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if p.acceptPunct(",") {
+						continue
+					}
+					break
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		// Bare prefixed name as constant IRI.
+		iri, err := p.ns.Expand(word)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		p.advance()
+		return &ConstExpr{Term: rdf.NewIRI(iri)}, nil
+	default:
+		return nil, p.errf("unexpected token in expression")
+	}
+}

@@ -1,0 +1,597 @@
+package stsparql
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rdf"
+)
+
+const (
+	noaNS   = "http://teleios.di.uoa.gr/ontologies/noaOntology.owl#"
+	coastNS = "http://teleios.di.uoa.gr/ontologies/coastlineOntology.owl#"
+	strdfNS = "http://strdf.di.uoa.gr/ontology#"
+	gagNS   = "http://teleios.di.uoa.gr/ontologies/gagOntology.owl#"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI(s) }
+
+// fixtureStore builds a small dataset mirroring the paper's layout: three
+// hotspots (one on land, one in the sea, one straddling the coast), a
+// coastline polygon (land mass), and two municipalities.
+func fixtureStore() *rdf.Store {
+	s := rdf.NewStore()
+	add := func(subj, pred string, obj rdf.Term) {
+		s.Add(rdf.Triple{S: iri(subj), P: iri(pred), O: obj})
+	}
+	hotspot := func(name, wkt, at string, conf float64) {
+		h := noaNS + name
+		add(h, rdf.RDFType, iri(noaNS+"Hotspot"))
+		add(h, strdfNS+"hasGeometry", rdf.NewGeometry(wkt))
+		add(h, noaNS+"hasAcquisitionDateTime", rdf.NewDateTime(at))
+		add(h, noaNS+"hasConfidence", rdf.NewFloat(conf))
+		add(h, noaNS+"isDerivedFromSensor", rdf.NewTypedLiteral("MSG2", rdf.XSDString))
+	}
+	// Land mass: a big square "island" from (0,0) to (10,10).
+	add(coastNS+"Coastline_1", rdf.RDFType, iri(coastNS+"Coastline"))
+	add(coastNS+"Coastline_1", strdfNS+"hasGeometry",
+		rdf.NewGeometry("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))"))
+
+	hotspot("Hotspot_land", "POLYGON ((2 2, 3 2, 3 3, 2 3, 2 2))", "2007-08-24T18:15:00", 1.0)
+	hotspot("Hotspot_sea", "POLYGON ((20 20, 21 20, 21 21, 20 21, 20 20))", "2007-08-24T18:15:00", 0.5)
+	hotspot("Hotspot_coast", "POLYGON ((9 4, 11 4, 11 6, 9 6, 9 4))", "2007-08-24T18:20:00", 1.0)
+
+	// Municipalities: west half and east half of the island.
+	for i, m := range []struct {
+		name, wkt string
+		pop       int64
+	}{
+		{"munWest", "POLYGON ((0 0, 5 0, 5 10, 0 10, 0 0))", 1000},
+		{"munEast", "POLYGON ((5 0, 10 0, 10 10, 5 10, 5 0))", 2500},
+	} {
+		u := gagNS + m.name
+		add(u, rdf.RDFType, iri(gagNS+"Municipality"))
+		add(u, strdfNS+"hasGeometry", rdf.NewGeometry(m.wkt))
+		add(u, gagNS+"hasPopulation", rdf.NewInteger(m.pop))
+		add(u, "http://www.w3.org/2000/01/rdf-schema#label",
+			rdf.NewLiteral(fmt.Sprintf("Municipality %d", i)))
+	}
+	return s
+}
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src, nil)
+	if err != nil {
+		t.Fatalf("parse: %v\nquery:\n%s", err, src)
+	}
+	return q
+}
+
+func runSelect(t *testing.T, s *rdf.Store, src string) *Result {
+	t.Helper()
+	q := mustParse(t, src)
+	if q.Select == nil {
+		t.Fatalf("not a SELECT: %s", src)
+	}
+	res, err := NewEvaluator(s).Select(q.Select)
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	return res
+}
+
+func TestParseSelectBasics(t *testing.T) {
+	q := mustParse(t, `SELECT DISTINCT ?h ?g WHERE { ?h a noa:Hotspot ; strdf:hasGeometry ?g . } ORDER BY ?h LIMIT 5 OFFSET 1`)
+	sel := q.Select
+	if sel == nil || !sel.Distinct || len(sel.Projection) != 2 {
+		t.Fatalf("bad select: %+v", sel)
+	}
+	if sel.Limit != 5 || sel.Offset != 1 || len(sel.OrderBy) != 1 {
+		t.Fatalf("modifiers: %+v", sel)
+	}
+	bgp, ok := sel.Where.Elements[0].(*BGPElement)
+	if !ok || len(bgp.Patterns) != 2 {
+		t.Fatalf("where: %#v", sel.Where.Elements)
+	}
+	if bgp.Patterns[0].P.Term.Value != rdf.RDFType {
+		t.Fatalf("'a' not expanded: %v", bgp.Patterns[0].P)
+	}
+}
+
+func TestParsePrefixDeclaration(t *testing.T) {
+	q := mustParse(t, `PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Thing . }`)
+	bgp := q.Select.Where.Elements[0].(*BGPElement)
+	if bgp.Patterns[0].O.Term.Value != "http://example.org/Thing" {
+		t.Fatalf("prefix not applied: %v", bgp.Patterns[0].O)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"SELECT WHERE { ?s ?p ?o }",
+		"SELECT ?x WHERE { ?x a }",
+		"SELECT ?x WHERE { ?x a unknown:Thing }",
+		"FROB ?x WHERE { }",
+		"SELECT ?x WHERE { ?x a noa:Hotspot",
+		"SELECT (?x AS) WHERE { ?x a noa:Hotspot }",
+	} {
+		if _, err := Parse(src, nil); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestSelectSimpleBGP(t *testing.T) {
+	res := runSelect(t, fixtureStore(), `
+SELECT ?h WHERE { ?h a noa:Hotspot . }`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d hotspots, want 3", len(res.Rows))
+	}
+}
+
+func TestSelectJoin(t *testing.T) {
+	res := runSelect(t, fixtureStore(), `
+SELECT ?h ?conf WHERE {
+  ?h a noa:Hotspot ;
+     noa:hasConfidence ?conf .
+}`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if _, ok := row["conf"].Float(); !ok {
+			t.Fatalf("conf not numeric: %v", row["conf"])
+		}
+	}
+}
+
+func TestSelectFilterComparison(t *testing.T) {
+	res := runSelect(t, fixtureStore(), `
+SELECT ?h WHERE {
+  ?h a noa:Hotspot ;
+     noa:hasConfidence ?c .
+  FILTER(?c >= 1.0)
+}`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+}
+
+func TestSelectFilterDateTimeStrComparison(t *testing.T) {
+	// The paper's Query 1 compares str(?hAcqTime) against plain strings.
+	res := runSelect(t, fixtureStore(), `
+SELECT ?h WHERE {
+  ?h a noa:Hotspot ;
+     noa:hasAcquisitionDateTime ?at .
+  FILTER( "2007-08-24T18:18:00" <= str(?at) ) .
+}`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(res.Rows))
+	}
+}
+
+func TestSelectSpatialFilterContains(t *testing.T) {
+	// Query-1 shape: constant polygon contains hotspot geometry.
+	res := runSelect(t, fixtureStore(), `
+SELECT ?h ?g WHERE {
+  ?h a noa:Hotspot ;
+     strdf:hasGeometry ?g .
+  FILTER( strdf:contains("POLYGON((0 0, 10 0, 10 10, 0 10, 0 0))"^^strdf:WKT, ?g) ) .
+}`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1 (only the fully-on-land hotspot)", len(res.Rows))
+	}
+	if res.Rows[0]["h"].Value != noaNS+"Hotspot_land" {
+		t.Fatalf("wrong hotspot: %v", res.Rows[0]["h"])
+	}
+}
+
+func TestSelectSpatialJoinAnyInteract(t *testing.T) {
+	res := runSelect(t, fixtureStore(), `
+SELECT ?h ?m WHERE {
+  ?h a noa:Hotspot ;
+     strdf:hasGeometry ?hGeo .
+  ?m a gag:Municipality ;
+     strdf:hasGeometry ?mGeo .
+  FILTER( strdf:anyInteract(?hGeo, ?mGeo) ) .
+}`)
+	// land hotspot -> west; coast hotspot -> east; sea hotspot -> none.
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+}
+
+func TestOptionalAndNotBound(t *testing.T) {
+	// The delete-in-sea pattern: hotspots NOT intersecting any coastline.
+	res := runSelect(t, fixtureStore(), `
+SELECT ?h WHERE {
+  ?h a noa:Hotspot ;
+     strdf:hasGeometry ?hGeo .
+  OPTIONAL {
+    ?c a coast:Coastline ;
+       strdf:hasGeometry ?cGeo .
+    FILTER( strdf:anyInteract(?hGeo, ?cGeo) )
+  }
+  FILTER( !bound(?c) )
+}`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1 (the sea hotspot)", len(res.Rows))
+	}
+	if res.Rows[0]["h"].Value != noaNS+"Hotspot_sea" {
+		t.Fatalf("wrong hotspot: %v", res.Rows[0]["h"])
+	}
+}
+
+func TestOptionalKeepsUnmatchedRows(t *testing.T) {
+	res := runSelect(t, fixtureStore(), `
+SELECT ?h ?pop WHERE {
+  ?h a noa:Hotspot .
+  OPTIONAL { ?h gag:hasPopulation ?pop . }
+}`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.has("pop") {
+			t.Fatal("no hotspot has a population")
+		}
+	}
+}
+
+func TestUnion(t *testing.T) {
+	res := runSelect(t, fixtureStore(), `
+SELECT ?x WHERE {
+  { ?x a noa:Hotspot . } UNION { ?x a gag:Municipality . }
+}`)
+	if len(res.Rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(res.Rows))
+	}
+}
+
+func TestGroupByCountAndHaving(t *testing.T) {
+	res := runSelect(t, fixtureStore(), `
+SELECT ?sensor (COUNT(?h) AS ?n) WHERE {
+  ?h a noa:Hotspot ;
+     noa:isDerivedFromSensor ?sensor .
+} GROUP BY ?sensor`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("got %d groups", len(res.Rows))
+	}
+	if n, _ := res.Rows[0]["n"].Float(); n != 3 {
+		t.Fatalf("count = %v", res.Rows[0]["n"])
+	}
+
+	res2 := runSelect(t, fixtureStore(), `
+SELECT ?sensor (COUNT(?h) AS ?n) WHERE {
+  ?h a noa:Hotspot ; noa:isDerivedFromSensor ?sensor .
+} GROUP BY ?sensor HAVING (COUNT(?h) > 5)`)
+	if len(res2.Rows) != 0 {
+		t.Fatalf("HAVING should reject the group")
+	}
+}
+
+func TestAggregatesNumeric(t *testing.T) {
+	res := runSelect(t, fixtureStore(), `
+SELECT (SUM(?p) AS ?s) (AVG(?p) AS ?a) (MIN(?p) AS ?lo) (MAX(?p) AS ?hi) (COUNT(*) AS ?n)
+WHERE { ?m a gag:Municipality ; gag:hasPopulation ?p . }`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	row := res.Rows[0]
+	check := func(v string, want float64) {
+		got, ok := row[v].Float()
+		if !ok || math.Abs(got-want) > 1e-9 {
+			t.Fatalf("%s = %v, want %g", v, row[v], want)
+		}
+	}
+	check("s", 3500)
+	check("a", 1750)
+	check("lo", 1000)
+	check("hi", 2500)
+	check("n", 2)
+}
+
+func TestSpatialUnionAggregate(t *testing.T) {
+	// strdf:union over both municipality polygons covers the island.
+	res := runSelect(t, fixtureStore(), `
+SELECT (strdf:union(?mGeo) AS ?all) WHERE {
+  ?m a gag:Municipality ; strdf:hasGeometry ?mGeo .
+}`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	g, err := geom.ParseWKT(res.Rows[0]["all"].Value)
+	if err != nil {
+		t.Fatalf("union WKT: %v", err)
+	}
+	if a := geom.Area(g); math.Abs(a-100) > 0.5 {
+		t.Fatalf("union area = %g, want ~100", a)
+	}
+}
+
+func TestRefineInCoastQueryShape(t *testing.T) {
+	// The paper's second refinement query: group the coastline polygons
+	// intersecting each hotspot, subtract the sea part.
+	res := runSelect(t, fixtureStore(), `
+SELECT DISTINCT ?h ?hGeo
+  (strdf:intersection(?hGeo, strdf:union(?cGeo)) AS ?dif)
+WHERE {
+  ?h a noa:Hotspot ;
+     strdf:hasGeometry ?hGeo .
+  ?c a coast:Coastline ;
+     strdf:hasGeometry ?cGeo .
+  FILTER( strdf:anyInteract(?hGeo, ?cGeo) )
+}
+GROUP BY ?h ?hGeo
+HAVING strdf:overlap(?hGeo, strdf:union(?cGeo))`)
+	// Only the coast-straddling hotspot overlaps (not contained in) land.
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(res.Rows))
+	}
+	difTerm := res.Rows[0]["dif"]
+	g, err := geom.ParseWKT(difTerm.Value)
+	if err != nil {
+		t.Fatalf("dif WKT: %v (%q)", err, difTerm.Value)
+	}
+	// Hotspot (9..11)x(4..6) clipped to island (0..10)^2 = 1x2 = 2.
+	if a := geom.Area(g); math.Abs(a-2) > 1e-3 {
+		t.Fatalf("clipped area = %g, want 2", a)
+	}
+}
+
+func TestSubSelect(t *testing.T) {
+	res := runSelect(t, fixtureStore(), `
+SELECT ?h ?dif WHERE {
+  SELECT ?h (strdf:area(?hGeo) AS ?dif) WHERE {
+    ?h a noa:Hotspot ; strdf:hasGeometry ?hGeo .
+  }
+}`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	res := runSelect(t, fixtureStore(), `
+SELECT ?m ?p WHERE { ?m a gag:Municipality ; gag:hasPopulation ?p . }
+ORDER BY DESC(?p) LIMIT 1`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if p, _ := res.Rows[0]["p"].Integer(); p != 2500 {
+		t.Fatalf("top population = %v", res.Rows[0]["p"])
+	}
+}
+
+func TestAsk(t *testing.T) {
+	s := fixtureStore()
+	q := mustParse(t, `ASK { ?h a noa:Hotspot . }`)
+	got, err := NewEvaluator(s).Ask(q.Ask)
+	if err != nil || !got {
+		t.Fatalf("ask = %v, %v", got, err)
+	}
+	q2 := mustParse(t, `ASK { ?h a noa:Volcano . }`)
+	got2, err := NewEvaluator(s).Ask(q2.Ask)
+	if err != nil || got2 {
+		t.Fatalf("ask2 = %v, %v", got2, err)
+	}
+}
+
+func TestDeleteInSeaUpdate(t *testing.T) {
+	s := fixtureStore()
+	// The paper's first refinement update, with consistent variable names.
+	src := `
+DELETE { ?h ?hProperty ?hObject }
+WHERE {
+  ?h a noa:Hotspot ;
+     strdf:hasGeometry ?hGeo ;
+     ?hProperty ?hObject .
+  OPTIONAL {
+    ?c a coast:Coastline ;
+       strdf:hasGeometry ?cGeo .
+    FILTER( strdf:anyInteract(?hGeo, ?cGeo) )
+  }
+  FILTER( !bound(?c) )
+}`
+	q := mustParse(t, src)
+	if q.Update == nil {
+		t.Fatal("not an update")
+	}
+	before := s.Len()
+	stats, err := NewEvaluator(s).Update(q.Update)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Deleted != 5 {
+		t.Fatalf("deleted %d triples, want 5 (all sea-hotspot properties)", stats.Deleted)
+	}
+	if s.Len() != before-5 {
+		t.Fatalf("store len = %d", s.Len())
+	}
+	res := runSelect(t, s, `SELECT ?h WHERE { ?h a noa:Hotspot . }`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d hotspots remain, want 2", len(res.Rows))
+	}
+}
+
+func TestRefineInCoastUpdate(t *testing.T) {
+	s := fixtureStore()
+	src := `
+DELETE { ?h strdf:hasGeometry ?hGeo }
+INSERT { ?h strdf:hasGeometry ?dif }
+WHERE {
+  SELECT DISTINCT ?h ?hGeo
+    (strdf:intersection(?hGeo, strdf:union(?cGeo)) AS ?dif)
+  WHERE {
+    ?h a noa:Hotspot ;
+       strdf:hasGeometry ?hGeo .
+    ?c a coast:Coastline ;
+       strdf:hasGeometry ?cGeo .
+    FILTER( strdf:anyInteract(?hGeo, ?cGeo) )
+  }
+  GROUP BY ?h ?hGeo
+  HAVING strdf:overlap(?hGeo, strdf:union(?cGeo))
+}`
+	q := mustParse(t, src)
+	stats, err := NewEvaluator(s).Update(q.Update)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Deleted != 1 || stats.Inserted != 1 {
+		t.Fatalf("stats = %+v, want 1 delete + 1 insert", stats)
+	}
+	// The coast hotspot's geometry must now be clipped to land.
+	res := runSelect(t, s, `
+SELECT ?g WHERE { <`+noaNS+`Hotspot_coast> strdf:hasGeometry ?g . }`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	g, err := geom.ParseWKT(res.Rows[0]["g"].Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := geom.Area(g); math.Abs(a-2) > 1e-3 {
+		t.Fatalf("refined area = %g, want 2", a)
+	}
+}
+
+func TestInsertData(t *testing.T) {
+	s := rdf.NewStore()
+	q := mustParse(t, `
+INSERT DATA {
+  noa:h1 a noa:Hotspot ;
+    noa:hasConfidence 0.5 .
+}`)
+	stats, err := NewEvaluator(s).Update(q.Update)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Inserted != 2 || s.Len() != 2 {
+		t.Fatalf("inserted %d, len %d", stats.Inserted, s.Len())
+	}
+}
+
+func TestDeleteWhereShorthand(t *testing.T) {
+	s := fixtureStore()
+	q := mustParse(t, `
+DELETE WHERE { ?h a noa:Hotspot . }`)
+	stats, err := NewEvaluator(s).Update(q.Update)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Deleted != 3 {
+		t.Fatalf("deleted %d, want 3", stats.Deleted)
+	}
+}
+
+func TestPaperQuery1Full(t *testing.T) {
+	// Query 1 of the paper, nearly verbatim (predicates adapted to the
+	// fixture's schema), including the dangling ';' before FILTER.
+	res := runSelect(t, fixtureStore(), `
+SELECT ?hotspot ?hGeo ?hAcqTime ?hConfidence ?hSensor
+WHERE {
+  ?hotspot a noa:Hotspot ;
+    strdf:hasGeometry ?hGeo ;
+    noa:hasAcquisitionDateTime ?hAcqTime ;
+    noa:hasConfidence ?hConfidence ;
+    noa:isDerivedFromSensor ?hSensor ;
+  FILTER( "2007-08-23T00:00:00" <= str(?hAcqTime) ) .
+  FILTER( str(?hAcqTime) <= "2007-08-26T23:59:59" ) .
+  FILTER( strdf:contains("POLYGON((-5 -5, 15 -5, 15 15, -5 15, -5 -5))"^^strdf:WKT, ?hGeo)).
+}`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (land + coast hotspots)", len(res.Rows))
+	}
+}
+
+func TestExpressionArithmetic(t *testing.T) {
+	res := runSelect(t, fixtureStore(), `
+SELECT ?m ((?p * 2 + 100) AS ?x) WHERE { ?m a gag:Municipality ; gag:hasPopulation ?p . }
+ORDER BY ?x`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if v, _ := res.Rows[0]["x"].Float(); v != 2100 {
+		t.Fatalf("x = %v", res.Rows[0]["x"])
+	}
+}
+
+func TestBooleanConnectives(t *testing.T) {
+	res := runSelect(t, fixtureStore(), `
+SELECT ?m WHERE {
+  ?m a gag:Municipality ; gag:hasPopulation ?p .
+  FILTER(?p > 500 && ?p < 2000)
+}`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	res2 := runSelect(t, fixtureStore(), `
+SELECT ?m WHERE {
+  ?m a gag:Municipality ; gag:hasPopulation ?p .
+  FILTER(?p = 1000 || ?p = 2500)
+}`)
+	if len(res2.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res2.Rows))
+	}
+}
+
+func TestSpatialFunctionsInProjection(t *testing.T) {
+	res := runSelect(t, fixtureStore(), `
+SELECT ?m (strdf:boundary(?g) AS ?b) (strdf:area(?g) AS ?a) WHERE {
+  ?m a gag:Municipality ; strdf:hasGeometry ?g .
+}`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if a, _ := row["a"].Float(); math.Abs(a-50) > 1e-6 {
+			t.Fatalf("area = %v", row["a"])
+		}
+		bg, err := geom.ParseWKT(row["b"].Value)
+		if err != nil || bg.Dimension() != 1 {
+			t.Fatalf("boundary = %v (%v)", row["b"], err)
+		}
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	res := runSelect(t, fixtureStore(), `
+SELECT DISTINCT ?sensor WHERE { ?h noa:isDerivedFromSensor ?sensor . }`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(res.Rows))
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	res := runSelect(t, fixtureStore(), `
+SELECT * WHERE { ?m a gag:Municipality ; gag:hasPopulation ?p . }`)
+	if len(res.Rows) != 2 || len(res.Vars) != 2 {
+		t.Fatalf("rows=%d vars=%v", len(res.Rows), res.Vars)
+	}
+}
+
+func TestVariablePredicate(t *testing.T) {
+	res := runSelect(t, fixtureStore(), `
+SELECT ?p ?o WHERE { <`+noaNS+`Hotspot_land> ?p ?o . }`)
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(res.Rows))
+	}
+}
+
+func TestUpdateOnNonUpdatableSource(t *testing.T) {
+	q := mustParse(t, `DELETE WHERE { ?s ?p ?o }`)
+	ev := NewEvaluator(readOnlySource{fixtureStore()})
+	if _, err := ev.Update(q.Update); err == nil {
+		t.Fatal("update on read-only source should fail")
+	}
+}
+
+type readOnlySource struct{ s *rdf.Store }
+
+func (r readOnlySource) MatchTerms(s, p, o rdf.Term, visit func(rdf.Triple) bool) {
+	r.s.MatchTerms(s, p, o, visit)
+}

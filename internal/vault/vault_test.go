@@ -1,0 +1,196 @@
+package vault
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/hrit"
+	"repro/internal/sciql"
+)
+
+func makeAcquisition(t *testing.T, ts time.Time, compressed bool) [][]byte {
+	t.Helper()
+	counts := make([]uint16, 32*24)
+	for i := range counts {
+		counts[i] = uint16((i * 7) % 1024)
+	}
+	segs, err := hrit.Split(counts, 32, 3, hrit.SegmentHeader{
+		ProductName: "MSG1-SEVIRI",
+		Channel:     hrit.ChannelIR039,
+		Timestamp:   ts,
+		Compressed:  compressed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]byte, len(segs))
+	for i, s := range segs {
+		raw, err := hrit.Encode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = raw
+	}
+	return out
+}
+
+func TestAttachAndLazyLoad(t *testing.T) {
+	v := New(4)
+	ts := time.Date(2010, 8, 22, 12, 0, 0, 0, time.UTC)
+	for i, raw := range makeAcquisition(t, ts, true) {
+		if err := v.AttachBytes(fmt.Sprintf("seg%d", i), raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := v.Stats(); got.Attached != 3 || got.Loads != 0 {
+		t.Fatalf("stats after attach = %+v", got)
+	}
+	if !v.Complete(hrit.ChannelIR039, ts) {
+		t.Fatal("acquisition should be complete")
+	}
+	img, err := v.Load(hrit.ChannelIR039, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Width() != 32 || img.Height() != 24 {
+		t.Fatalf("image dims %dx%d", img.Width(), img.Height())
+	}
+	if got := v.Stats(); got.Loads != 1 || got.CacheMiss != 1 {
+		t.Fatalf("stats after load = %+v", got)
+	}
+	// Second load hits the cache.
+	if _, err := v.Load(hrit.ChannelIR039, ts); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Stats(); got.CacheHits != 1 || got.Loads != 1 {
+		t.Fatalf("stats after reload = %+v", got)
+	}
+}
+
+func TestIncompleteAcquisition(t *testing.T) {
+	v := New(4)
+	ts := time.Date(2010, 8, 22, 12, 5, 0, 0, time.UTC)
+	segs := makeAcquisition(t, ts, false)
+	if err := v.AttachBytes("only", segs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if v.Complete(hrit.ChannelIR039, ts) {
+		t.Fatal("incomplete acquisition reported complete")
+	}
+	if _, err := v.Load(hrit.ChannelIR039, ts); err == nil {
+		t.Fatal("loading incomplete acquisition should fail")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	v := New(2)
+	base := time.Date(2010, 8, 22, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 3; i++ {
+		ts := base.Add(time.Duration(i) * 5 * time.Minute)
+		for j, raw := range makeAcquisition(t, ts, false) {
+			if err := v.AttachBytes(fmt.Sprintf("a%d_s%d", i, j), raw); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := v.Load(hrit.ChannelIR039, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := v.Stats(); got.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", got.Evictions)
+	}
+	// The evicted (oldest) acquisition reloads with a fresh miss.
+	if _, err := v.Load(hrit.ChannelIR039, base); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Stats(); got.Loads != 4 {
+		t.Fatalf("loads = %d, want 4", got.Loads)
+	}
+}
+
+func TestAttachDir(t *testing.T) {
+	dir := t.TempDir()
+	ts := time.Date(2010, 8, 22, 13, 0, 0, 0, time.UTC)
+	for i, raw := range makeAcquisition(t, ts, true) {
+		path := filepath.Join(dir, fmt.Sprintf("seg%d.hrit", i))
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A non-HRIT file must be ignored.
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	v := New(2)
+	n, err := v.AttachDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("attached %d files", n)
+	}
+	img, err := v.Load(hrit.ChannelIR039, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Len() != 32*24 {
+		t.Fatalf("image cells = %d", img.Len())
+	}
+	acqs := v.Acquisitions(hrit.ChannelIR039)
+	if len(acqs) != 1 || !acqs[0].Equal(ts) {
+		t.Fatalf("acquisitions = %v", acqs)
+	}
+}
+
+func TestSciQLTableFunction(t *testing.T) {
+	v := New(2)
+	ts := time.Date(2010, 8, 22, 14, 0, 0, 0, time.UTC)
+	for i, raw := range makeAcquisition(t, ts, false) {
+		if err := v.AttachBytes(fmt.Sprintf("s%d", i), raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := sciql.NewEngine()
+	v.Register(e)
+	f, err := e.Exec(fmt.Sprintf(`SELECT v FROM hrit_load_counts('%s') AS img WHERE x >= 0 AND x < 10 AND y >= 0 AND y < 10`,
+		URI(hrit.ChannelIR039, ts)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.W != 10 || f.H != 10 {
+		t.Fatalf("frame = %dx%d", f.W, f.H)
+	}
+	// Temperature variant produces calibrated kelvins.
+	f2, err := e.Exec(fmt.Sprintf(`SELECT v FROM hrit_load_image('%s') AS img`, URI(hrit.ChannelIR039, ts)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := f2.Dense("v")
+	if s := d.Summary(); s.Min < 100 || s.Max > 500 {
+		t.Fatalf("calibrated range = [%g, %g]", s.Min, s.Max)
+	}
+	// Bad URIs error cleanly.
+	if _, err := e.Exec(`SELECT v FROM hrit_load_image('nope') AS img`); err == nil {
+		t.Fatal("bad URI should fail")
+	}
+}
+
+func TestURIRoundTrip(t *testing.T) {
+	ts := time.Date(2007, 8, 24, 12, 5, 0, 0, time.UTC)
+	uri := URI("IR_039", ts)
+	ch, back, err := parseURI(uri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch != "IR_039" || !back.Equal(ts) {
+		t.Fatalf("roundtrip = %s @ %v", ch, back)
+	}
+	for _, bad := range []string{"", "http://x", "hrit://only-channel", "hrit://ch/notatime"} {
+		if _, _, err := parseURI(bad); err == nil {
+			t.Errorf("parseURI(%q) should fail", bad)
+		}
+	}
+}
