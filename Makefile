@@ -1,0 +1,25 @@
+# Local invocations of exactly what CI runs (.github/workflows/ci.yml),
+# so the two can't drift.
+
+GO ?= go
+
+.PHONY: build test bench lint fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Full benchmark sweep; CI runs the 1x smoke variant of the end-to-end
+# and pipeline benchmarks.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+lint:
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .

@@ -387,3 +387,42 @@ func BenchmarkEndToEndAcquisition(b *testing.B) {
 		}
 	}
 }
+
+// --- Concurrent acquisition pipeline (pipeline.go) ---
+
+// benchmarkPipelineWorkers measures end-to-end acquisition throughput of
+// RunWindow at a given worker count: every iteration services a fresh
+// one-hour MSG1 window (12 acquisitions) and reports acquisitions/sec.
+// Comparing the Workers variants tracks the pipeline speedup in the bench
+// trajectory.
+func benchmarkPipelineWorkers(b *testing.B, workers int) {
+	cfg := seviri.DefaultScenarioConfig()
+	cfg.Days = 1
+	const acquisitions = 12
+	span := time.Duration(acquisitions) * seviri.MSG1.Cadence
+	var elapsed time.Duration
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		svc, err := core.NewService(42, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc.Workers = workers
+		b.StartTimer()
+		start := time.Now()
+		if err := svc.RunWindow(seviri.MSG1, cfg.Start.Add(12*time.Hour), span); err != nil {
+			b.Fatal(err)
+		}
+		elapsed += time.Since(start)
+		b.StopTimer()
+		if len(svc.Reports) != acquisitions {
+			b.Fatalf("reports = %d, want %d", len(svc.Reports), acquisitions)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(b.N*acquisitions)/elapsed.Seconds(), "acq/s")
+}
+
+func BenchmarkPipelineWorkers1(b *testing.B) { benchmarkPipelineWorkers(b, 1) }
+func BenchmarkPipelineWorkers4(b *testing.B) { benchmarkPipelineWorkers(b, 4) }
+func BenchmarkPipelineWorkers8(b *testing.B) { benchmarkPipelineWorkers(b, 8) }

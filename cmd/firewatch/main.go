@@ -21,10 +21,11 @@ import (
 
 func main() {
 	var (
-		seed   = flag.Int64("seed", 42, "world/scenario seed")
-		sensor = flag.String("sensor", "MSG1", "sensor stream: MSG1 (5 min) or MSG2 (15 min)")
-		window = flag.Duration("window", time.Hour, "monitored span")
-		serve  = flag.String("serve", "", "optional HTTP listen address, e.g. :8080")
+		seed    = flag.Int64("seed", 42, "world/scenario seed")
+		sensor  = flag.String("sensor", "MSG1", "sensor stream: MSG1 (5 min) or MSG2 (15 min)")
+		window  = flag.Duration("window", time.Hour, "monitored span")
+		workers = flag.Int("workers", 0, "acquisition pipeline workers (0 = NumCPU)")
+		serve   = flag.String("serve", "", "optional HTTP listen address, e.g. :8080")
 	)
 	flag.Parse()
 
@@ -35,25 +36,37 @@ func main() {
 	cfg := seviri.DefaultScenarioConfig()
 	svc, err := core.NewService(*seed, cfg)
 	fail(err)
+	svc.Workers = *workers
 
 	from := cfg.Start.Add(11 * time.Hour)
-	fmt.Printf("firewatch: servicing %s from %s for %v (deadline %v per acquisition)\n",
-		sens.Name, from.Format(time.RFC3339), *window, sens.Cadence)
-	for _, at := range seviri.AcquisitionTimes(sens, from, *window) {
-		rep, err := svc.Step(sens, at)
-		fail(err)
+	fmt.Printf("firewatch: servicing %s from %s for %v (deadline %v per acquisition, %d workers)\n",
+		sens.Name, from.Format(time.RFC3339), *window, sens.Cadence, svc.EffectiveWorkers())
+	if svc.EffectiveWorkers() > 1 {
+		fmt.Println("firewatch: pipeline mode — Store and scoped refinement figures are flush-level (shared across a batch)")
+	}
+	start := time.Now()
+	runErr := svc.RunWindow(sens, from, *window)
+	wall := time.Since(start)
+	// Completed acquisitions are committed and reported even when a later
+	// one failed.
+	for _, rep := range svc.Reports {
 		status := "OK"
 		if !rep.DeadlineMet {
 			status = "DEADLINE MISSED"
 		}
 		fmt.Printf("%s  chain=%8v  hotspots=%3d -> refined=%3d  [%s]\n",
-			at.Format("15:04"), rep.ChainTime.Round(time.Millisecond),
+			rep.At.Format("15:04"), rep.ChainTime.Round(time.Millisecond),
 			rep.RawHotspot, rep.Refined, status)
 		for _, op := range rep.RefineOps {
 			fmt.Printf("      %-18s %8v  (affected %d)\n", op.Op,
 				op.Duration.Round(time.Microsecond), op.Affected)
 		}
 	}
+	if n := len(svc.Reports); n > 0 {
+		fmt.Printf("firewatch: %d acquisitions in %v (%.1f acq/s)\n",
+			n, wall.Round(time.Millisecond), float64(n)/wall.Seconds())
+	}
+	fail(runErr)
 
 	if *serve == "" {
 		return

@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/array"
@@ -122,31 +123,61 @@ FROM (
 func (c *SciQLChain) Process(sensor string, at time.Time) (*products.Product, error) {
 	x0, x1, y0, y1 := cropWindow(c.Transform)
 
-	// Stage 1 (SciQL): lazy vault load + crop by range query.
-	cropped := make(map[string]*array.Dense, 2)
-	for _, ch := range []string{hrit.ChannelIR039, hrit.ChannelIR108} {
-		frame, err := c.Engine.Exec(fmt.Sprintf(
-			`SELECT [x], [y], v FROM hrit_load_image('%s') AS img WHERE x >= %d AND x < %d AND y >= %d AND y < %d`,
-			vault.URI(ch, at), x0, x1, y0, y1))
-		if err != nil {
-			return nil, fmt.Errorf("core: sciql crop %s: %w", ch, err)
-		}
-		d, err := frame.Dense("v")
+	// Stage 1 (SciQL): lazy vault load + crop by range query. The two
+	// channels decode concurrently, and the solar/threshold prep for
+	// stage 3 overlaps with them: these are the independent per-
+	// acquisition stages of the real-time budget. The concurrent Execs
+	// only read the engine catalog (their FROM is a table function), so
+	// they are safe against each other; catalog mutation resumes after
+	// the join.
+	thCh := make(chan detect.Thresholds, 1)
+	go func() { thCh <- regionThresholds(c.Transform, at) }()
+
+	channels := []string{hrit.ChannelIR039, hrit.ChannelIR108}
+	cropped := make([]*array.Dense, len(channels))
+	errs := make([]error, len(channels))
+	var wg sync.WaitGroup
+	for i, ch := range channels {
+		wg.Add(1)
+		go func(i int, ch string) {
+			defer wg.Done()
+			frame, err := c.Engine.Exec(fmt.Sprintf(
+				`SELECT [x], [y], v FROM hrit_load_image('%s') AS img WHERE x >= %d AND x < %d AND y >= %d AND y < %d`,
+				vault.URI(ch, at), x0, x1, y0, y1))
+			if err != nil {
+				errs[i] = fmt.Errorf("core: sciql crop %s: %w", ch, err)
+				return
+			}
+			d, err := frame.Dense("v")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			cropped[i] = d
+		}(i, ch)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		cropped[ch] = d
 	}
 
 	// Stage 2 (array kernel): georeference with the precalculated
-	// polynomial.
-	geo039 := c.Transform.Apply(cropped[hrit.ChannelIR039])
-	geo108 := c.Transform.Apply(cropped[hrit.ChannelIR108])
+	// polynomial, one kernel per channel in parallel.
+	var geo039, geo108 *array.Dense
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		geo039 = c.Transform.Apply(cropped[0])
+	}()
+	geo108 = c.Transform.Apply(cropped[1])
+	wg.Wait()
 	c.Engine.RegisterArray("hrit_T039_image_array", geo039, "v")
 	c.Engine.RegisterArray("hrit_T108_image_array", geo108, "v")
 
 	// Stage 3 (SciQL): the Figure 4 classification query.
-	th := regionThresholds(c.Transform, at)
+	th := <-thCh
 	frame, err := c.Engine.Exec(classificationQuery(th))
 	if err != nil {
 		return nil, fmt.Errorf("core: sciql classify: %w", err)

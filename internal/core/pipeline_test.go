@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/refine"
+	"repro/internal/seviri"
+)
+
+// runWindowWith services the same scenario window with a given worker
+// count and returns the service for inspection.
+func runWindowWith(t *testing.T, workers int, span time.Duration) *Service {
+	t.Helper()
+	s := newTestService(t)
+	s.Workers = workers
+	from := time.Date(2007, 8, 24, 11, 30, 0, 0, time.UTC)
+	if err := s.RunWindow(seviri.MSG1, from, span); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestPipelineMatchesSequential is the pipeline's determinism contract:
+// a Workers=8 run must produce the same refined product set, in the same
+// acquisition order, as a Workers=1 run and as the plain sequential loop.
+// Under -race this doubles as the concurrency stress test for the worker
+// pool, the batching writer, the scoped refinement fan-out and the
+// strabon read/write lock discipline.
+func TestPipelineMatchesSequential(t *testing.T) {
+	const span = 30 * time.Minute // six MSG1 acquisitions
+
+	seq := newTestService(t)
+	from := time.Date(2007, 8, 24, 11, 30, 0, 0, time.UTC)
+	if err := seq.RunWindowSequential(seviri.MSG1, from, span); err != nil {
+		t.Fatal(err)
+	}
+	one := runWindowWith(t, 1, span)
+	eight := runWindowWith(t, 8, span)
+
+	if len(seq.Reports) == 0 {
+		t.Fatal("sequential run produced no reports")
+	}
+	for name, s := range map[string]*Service{"workers=1": one, "workers=8": eight} {
+		if len(s.Reports) != len(seq.Reports) {
+			t.Fatalf("%s: %d reports, sequential %d", name, len(s.Reports), len(seq.Reports))
+		}
+		for i, rep := range s.Reports {
+			want := seq.Reports[i]
+			if !rep.At.Equal(want.At) {
+				t.Fatalf("%s: report %d at %v, sequential %v", name, i, rep.At, want.At)
+			}
+			if rep.RawHotspot != want.RawHotspot || rep.Refined != want.Refined {
+				t.Fatalf("%s: report %d raw/refined = %d/%d, sequential %d/%d",
+					name, i, rep.RawHotspot, rep.Refined, want.RawHotspot, want.Refined)
+			}
+			if len(rep.RefineOps) != len(refine.AllOps) {
+				t.Fatalf("%s: report %d ran %d refine ops", name, i, len(rep.RefineOps))
+			}
+		}
+
+		// The refined product sets must be identical hotspot for hotspot.
+		wantProducts, err := seq.RefinedProducts()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotProducts, err := s.RefinedProducts()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantKeys := SortedHotspotKeys(wantProducts)
+		gotKeys := SortedHotspotKeys(gotProducts)
+		if len(gotKeys) != len(wantKeys) {
+			t.Fatalf("%s: %d refined hotspots, sequential %d", name, len(gotKeys), len(wantKeys))
+		}
+		for i := range wantKeys {
+			if gotKeys[i] != wantKeys[i] {
+				t.Fatalf("%s: refined hotspot %d = %q, sequential %q", name, i, gotKeys[i], wantKeys[i])
+			}
+		}
+		if s.Strabon.Len() != seq.Strabon.Len() {
+			t.Fatalf("%s: store has %d triples, sequential %d", name, s.Strabon.Len(), seq.Strabon.Len())
+		}
+	}
+}
+
+// TestPipelineFlushBatching pins that the writer actually batches: with a
+// flush cap of 1 every product still lands, and with a large cap the run
+// stays correct when whole windows collapse into single flushes.
+func TestPipelineFlushBatching(t *testing.T) {
+	for _, flush := range []int{1, 16} {
+		s := newTestService(t)
+		s.Workers = 4
+		s.FlushBatch = flush
+		from := time.Date(2007, 8, 24, 12, 0, 0, 0, time.UTC)
+		if err := s.RunWindow(seviri.MSG1, from, 15*time.Minute); err != nil {
+			t.Fatalf("flush=%d: %v", flush, err)
+		}
+		if len(s.Reports) != 3 {
+			t.Fatalf("flush=%d: reports = %d, want 3", flush, len(s.Reports))
+		}
+		for i, rep := range s.Reports {
+			if rep.RawHotspot == 0 {
+				t.Fatalf("flush=%d: report %d detected nothing", flush, i)
+			}
+		}
+	}
+}
+
+// TestPipelineWorkerChainIsolation ensures every worker gets a private
+// chain when a factory is configured, by running enough concurrent
+// acquisitions that a shared SciQL catalog would race on its fixed
+// array names (caught by -race, and usually by wrong hotspot counts).
+func TestPipelineWorkerChainIsolation(t *testing.T) {
+	s := runWindowWith(t, 8, 40*time.Minute)
+	if len(s.Reports) != 8 {
+		t.Fatalf("reports = %d, want 8", len(s.Reports))
+	}
+	for i := 1; i < len(s.Reports); i++ {
+		if !s.Reports[i].At.After(s.Reports[i-1].At) {
+			t.Fatalf("reports out of order at %d: %v !> %v", i, s.Reports[i].At, s.Reports[i-1].At)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/auxdata"
@@ -35,6 +36,19 @@ type Service struct {
 	Strabon *strabon.Store
 	Refiner *refine.Runner
 
+	// NewChain builds a processing chain private to one pipeline worker;
+	// chains own a SciQL engine whose catalog must not be shared across
+	// goroutines. When nil, RunWindow falls back to the shared Chain and
+	// must then run with Workers=1.
+	NewChain func() Chain
+
+	// Workers bounds the acquisition pipeline's concurrency; 0 means
+	// runtime.NumCPU(). See pipeline.go.
+	Workers int
+	// FlushBatch caps how many in-order products the pipeline writer
+	// commits per batched store flush; 0 means the default.
+	FlushBatch int
+
 	// Segments is the per-acquisition HRIT segment count.
 	Segments int
 	// Compress enables the wavelet stage of the synthetic downlink.
@@ -54,7 +68,9 @@ func NewService(seed int64, cfg seviri.ScenarioConfig) (*Service, error) {
 	scenario := seviri.GenerateScenario(world, seed+1, cfg)
 	sim := seviri.NewSimulator(scenario)
 
-	v := vault.New(8)
+	// The vault cache must hold both channels of every in-flight
+	// acquisition, so size it for the pipeline's worker fan-out.
+	v := vault.New(max(8, 4*runtime.NumCPU()))
 	chain := NewSciQLChain(v, sim.Transform())
 
 	st := strabon.New()
@@ -64,6 +80,7 @@ func NewService(seed int64, cfg seviri.ScenarioConfig) (*Service, error) {
 		Sim:      sim,
 		Vault:    v,
 		Chain:    chain,
+		NewChain: func() Chain { return NewSciQLChain(v, sim.Transform()) },
 		Strabon:  st,
 		Refiner:  refine.NewRunner(st),
 		Segments: 4,
@@ -74,20 +91,10 @@ func NewService(seed int64, cfg seviri.ScenarioConfig) (*Service, error) {
 // Step services one acquisition: downlink simulation, vault attach,
 // processing chain, refinement.
 func (s *Service) Step(sensor seviri.Sensor, at time.Time) (*AcquisitionReport, error) {
-	acq, err := s.Sim.Acquire(sensor, at, s.Segments, s.Compress)
+	product, chainTime, err := s.frontHalf(s.Chain, sensor, at)
 	if err != nil {
-		return nil, fmt.Errorf("core: acquire: %w", err)
+		return nil, err
 	}
-	if err := IngestAcquisition(s.Vault, acq); err != nil {
-		return nil, fmt.Errorf("core: ingest: %w", err)
-	}
-
-	chainStart := time.Now()
-	product, err := s.Chain.Process(sensor.Name, at)
-	if err != nil {
-		return nil, fmt.Errorf("core: chain: %w", err)
-	}
-	chainTime := time.Since(chainStart)
 	s.PlainProducts = append(s.PlainProducts, product)
 
 	timings, err := s.Refiner.RunAll(product)
@@ -117,7 +124,26 @@ func (s *Service) Step(sensor seviri.Sensor, at time.Time) (*AcquisitionReport, 
 }
 
 // RunWindow services every acquisition of a sensor over a time window.
+// With Workers >= 2 it runs the concurrent pipeline (see pipeline.go):
+// front halves stream through a bounded worker pool while an ordered
+// writer batches store flushes and refinement. Workers == 1 requests the
+// plain sequential loop, the pipeline-off baseline. Either way, reports
+// and products accumulate in acquisition order and the refined output is
+// identical.
 func (s *Service) RunWindow(sensor seviri.Sensor, from time.Time, span time.Duration) error {
+	// Without a chain factory the workers would share one SciQL engine,
+	// whose catalog is not safe for concurrent mutation — fall back to
+	// the sequential loop rather than race.
+	if s.workers() <= 1 || s.NewChain == nil {
+		return s.RunWindowSequential(sensor, from, span)
+	}
+	return s.runPipeline(sensor, seviri.AcquisitionTimes(sensor, from, span))
+}
+
+// RunWindowSequential services a window one acquisition at a time on the
+// calling goroutine — the pre-pipeline behaviour, kept as the plainest
+// possible reference implementation.
+func (s *Service) RunWindowSequential(sensor seviri.Sensor, from time.Time, span time.Duration) error {
 	for _, t := range seviri.AcquisitionTimes(sensor, from, span) {
 		if _, err := s.Step(sensor, t); err != nil {
 			return err

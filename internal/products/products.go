@@ -102,17 +102,24 @@ func (h Hotspot) Triples() []rdf.Triple {
 // Triples renders the whole product: a noa:Shapefile individual plus
 // every hotspot, linked by noa:isExtractedFrom.
 func (p *Product) Triples() []rdf.Triple {
+	return p.TriplesInto(nil)
+}
+
+// TriplesInto appends the product's RDF-ization to dst and returns the
+// extended slice, letting callers that RDF-ize many products (the
+// pipeline's batching writer) presize or reuse the destination.
+func (p *Product) TriplesInto(dst []rdf.Triple) []rdf.Triple {
 	shp := iri(fmt.Sprintf("%sShapefile_%s_%s", ontology.NOA, p.Sensor,
 		p.AcquiredAt.UTC().Format("20060102T150405")))
-	out := []rdf.Triple{
-		{S: shp, P: iri(rdf.RDFType), O: iri(ontology.ClassShapefile)},
-		{S: shp, P: iri(ontology.PropAcquisitionDateTime),
+	out := append(dst,
+		rdf.Triple{S: shp, P: iri(rdf.RDFType), O: iri(ontology.ClassShapefile)},
+		rdf.Triple{S: shp, P: iri(ontology.PropAcquisitionDateTime),
 			O: rdf.NewDateTime(p.AcquiredAt.UTC().Format("2006-01-02T15:04:05"))},
-		{S: shp, P: iri(ontology.PropSensor), O: rdf.NewTypedLiteral(p.Sensor, rdf.XSDString)},
-		{S: shp, P: iri(ontology.PropProcessingChain), O: rdf.NewTypedLiteral(p.Chain, rdf.XSDString)},
-		{S: shp, P: iri(ontology.PropFilename),
+		rdf.Triple{S: shp, P: iri(ontology.PropSensor), O: rdf.NewTypedLiteral(p.Sensor, rdf.XSDString)},
+		rdf.Triple{S: shp, P: iri(ontology.PropProcessingChain), O: rdf.NewTypedLiteral(p.Chain, rdf.XSDString)},
+		rdf.Triple{S: shp, P: iri(ontology.PropFilename),
 			O: rdf.NewLiteral(p.Filename())},
-	}
+	)
 	for _, h := range p.Hotspots {
 		out = append(out, h.Triples()...)
 		out = append(out, rdf.Triple{

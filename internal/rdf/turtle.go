@@ -5,11 +5,14 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Namespaces manages prefix -> IRI bindings for Turtle I/O and for the
-// stSPARQL parser.
+// stSPARQL parser. It is safe for concurrent use: strabon parses queries
+// (reads) concurrently with Turtle loads (which may Bind new prefixes).
 type Namespaces struct {
+	mu       sync.RWMutex
 	prefixes map[string]string
 }
 
@@ -38,7 +41,11 @@ func NewNamespaces() *Namespaces {
 }
 
 // Bind registers (or overrides) a prefix.
-func (n *Namespaces) Bind(prefix, iri string) { n.prefixes[prefix] = iri }
+func (n *Namespaces) Bind(prefix, iri string) {
+	n.mu.Lock()
+	n.prefixes[prefix] = iri
+	n.mu.Unlock()
+}
 
 // Expand resolves a prefixed name such as "noa:Hotspot" to a full IRI.
 func (n *Namespaces) Expand(qname string) (string, error) {
@@ -46,7 +53,9 @@ func (n *Namespaces) Expand(qname string) (string, error) {
 	if i < 0 {
 		return "", fmt.Errorf("rdf: %q is not a prefixed name", qname)
 	}
+	n.mu.RLock()
 	base, ok := n.prefixes[qname[:i]]
+	n.mu.RUnlock()
 	if !ok {
 		return "", fmt.Errorf("rdf: unknown prefix %q", qname[:i])
 	}
@@ -55,6 +64,8 @@ func (n *Namespaces) Expand(qname string) (string, error) {
 
 // Shrink renders an IRI with the best matching prefix, or "" if none fits.
 func (n *Namespaces) Shrink(iri string) string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	bestPrefix, bestBase := "", ""
 	for p, base := range n.prefixes {
 		if strings.HasPrefix(iri, base) && len(base) > len(bestBase) {
@@ -73,6 +84,8 @@ func (n *Namespaces) Shrink(iri string) string {
 
 // Prefixes returns a copy of the bindings.
 func (n *Namespaces) Prefixes() map[string]string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	out := make(map[string]string, len(n.prefixes))
 	for k, v := range n.prefixes {
 		out[k] = v

@@ -69,18 +69,23 @@ func xsdTime(t time.Time) string { return t.UTC().Format("2006-01-02T15:04:05") 
 // RunAll stores a product and applies every refinement operation,
 // returning the per-operation timings (one Figure 8 column).
 func (r *Runner) RunAll(p *products.Product) ([]Timing, error) {
-	var out []Timing
-	steps := []struct {
-		op Op
-		fn func(*products.Product) (int, error)
-	}{
-		{OpStore, r.StoreProduct},
-		{OpMunicipalities, r.Municipalities},
-		{OpDeleteInSea, r.DeleteInSea},
-		{OpInvalidForFires, r.InvalidForFires},
-		{OpRefineInCoast, r.RefineInCoast},
-		{OpTimePersistence, r.TimePersistence},
+	out, err := r.runSteps(p, nil, []step{{OpStore, r.StoreProduct}})
+	if err != nil {
+		return out, err
 	}
+	out, err = r.RunScoped(p, out)
+	if err != nil {
+		return out, err
+	}
+	return r.RunHistorical(p, out)
+}
+
+type step struct {
+	op Op
+	fn func(*products.Product) (int, error)
+}
+
+func (r *Runner) runSteps(p *products.Product, out []Timing, steps []step) ([]Timing, error) {
 	for _, s := range steps {
 		start := time.Now()
 		n, err := s.fn(p)
@@ -90,6 +95,80 @@ func (r *Runner) RunAll(p *products.Product) ([]Timing, error) {
 		out = append(out, Timing{Op: s.op, At: p.AcquiredAt, Duration: time.Since(start), Affected: n})
 	}
 	return out, nil
+}
+
+// RunScoped applies the acquisition-scoped refinement operations —
+// Municipalities, Delete In Sea, Invalid For Fires, Refine In Coast —
+// appending their timings to out. Every one of these updates filters on
+// the product's own acquisition timestamp and reads otherwise static
+// auxiliary data, so RunScoped calls for DIFFERENT acquisitions are
+// mutually independent. The product's triples must already be stored.
+func (r *Runner) RunScoped(p *products.Product, out []Timing) ([]Timing, error) {
+	return r.runSteps(p, out, []step{
+		{OpMunicipalities, r.Municipalities},
+		{OpDeleteInSea, r.DeleteInSea},
+		{OpInvalidForFires, r.InvalidForFires},
+		{OpRefineInCoast, r.RefineInCoast},
+	})
+}
+
+// RunScopedRange is the batch-rule-evaluation form of RunScoped: each
+// scoped operation is evaluated ONCE over the whole acquisition range
+// [from, to] instead of once per acquisition. Because every scoped
+// operation acts hotspot-by-hotspot (scoping merely selects which
+// hotspots), a range evaluation over a batch of acquisitions deletes,
+// clips and annotates exactly the hotspots the per-acquisition runs
+// would — while paying the evaluation's scan and join setup once per
+// flush instead of once per acquisition. The pipeline writer calls this
+// with the first and last timestamps of a flush; the range must cover no
+// acquisitions outside the flush. Timings carry the whole batch's cost
+// and the At of the range start.
+func (r *Runner) RunScopedRange(from, to time.Time) ([]Timing, error) {
+	var out []Timing
+	scope := scopeRange(from, to)
+	for _, s := range []struct {
+		op Op
+		fn func(string) (int, error)
+	}{
+		{OpMunicipalities, r.municipalitiesScope},
+		{OpDeleteInSea, r.deleteInSeaScope},
+		{OpInvalidForFires, r.invalidForFiresScope},
+		{OpRefineInCoast, r.refineInCoastScope},
+	} {
+		start := time.Now()
+		n, err := s.fn(scope)
+		if err != nil {
+			return out, fmt.Errorf("refine: %s: %w", s.op, err)
+		}
+		out = append(out, Timing{Op: s.op, At: from, Duration: time.Since(start), Affected: n})
+	}
+	return out, nil
+}
+
+// scopeEq renders the acquisition filter selecting exactly one
+// acquisition's hotspots.
+func scopeEq(at time.Time) string {
+	return fmt.Sprintf(`FILTER( str(?at) = "%s" )`, xsdTime(at))
+}
+
+// scopeRange renders the filter selecting every acquisition in the
+// inclusive range; the xsd:dateTime text format compares chronologically
+// as strings.
+func scopeRange(from, to time.Time) string {
+	if from.Equal(to) {
+		return scopeEq(from)
+	}
+	return fmt.Sprintf(`FILTER( str(?at) >= "%s" )
+  FILTER( str(?at) <= "%s" )`, xsdTime(from), xsdTime(to))
+}
+
+// RunHistorical applies the operations that read other acquisitions'
+// history — currently Time Persistence, whose sighting window spans the
+// preceding hour. These must run in acquisition order, after every
+// earlier acquisition has been fully refined; the pipeline serialises
+// them on its writer goroutine.
+func (r *Runner) RunHistorical(p *products.Product, out []Timing) ([]Timing, error) {
+	return r.runSteps(p, out, []step{{OpTimePersistence, r.TimePersistence}})
 }
 
 // StoreProduct inserts the product's RDF-ization (the "Store" series).
@@ -102,7 +181,11 @@ func (r *Runner) StoreProduct(p *products.Product) (int, error) {
 // slowest ("labeled as Municipalities ... there are cases where it needs
 // four seconds").
 func (r *Runner) Municipalities(p *products.Product) (int, error) {
-	st, err := r.Store.Update(fmt.Sprintf(`
+	return r.municipalitiesScope(scopeEq(p.AcquiredAt))
+}
+
+func (r *Runner) municipalitiesScope(scope string) (int, error) {
+	st, err := r.Store.UpdateScoped(fmt.Sprintf(`
 INSERT { ?h noa:isInMunicipality ?m }
 WHERE {
   ?h a noa:Hotspot ;
@@ -110,30 +193,34 @@ WHERE {
      strdf:hasGeometry ?hGeo .
   ?m a gag:Municipality ;
      strdf:hasGeometry ?mGeo .
-  FILTER( str(?at) = "%s" )
+  %s
   FILTER( strdf:anyInteract(?hGeo, ?mGeo) )
-}`, xsdTime(p.AcquiredAt)))
+}`, scope))
 	return st.Inserted, err
 }
 
 // DeleteInSea removes fresh hotspots that touch no coastline polygon —
 // the paper's first refinement update, scoped to the acquisition.
 func (r *Runner) DeleteInSea(p *products.Product) (int, error) {
-	st, err := r.Store.Update(fmt.Sprintf(`
+	return r.deleteInSeaScope(scopeEq(p.AcquiredAt))
+}
+
+func (r *Runner) deleteInSeaScope(scope string) (int, error) {
+	st, err := r.Store.UpdateScoped(fmt.Sprintf(`
 DELETE { ?h ?hProperty ?hObject }
 WHERE {
   ?h a noa:Hotspot ;
      noa:hasAcquisitionDateTime ?at ;
      strdf:hasGeometry ?hGeo ;
      ?hProperty ?hObject .
-  FILTER( str(?at) = "%s" )
+  %s
   OPTIONAL {
     ?c a coast:Coastline ;
        strdf:hasGeometry ?cGeo .
     FILTER( strdf:anyInteract(?hGeo, ?cGeo) )
   }
   FILTER( !bound(?c) )
-}`, xsdTime(p.AcquiredAt)))
+}`, scope))
 	return st.Deleted, err
 }
 
@@ -141,7 +228,11 @@ WHERE {
 // classes where forest fires are implausible (urban fabric, arable
 // plains) — the paper's "hotspots located outside forested areas".
 func (r *Runner) InvalidForFires(p *products.Product) (int, error) {
-	st, err := r.Store.Update(fmt.Sprintf(`
+	return r.invalidForFiresScope(scopeEq(p.AcquiredAt))
+}
+
+func (r *Runner) invalidForFiresScope(scope string) (int, error) {
+	st, err := r.Store.UpdateScoped(fmt.Sprintf(`
 DELETE { ?h ?hProperty ?hObject }
 WHERE {
   ?h a noa:Hotspot ;
@@ -151,17 +242,21 @@ WHERE {
   ?a a clc:Area ;
      clc:hasLandUse ?use ;
      strdf:hasGeometry ?aGeo .
-  FILTER( str(?at) = "%s" )
+  %s
   FILTER( ?use = <%s> || ?use = <%s> )
   FILTER( strdf:coveredBy(?hGeo, ?aGeo) )
-}`, xsdTime(p.AcquiredAt), ontology.ClassArable, ontology.ClassUrbanFabric))
+}`, scope, ontology.ClassArable, ontology.ClassUrbanFabric))
 	return st.Deleted, err
 }
 
 // RefineInCoast clips fresh hotspots that straddle the coastline to
 // their land part — the paper's second refinement update.
 func (r *Runner) RefineInCoast(p *products.Product) (int, error) {
-	st, err := r.Store.Update(fmt.Sprintf(`
+	return r.refineInCoastScope(scopeEq(p.AcquiredAt))
+}
+
+func (r *Runner) refineInCoastScope(scope string) (int, error) {
+	st, err := r.Store.UpdateScoped(fmt.Sprintf(`
 DELETE { ?h strdf:hasGeometry ?hGeo }
 INSERT { ?h strdf:hasGeometry ?dif }
 WHERE {
@@ -173,12 +268,12 @@ WHERE {
        strdf:hasGeometry ?hGeo .
     ?c a coast:Coastline ;
        strdf:hasGeometry ?cGeo .
-    FILTER( str(?at) = "%s" )
+    %s
     FILTER( strdf:anyInteract(?hGeo, ?cGeo) )
   }
   GROUP BY ?h ?hGeo
   HAVING strdf:overlap(?hGeo, strdf:union(?cGeo))
-}`, xsdTime(p.AcquiredAt)))
+}`, scope))
 	return st.Inserted, err
 }
 

@@ -260,3 +260,62 @@ func TestPropertyRandomInsertSearchDelete(t *testing.T) {
 		}
 	}
 }
+
+func TestInsertAllMatchesInsert(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	mk := func(n int) []Item {
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{
+				Box:  box(r.Float64()*100, r.Float64()*100, r.Float64(), r.Float64()),
+				Data: r.Intn(1 << 30),
+			}
+		}
+		return items
+	}
+	// Grow a tree through a mix of flush sizes: empty-tree bulk load,
+	// rebuild-triggering batches, and small append-path batches.
+	batch := New()
+	inc := New()
+	total := 0
+	for _, n := range []int{40, 300, 3, 7, 500, 1} {
+		items := mk(n)
+		batch.InsertAll(items)
+		for _, it := range items {
+			inc.Insert(it.Box, it.Data)
+		}
+		total += n
+		if batch.Len() != total || inc.Len() != total {
+			t.Fatalf("after +%d: lens = %d / %d, want %d", n, batch.Len(), inc.Len(), total)
+		}
+	}
+	for q := 0; q < 50; q++ {
+		w := box(r.Float64()*90, r.Float64()*90, 10, 10)
+		a := toInts(batch.SearchSlice(w))
+		b := toInts(inc.SearchSlice(w))
+		sort.Ints(a)
+		sort.Ints(b)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("window %v: batch %v != incremental %v", w, a, b)
+		}
+	}
+	// Deletion must keep working across rebuilt trees.
+	probe := mk(1)[0]
+	batch.InsertAll([]Item{probe})
+	if !batch.Delete(probe.Box, probe.Data) {
+		t.Fatal("delete after InsertAll failed")
+	}
+}
+
+func TestInsertAllEmptyBatch(t *testing.T) {
+	tr := New()
+	tr.InsertAll(nil)
+	if tr.Len() != 0 {
+		t.Fatal("empty batch must be a no-op")
+	}
+	tr.Insert(box(1, 1, 1, 1), "a")
+	tr.InsertAll(nil)
+	if tr.Len() != 1 {
+		t.Fatal("empty batch on non-empty tree must be a no-op")
+	}
+}

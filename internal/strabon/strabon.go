@@ -4,6 +4,31 @@
 // store of package rdf with an R-tree over strdf:hasGeometry objects and
 // the stSPARQL engine, exposing an endpoint-style API used by the
 // refinement step of the fire-monitoring service.
+//
+// # Locking discipline
+//
+// The store is safe for concurrent use through its endpoint API (Query,
+// Update, UpdateScoped, LoadTriples, InsertAll, ...). Internally a single
+// RWMutex guards the triple store, the spatial index and the geometry
+// entry table:
+//
+//   - Query evaluates under a read lock, so any number of queries — and
+//     the read-only planning phases of UpdateScoped — run concurrently.
+//   - Update, InsertAll and plan application take the write lock;
+//     mutations are serialised.
+//   - The stsparql interface methods (MatchTerms, Add, Remove,
+//     MatchGeometryWindow, SpatialIndexEnabled) do NOT lock: they are
+//     called by the evaluator while an endpoint method already holds the
+//     lock. External callers must go through the endpoint API.
+//   - Endpoint statistics live behind a separate mutex so read-locked
+//     queries can still count index hits.
+//
+// UpdateScoped relaxes SPARQL Update atomicity: the WHERE phase runs
+// under the read lock and application under the write lock, so a
+// conflicting writer could land in between. It exists for the refinement
+// loop, whose per-acquisition updates are scope-disjoint (every pattern is
+// filtered to one acquisition timestamp), making the interleaving
+// unobservable; callers with overlapping updates must use Update.
 package strabon
 
 import (
@@ -17,11 +42,10 @@ import (
 	"repro/internal/stsparql"
 )
 
-// Store is a spatially indexed RDF store with an stSPARQL endpoint.
-// Queries and updates are serialised by an internal lock, mirroring the
-// single-writer discipline of the NOA deployment.
+// Store is a spatially indexed RDF store with an stSPARQL endpoint. See
+// the package comment for the locking discipline.
 type Store struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	triples *rdf.Store
 	ns      *rdf.Namespaces
 	cache   *stsparql.Cache
@@ -32,7 +56,8 @@ type Store struct {
 	// delete the exact entry again.
 	geomEntries map[string]indexedGeom
 
-	stats Stats
+	statsMu sync.Mutex
+	stats   Stats
 }
 
 type indexedGeom struct {
@@ -73,19 +98,21 @@ func (s *Store) Namespaces() *rdf.Namespaces { return s.ns }
 
 // Len reports the number of triples.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.triples.Len()
 }
 
 // Stats returns a snapshot of endpoint statistics.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
 	return s.stats
 }
 
 // --- stsparql.Source / UpdatableSource / SpatialSource ---
+// These run with the store lock already held by the calling endpoint
+// method; they must not lock s.mu themselves.
 
 // MatchTerms implements stsparql.Source.
 func (s *Store) MatchTerms(sub, pred, obj rdf.Term, visit func(rdf.Triple) bool) {
@@ -97,14 +124,26 @@ func (s *Store) Add(t rdf.Triple) bool {
 	if !s.triples.Add(t) {
 		return false
 	}
-	if t.O.IsGeometry() && stsparql.GeometryPredicates[t.P.Value] {
-		if g, err := geom.ParseWKT(t.O.Value); err == nil {
-			env := g.Envelope()
-			s.index.Insert(env, t.String())
-			s.geomEntries[t.String()] = indexedGeom{env: env, triple: t}
-		}
+	if item, ok := s.geomItem(t); ok {
+		s.index.Insert(item.Box, item.Data)
 	}
 	return true
+}
+
+// geomItem prepares the spatial-index entry for a geometry triple,
+// recording it in geomEntries. ok is false for non-geometry triples.
+func (s *Store) geomItem(t rdf.Triple) (rtree.Item, bool) {
+	if !t.O.IsGeometry() || !stsparql.GeometryPredicates[t.P.Value] {
+		return rtree.Item{}, false
+	}
+	g, err := geom.ParseWKT(t.O.Value)
+	if err != nil {
+		return rtree.Item{}, false
+	}
+	env := g.Envelope()
+	key := t.String()
+	s.geomEntries[key] = indexedGeom{env: env, triple: t}
+	return rtree.Item{Box: env, Data: key}, true
 }
 
 // Remove implements stsparql.UpdatableSource.
@@ -125,7 +164,9 @@ func (s *Store) SpatialIndexEnabled() bool { return s.indexOn }
 // MatchGeometryWindow implements stsparql.SpatialSource: it streams the
 // geometry triples whose envelope intersects the window.
 func (s *Store) MatchGeometryWindow(env geom.Envelope, visit func(rdf.Triple) bool) {
+	s.statsMu.Lock()
 	s.stats.IndexHits++
+	s.statsMu.Unlock()
 	s.index.Search(env, func(it rtree.Item) bool {
 		e := s.geomEntries[it.Data.(string)]
 		return visit(e.triple)
@@ -136,16 +177,39 @@ func (s *Store) MatchGeometryWindow(env geom.Envelope, visit func(rdf.Triple) bo
 
 // LoadTriples bulk-inserts triples.
 func (s *Store) LoadTriples(triples []rdf.Triple) int {
+	counts := s.InsertAll(triples)
+	return counts[0]
+}
+
+// InsertAll bulk-inserts several triple groups under one write-lock
+// acquisition, returning the number of new triples per group. Geometry
+// triples are gathered across the whole flush and bulk-loaded into the
+// R-tree once, instead of one quadratic-split insertion per triple — the
+// batched write path of the acquisition pipeline's writer.
+func (s *Store) InsertAll(groups ...[]rdf.Triple) []int {
+	counts := make([]int, len(groups))
+	total := 0
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := 0
-	for _, t := range triples {
-		if s.Add(t) {
-			n++
+	var items []rtree.Item
+	for gi, group := range groups {
+		for _, t := range group {
+			if !s.triples.Add(t) {
+				continue
+			}
+			counts[gi]++
+			total++
+			if item, ok := s.geomItem(t); ok {
+				items = append(items, item)
+			}
 		}
 	}
-	s.stats.TriplesLoaded += n
-	return n
+	s.index.InsertAll(items)
+	s.mu.Unlock()
+
+	s.statsMu.Lock()
+	s.stats.TriplesLoaded += total
+	s.statsMu.Unlock()
+	return counts
 }
 
 // LoadTurtle parses and loads a Turtle document.
@@ -158,15 +222,19 @@ func (s *Store) LoadTurtle(src string) (int, error) {
 }
 
 // Query parses and evaluates a SELECT or ASK request. ASK results are
-// returned as a single-row result with variable "ask".
+// returned as a single-row result with variable "ask". Queries run under
+// the read lock and may execute concurrently with each other.
 func (s *Store) Query(src string) (*stsparql.Result, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Queries++
 	q, err := stsparql.Parse(src, s.ns)
 	if err != nil {
 		return nil, err
 	}
+	s.statsMu.Lock()
+	s.stats.Queries++
+	s.statsMu.Unlock()
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	ev := stsparql.NewEvaluatorWithCache(s, s.cache)
 	switch {
 	case q.Select != nil:
@@ -184,20 +252,55 @@ func (s *Store) Query(src string) (*stsparql.Result, error) {
 	}
 }
 
-// Update parses and executes a DELETE/INSERT request.
+// Update parses and executes a DELETE/INSERT request atomically: match
+// and application both happen under the write lock.
 func (s *Store) Update(src string) (stsparql.UpdateStats, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Updates++
-	q, err := stsparql.Parse(src, s.ns)
+	q, err := s.parseUpdate(src)
 	if err != nil {
 		return stsparql.UpdateStats{}, err
 	}
-	if q.Update == nil {
-		return stsparql.UpdateStats{}, fmt.Errorf("strabon: Update wants DELETE/INSERT")
-	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	ev := stsparql.NewEvaluatorWithCache(s, s.cache)
 	return ev.Update(q.Update)
+}
+
+// UpdateScoped executes a DELETE/INSERT request with its WHERE phase
+// under the read lock and its application under the write lock. Several
+// scoped updates can therefore match concurrently — the property the
+// refinement stage of the acquisition pipeline relies on, since its
+// spatial-join WHERE clauses dominate the cost while touching only one
+// acquisition's triples. Atomicity across the two phases is NOT
+// guaranteed; see the package comment for when this is sound.
+func (s *Store) UpdateScoped(src string) (stsparql.UpdateStats, error) {
+	q, err := s.parseUpdate(src)
+	if err != nil {
+		return stsparql.UpdateStats{}, err
+	}
+	s.mu.RLock()
+	ev := stsparql.NewEvaluatorWithCache(s, s.cache)
+	plan, err := ev.PlanUpdate(q.Update)
+	s.mu.RUnlock()
+	if err != nil {
+		return stsparql.UpdateStats{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return stsparql.ApplyPlan(s, plan), nil
+}
+
+func (s *Store) parseUpdate(src string) (*stsparql.Query, error) {
+	q, err := stsparql.Parse(src, s.ns)
+	if err != nil {
+		return nil, err
+	}
+	if q.Update == nil {
+		return nil, fmt.Errorf("strabon: Update wants DELETE/INSERT")
+	}
+	s.statsMu.Lock()
+	s.stats.Updates++
+	s.statsMu.Unlock()
+	return q, nil
 }
 
 // TimedUpdate executes an update and reports its wall-clock duration,

@@ -3,6 +3,7 @@ package strabon
 import (
 	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/geom"
@@ -337,5 +338,130 @@ SELECT ?h (strdf:area(?g) AS ?a) WHERE { ?h a noa:Hotspot ; strdf:hasGeometry ?g
 		if !ok || math.Abs(a-1) > 1e-9 {
 			t.Fatalf("area = %v", row["a"])
 		}
+	}
+}
+
+func hotspotGroup(i int, x float64) []rdf.Triple {
+	s := rdf.NewIRI(fmt.Sprintf("http://e/batch_h%d", i))
+	return []rdf.Triple{
+		{S: s, P: rdf.NewIRI(rdf.RDFType),
+			O: rdf.NewIRI("http://teleios.di.uoa.gr/ontologies/noaOntology.owl#Hotspot")},
+		{S: s, P: rdf.NewIRI("http://strdf.di.uoa.gr/ontology#hasGeometry"),
+			O: rdf.NewGeometry(fmt.Sprintf(
+				"POLYGON ((%g 1, %g 1, %g 2, %g 2, %g 1))", x, x+1, x+1, x, x))},
+	}
+}
+
+// TestInsertAllMatchesLoadTriples pins that the batched write path is
+// observationally identical to per-triple loading: same triple count,
+// same spatial query results, duplicate suppression included.
+func TestInsertAllMatchesLoadTriples(t *testing.T) {
+	batched, plain := New(), New()
+	var groups [][]rdf.Triple
+	for i := 0; i < 40; i++ {
+		groups = append(groups, hotspotGroup(i, float64(i)))
+	}
+	counts := batched.InsertAll(groups...)
+	for i, g := range groups {
+		if n := plain.LoadTriples(g); n != counts[i] {
+			t.Fatalf("group %d: batched %d vs plain %d", i, counts[i], n)
+		}
+	}
+	// Re-inserting must count zero new triples on both paths.
+	if again := batched.InsertAll(groups[0]); again[0] != 0 {
+		t.Fatalf("duplicate batch inserted %d", again[0])
+	}
+	if batched.Len() != plain.Len() {
+		t.Fatalf("len %d vs %d", batched.Len(), plain.Len())
+	}
+	q := `
+SELECT ?h WHERE {
+  ?h a noa:Hotspot ; strdf:hasGeometry ?g .
+  FILTER( strdf:anyInteract(?g, "POLYGON ((10 0, 20 0, 20 3, 10 3, 10 0))"^^strdf:WKT) )
+}`
+	rb, err := batched.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := plain.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rb.Rows) == 0 || len(rb.Rows) != len(rp.Rows) {
+		t.Fatalf("spatial rows: batched %d vs plain %d", len(rb.Rows), len(rp.Rows))
+	}
+}
+
+// TestUpdateScopedMatchesUpdate runs the same scoped delete through both
+// update paths and checks identical effect.
+func TestUpdateScopedMatchesUpdate(t *testing.T) {
+	mk := func() *Store {
+		s := New()
+		if _, err := s.LoadTurtle(fixtureTurtle); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	del := `
+DELETE { ?h ?p ?o }
+WHERE {
+  ?h a noa:Hotspot ; strdf:hasGeometry ?g ; ?p ?o .
+  OPTIONAL {
+    ?c a coast:Coastline ; strdf:hasGeometry ?cg .
+    FILTER( strdf:anyInteract(?g, ?cg) )
+  }
+  FILTER( !bound(?c) )
+}`
+	a, b := mk(), mk()
+	stA, err := a.Update(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB, err := b.UpdateScoped(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stA.Deleted == 0 || stA.Deleted != stB.Deleted || a.Len() != b.Len() {
+		t.Fatalf("Update deleted %d (len %d), UpdateScoped deleted %d (len %d)",
+			stA.Deleted, a.Len(), stB.Deleted, b.Len())
+	}
+}
+
+// TestConcurrentEndpointSmoke hammers the endpoint from many goroutines —
+// queries, scoped updates and batch inserts at once. Run under -race it
+// validates the store's locking discipline.
+func TestConcurrentEndpointSmoke(t *testing.T) {
+	s := New()
+	if _, err := s.LoadTurtle(fixtureTurtle); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				switch w % 3 {
+				case 0:
+					if _, err := s.Query(`SELECT ?h WHERE { ?h a noa:Hotspot . }`); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					s.InsertAll(hotspotGroup(1000+w*100+i, float64(w*30+i)))
+				default:
+					if _, err := s.UpdateScoped(fmt.Sprintf(`
+INSERT { ?h noa:hasConfidence %d.0 }
+WHERE  { ?h a noa:Hotspot . FILTER( strdf:area("POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))"^^strdf:WKT) > 2 ) }`, w)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() == 0 {
+		t.Fatal("store emptied")
 	}
 }

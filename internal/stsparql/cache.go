@@ -13,7 +13,11 @@ type Cache struct {
 func NewCache() *Cache { return &Cache{inner: newGeomCache()} }
 
 // Size reports the number of cached geometries.
-func (c *Cache) Size() int { return len(c.inner.geoms) }
+func (c *Cache) Size() int {
+	c.inner.mu.RLock()
+	defer c.inner.mu.RUnlock()
+	return len(c.inner.geoms)
+}
 
 // NewEvaluatorWithCache returns an evaluator over src that shares the
 // given geometry cache. The evaluator itself is still single-goroutine.

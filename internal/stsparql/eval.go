@@ -95,35 +95,44 @@ func (e *Evaluator) Ask(q *AskQuery) (bool, error) {
 	return len(rows) > 0, nil
 }
 
-// Update executes a DELETE/INSERT request against an updatable source.
-func (e *Evaluator) Update(q *UpdateQuery) (UpdateStats, error) {
-	up, ok := e.src.(UpdatableSource)
-	if !ok {
-		return UpdateStats{}, fmt.Errorf("stsparql: source is not updatable")
-	}
-	var stats UpdateStats
+// UpdatePlan is a computed but not yet applied DELETE/INSERT request: the
+// WHERE solutions have been matched and both templates instantiated
+// against the pre-update state. Splitting planning from application lets a
+// store evaluate the (expensive, read-only) match phase under a shared
+// read lock and serialise only the mutation.
+type UpdatePlan struct {
+	Matched int
+	Deletes []rdf.Triple
+	Inserts []rdf.Triple
+}
+
+// PlanUpdate evaluates an update's WHERE clause and instantiates its
+// templates without mutating the source. The returned plan reflects the
+// source state at planning time; callers that apply it later are
+// responsible for ensuring no conflicting write lands in between (see
+// strabon.UpdateScoped for the discipline used by the refinement loop).
+func (e *Evaluator) PlanUpdate(q *UpdateQuery) (*UpdatePlan, error) {
 	var solutions []Binding
 	if q.Where != nil {
 		rows, err := e.evalGroup(q.Where, []Binding{{}})
 		if err != nil {
-			return stats, err
+			return nil, err
 		}
 		solutions = rows
 	} else {
 		solutions = []Binding{{}}
 	}
-	stats.Matched = len(solutions)
+	plan := &UpdatePlan{Matched: len(solutions)}
 
 	// SPARQL Update semantics: both template instantiations are computed
 	// against the pre-update state, then deletes apply before inserts.
 	seen := make(map[string]bool)
-	var toDelete, toInsert []rdf.Triple
 	for _, row := range solutions {
 		for _, tpl := range q.Delete {
 			if t, ok := instantiate(tpl, row); ok {
 				if k := t.String(); !seen["D"+k] {
 					seen["D"+k] = true
-					toDelete = append(toDelete, t)
+					plan.Deletes = append(plan.Deletes, t)
 				}
 			}
 		}
@@ -131,22 +140,42 @@ func (e *Evaluator) Update(q *UpdateQuery) (UpdateStats, error) {
 			if t, ok := instantiate(tpl, row); ok {
 				if k := t.String(); !seen["I"+k] {
 					seen["I"+k] = true
-					toInsert = append(toInsert, t)
+					plan.Inserts = append(plan.Inserts, t)
 				}
 			}
 		}
 	}
-	for _, t := range toDelete {
+	return plan, nil
+}
+
+// ApplyPlan applies a computed update plan to a source: deletes before
+// inserts, per SPARQL Update semantics.
+func ApplyPlan(up UpdatableSource, plan *UpdatePlan) UpdateStats {
+	stats := UpdateStats{Matched: plan.Matched}
+	for _, t := range plan.Deletes {
 		if up.Remove(t) {
 			stats.Deleted++
 		}
 	}
-	for _, t := range toInsert {
+	for _, t := range plan.Inserts {
 		if up.Add(t) {
 			stats.Inserted++
 		}
 	}
-	return stats, nil
+	return stats
+}
+
+// Update executes a DELETE/INSERT request against an updatable source.
+func (e *Evaluator) Update(q *UpdateQuery) (UpdateStats, error) {
+	up, ok := e.src.(UpdatableSource)
+	if !ok {
+		return UpdateStats{}, fmt.Errorf("stsparql: source is not updatable")
+	}
+	plan, err := e.PlanUpdate(q)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	return ApplyPlan(up, plan), nil
 }
 
 func instantiate(tpl TriplePattern, row Binding) (rdf.Triple, bool) {
@@ -698,6 +727,11 @@ func (e *Evaluator) joinBGP(rows []Binding, patterns []TriplePattern, filters []
 		break // seed rows share the same domain
 	}
 
+	spatialIdx := false
+	if ss, ok := e.src.(SpatialSource); ok {
+		spatialIdx = ss.SpatialIndexEnabled()
+	}
+
 	for len(remaining) > 0 {
 		// Pick the most selective pattern: most bound components.
 		best, bestScore := 0, -1
@@ -710,6 +744,16 @@ func (e *Evaluator) joinBGP(rows []Binding, patterns []TriplePattern, filters []
 			}
 			if !p.P.IsVar() {
 				score++ // prefer bound predicates: POS index is effective
+			}
+			// Prefer geometry patterns the R-tree can serve: when a pending
+			// spatial filter joins this pattern's fresh geometry variable
+			// against an already-bound one, scanning it next turns a full
+			// cross join into a window query (the paper's Municipalities-
+			// style joins collapse from hotspots×dataset to hotspots×few).
+			if spatialIdx && score < 6 && !p.P.IsVar() && GeometryPredicates[p.P.Term.Value] &&
+				p.O.IsVar() && !boundVars[p.O.Var] &&
+				spatialJoinReady(filters, applied, p.O.Var, boundVars) {
+				score = 6
 			}
 			if score > bestScore {
 				best, bestScore = i, score
@@ -877,6 +921,53 @@ var spatialJoinFns = map[string]bool{
 	"strdf:equals":      true,
 	"strdf:coveredby":   true,
 	"strdf:covers":      true,
+}
+
+// spatialJoinReady reports whether a pending filter spatially joins
+// variable v against a geometry computable from the already-bound
+// variables — the static planning counterpart of findSpatialConstraint,
+// used to order index-servable geometry patterns early.
+func spatialJoinReady(filters []*FilterElement, applied map[*FilterElement]bool, v string, bound map[string]bool) bool {
+	for _, f := range filters {
+		if applied[f] {
+			continue
+		}
+		if spatialJoinReadyExpr(f.Cond, v, bound) {
+			return true
+		}
+	}
+	return false
+}
+
+func spatialJoinReadyExpr(expr Expr, v string, bound map[string]bool) bool {
+	switch n := expr.(type) {
+	case *CallExpr:
+		if spatialJoinFns[n.Name] && len(n.Args) == 2 {
+			for i := 0; i < 2; i++ {
+				ve, ok := n.Args[i].(*VarExpr)
+				if !ok || ve.Name != v {
+					continue
+				}
+				vars := map[string]bool{}
+				exprVars(n.Args[1-i], vars)
+				otherBound := true
+				for name := range vars {
+					if !bound[name] {
+						otherBound = false
+						break
+					}
+				}
+				if otherBound {
+					return true
+				}
+			}
+		}
+	case *BinaryExpr:
+		if n.Op == "&&" {
+			return spatialJoinReadyExpr(n.L, v, bound) || spatialJoinReadyExpr(n.R, v, bound)
+		}
+	}
+	return false
 }
 
 func (e *Evaluator) findSpatialConstraint(expr Expr, v string, row Binding) (geom.Envelope, bool) {

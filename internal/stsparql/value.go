@@ -8,6 +8,7 @@ package stsparql
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/geom"
@@ -238,8 +239,11 @@ func (v Value) equalValue(o Value) (bool, error) {
 
 // geomCache caches parsed WKT so repeated spatial joins do not re-parse
 // the same coastline literal thousands of times. It also caches computed
-// envelopes for index pre-filtering.
+// envelopes for index pre-filtering. The cache is safe for concurrent use:
+// a store may run several read-locked evaluations at once, all sharing one
+// cache (see strabon's locking discipline).
 type geomCache struct {
+	mu    sync.RWMutex
 	geoms map[string]geom.Geometry
 }
 
@@ -248,13 +252,18 @@ func newGeomCache() *geomCache {
 }
 
 func (c *geomCache) parse(wkt string) (geom.Geometry, error) {
-	if g, ok := c.geoms[wkt]; ok {
+	c.mu.RLock()
+	g, ok := c.geoms[wkt]
+	c.mu.RUnlock()
+	if ok {
 		return g, nil
 	}
 	g, err := geom.ParseWKT(wkt)
 	if err != nil {
 		return nil, err
 	}
+	c.mu.Lock()
 	c.geoms[wkt] = g
+	c.mu.Unlock()
 	return g, nil
 }

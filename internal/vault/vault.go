@@ -209,6 +209,14 @@ func (v *Vault) Load(channel string, ts time.Time) (*array.Dense, error) {
 	v.mu.Lock()
 	v.stats.Loads++
 	v.stats.BytesRead += bytesRead
+	// Concurrent misses on the same key both decode; only the first may
+	// insert, or a duplicate lru element would later evict the live
+	// cache mapping.
+	if el, ok := v.cache[key]; ok {
+		v.lru.MoveToFront(el)
+		v.mu.Unlock()
+		return el.Value.(cacheItem).img, nil
+	}
 	el := v.lru.PushFront(cacheItem{key: key, img: img})
 	v.cache[key] = el
 	for v.lru.Len() > v.cacheCap {
