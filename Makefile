@@ -3,18 +3,23 @@
 
 GO ?= go
 
-.PHONY: build test bench lint fmt
+.PHONY: build test bench bench-endpoint lint fmt
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test -race ./...
+	$(GO) test -race -count=2 -run 'TestEndpointConcurrent|TestConcurrentEndpointSmoke' ./internal/strabon
 
 # Full benchmark sweep; CI runs the 1x smoke variant of the end-to-end
-# and pipeline benchmarks.
+# and pipeline benchmarks and the served-query smoke.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Concurrent endpoint read throughput across core counts.
+bench-endpoint:
+	$(GO) test -run '^$$' -bench 'BenchmarkServedQueries' -cpu 1,4,8 ./internal/strabon
 
 lint:
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \

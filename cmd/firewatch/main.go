@@ -1,15 +1,20 @@
 // Command firewatch runs the end-to-end fire monitoring service over a
 // synthetic fire day and disseminates the products: per-acquisition
-// reports on stdout and, with -serve, a small HTTP endpoint offering the
-// latest products as GeoJSON and the live map as SVG (the role GeoServer
-// plays in the pre-TELEIOS architecture).
+// reports on stdout and, with -serve, an HTTP server combining the
+// product endpoints (GeoJSON, SVG map — the role GeoServer plays in the
+// pre-TELEIOS architecture) with Strabon's stSPARQL endpoint (/sparql,
+// /update, /explain, /stats). The stSPARQL endpoint comes up before the
+// acquisition window starts, so operator queries run against the store
+// while detection and refinement are writing to it.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/auxdata"
@@ -17,6 +22,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/mapgen"
 	"repro/internal/seviri"
+	"repro/internal/strabon"
 )
 
 func main() {
@@ -44,6 +50,44 @@ func main() {
 	if svc.EffectiveWorkers() > 1 {
 		fmt.Println("firewatch: pipeline mode — Store and scoped refinement figures are flush-level (shared across a batch)")
 	}
+
+	// With -serve, the stSPARQL endpoint comes up before the window runs:
+	// operator queries and the acquisition pipeline's writes share the
+	// store under its read-lock discipline. The product endpoints read the
+	// service's in-memory report state, which is only stable once the
+	// window completes; they answer 503 until then.
+	var windowDone atomic.Bool
+	if *serve != "" {
+		mux := http.NewServeMux()
+		ep := strabon.NewEndpoint(svc.Strabon)
+		mux.Handle("/sparql", ep)
+		mux.Handle("/update", ep)
+		mux.Handle("/explain", ep)
+		mux.Handle("/stats", ep)
+		mux.HandleFunc("/products.geojson", func(w http.ResponseWriter, r *http.Request) {
+			if !windowDone.Load() {
+				http.Error(w, "acquisition window in progress", http.StatusServiceUnavailable)
+				return
+			}
+			m := productMap(svc)
+			w.Header().Set("Content-Type", "application/geo+json")
+			fmt.Fprint(w, m.GeoJSON())
+		})
+		mux.HandleFunc("/map.svg", func(w http.ResponseWriter, r *http.Request) {
+			if !windowDone.Load() {
+				http.Error(w, "acquisition window in progress", http.StatusServiceUnavailable)
+				return
+			}
+			m := productMap(svc)
+			w.Header().Set("Content-Type", "image/svg+xml")
+			fmt.Fprint(w, m.SVG(900))
+		})
+		ln, err := net.Listen("tcp", *serve)
+		fail(err)
+		fmt.Printf("firewatch: serving on %s (/sparql, /update, /explain, /stats, /products.geojson, /map.svg)\n", *serve)
+		go func() { fail(http.Serve(ln, mux)) }()
+	}
+
 	start := time.Now()
 	runErr := svc.RunWindow(sens, from, *window)
 	wall := time.Since(start)
@@ -71,18 +115,9 @@ func main() {
 	if *serve == "" {
 		return
 	}
-	http.HandleFunc("/products.geojson", func(w http.ResponseWriter, r *http.Request) {
-		m := productMap(svc)
-		w.Header().Set("Content-Type", "application/geo+json")
-		fmt.Fprint(w, m.GeoJSON())
-	})
-	http.HandleFunc("/map.svg", func(w http.ResponseWriter, r *http.Request) {
-		m := productMap(svc)
-		w.Header().Set("Content-Type", "image/svg+xml")
-		fmt.Fprint(w, m.SVG(900))
-	})
-	fmt.Printf("firewatch: serving products on %s (/products.geojson, /map.svg)\n", *serve)
-	fail(http.ListenAndServe(*serve, nil))
+	windowDone.Store(true)
+	fmt.Println("firewatch: window complete, continuing to serve (interrupt to stop)")
+	select {}
 }
 
 func productMap(svc *core.Service) *mapgen.Map {

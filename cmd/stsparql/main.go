@@ -1,10 +1,15 @@
-// Command stsparql is a command-line stSPARQL endpoint over the synthetic
+// Command stsparql is a command-line stSPARQL client over the synthetic
 // linked-data datasets (and optional Turtle files): the interface NOA
 // operators use to pose the thematic queries of Section 3.2.4.
 //
 //	stsparql -query 'SELECT ?m WHERE { ?m a gag:Municipality . }'
-//	stsparql -load extra.ttl -query-file q.rq
+//	stsparql -load extra.ttl -query-file q.rq -format json
+//	stsparql -repeat 5 -query '...'   # geometry cache persists across runs
 //	echo 'ASK { ?h a noa:Hotspot }' | stsparql
+//
+// Timing, result counts and geometry-cache occupancy go to stderr;
+// results (table, json or tsv) go to stdout. -explain prints the chosen
+// evaluation plan instead of executing.
 package main
 
 import (
@@ -12,9 +17,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/auxdata"
 	"repro/internal/strabon"
+	"repro/internal/stsparql"
 )
 
 func main() {
@@ -24,10 +31,20 @@ func main() {
 		query     = flag.String("query", "", "query text")
 		queryFile = flag.String("query-file", "", "file holding the query")
 		update    = flag.Bool("update", false, "treat the request as an update")
+		explain   = flag.Bool("explain", false, "print the evaluation plan instead of executing")
+		format    = flag.String("format", "table", "result format: table, json or tsv")
+		repeat    = flag.Int("repeat", 1, "evaluate the query N times (the shared geometry cache makes repeats cheap)")
 	)
 	flag.Parse()
+	if *repeat < 1 {
+		*repeat = 1
+	}
 
-	st := strabon.New()
+	// The geometry cache is created here and shared with the store, so
+	// every evaluation — across -repeat runs — reuses parsed WKT instead
+	// of re-parsing the same coastline literals.
+	cache := stsparql.NewCache()
+	st := strabon.NewWithCache(cache)
 	if *seed != 0 {
 		world := auxdata.Generate(*seed)
 		n := st.LoadTriples(world.AllTriples())
@@ -57,15 +74,52 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *update {
-		stats, err := st.Update(q)
+	if *explain {
+		plan, err := st.Explain(q)
 		fail(err)
-		fmt.Printf("matched %d solutions, deleted %d, inserted %d triples\n",
-			stats.Matched, stats.Deleted, stats.Inserted)
+		fmt.Print(plan)
 		return
 	}
-	res, _, err := st.TimedQuery(q)
-	fail(err)
+
+	if *update {
+		for i := 0; i < *repeat; i++ {
+			start := time.Now()
+			stats, err := st.Update(q)
+			fail(err)
+			fmt.Fprintf(os.Stderr, "update run %d: matched %d, deleted %d, inserted %d in %v\n",
+				i+1, stats.Matched, stats.Deleted, stats.Inserted, time.Since(start).Round(time.Microsecond))
+		}
+		reportCache(cache)
+		return
+	}
+
+	var res *stsparql.Result
+	for i := 0; i < *repeat; i++ {
+		r, d, err := st.TimedQuery(q)
+		fail(err)
+		res = r
+		fmt.Fprintf(os.Stderr, "run %d: %d rows in %v\n", i+1, len(r.Rows), d.Round(time.Microsecond))
+	}
+	reportCache(cache)
+
+	switch *format {
+	case "json":
+		fail(strabon.WriteResultJSON(os.Stdout, res))
+	case "tsv":
+		fail(strabon.WriteResultTSV(os.Stdout, res))
+	case "table":
+		printTable(res)
+	default:
+		fmt.Fprintf(os.Stderr, "stsparql: unknown format %q (want table, json or tsv)\n", *format)
+		os.Exit(2)
+	}
+}
+
+func reportCache(cache *stsparql.Cache) {
+	fmt.Fprintf(os.Stderr, "geometry cache: %d parsed WKT literals\n", cache.Size())
+}
+
+func printTable(res *stsparql.Result) {
 	for _, v := range res.Vars {
 		fmt.Printf("%-40s", "?"+v)
 	}
@@ -76,7 +130,6 @@ func main() {
 		}
 		fmt.Println()
 	}
-	fmt.Fprintf(os.Stderr, "%d rows\n", len(res.Rows))
 }
 
 func truncate(s string, n int) string {

@@ -1,0 +1,92 @@
+// Command stsparqld serves Strabon's stSPARQL endpoint over HTTP: the
+// query service NOA operators pose the thematic queries of Section 3.2.4
+// against. It can serve a static store (the synthetic world plus optional
+// Turtle files) or, with -live, a store being written by the fire
+// monitoring service while queries run — detection and refinement writes
+// and operator reads sharing one store under the read-lock discipline.
+//
+//	stsparqld -addr :7575
+//	stsparqld -addr :7575 -load extra.ttl
+//	stsparqld -addr :7575 -live -window 1h -workers 4
+//
+// Endpoints: /sparql (GET/POST query; JSON or format=tsv), /update
+// (POST), /explain, /stats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/auxdata"
+	"repro/internal/core"
+	"repro/internal/seviri"
+	"repro/internal/strabon"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7575", "HTTP listen address")
+		seed    = flag.Int64("seed", 42, "synthetic world seed (0 disables world loading)")
+		load    = flag.String("load", "", "optional Turtle file to load")
+		live    = flag.Bool("live", false, "run the fire monitoring service against the served store")
+		sensor  = flag.String("sensor", "MSG1", "live mode sensor stream: MSG1 or MSG2")
+		window  = flag.Duration("window", time.Hour, "live mode monitored span")
+		workers = flag.Int("workers", 0, "live mode pipeline workers (0 = NumCPU)")
+	)
+	flag.Parse()
+
+	var st *strabon.Store
+	if *live {
+		cfg := seviri.DefaultScenarioConfig()
+		svc, err := core.NewService(*seed, cfg)
+		fail(err)
+		svc.Workers = *workers
+		st = svc.Strabon
+		sens := seviri.MSG1
+		if *sensor == "MSG2" {
+			sens = seviri.MSG2
+		}
+		from := cfg.Start.Add(11 * time.Hour)
+		go func() {
+			fmt.Fprintf(os.Stderr, "stsparqld: live service %s from %s for %v (%d workers)\n",
+				sens.Name, from.Format(time.RFC3339), *window, svc.EffectiveWorkers())
+			start := time.Now()
+			if err := svc.RunWindow(sens, from, *window); err != nil {
+				fmt.Fprintln(os.Stderr, "stsparqld: live window:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "stsparqld: live window done: %d acquisitions in %v\n",
+				len(svc.Reports), time.Since(start).Round(time.Millisecond))
+		}()
+	} else {
+		st = strabon.New()
+		if *seed != 0 {
+			world := auxdata.Generate(*seed)
+			n := st.LoadTriples(world.AllTriples())
+			fmt.Fprintf(os.Stderr, "stsparqld: loaded %d triples from synthetic world (seed %d)\n", n, *seed)
+		}
+	}
+	if *load != "" {
+		src, err := os.ReadFile(*load)
+		fail(err)
+		n, err := st.LoadTurtle(string(src))
+		fail(err)
+		fmt.Fprintf(os.Stderr, "stsparqld: loaded %d triples from %s\n", n, *load)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	fail(err)
+	fmt.Fprintf(os.Stderr, "stsparqld: serving stSPARQL on %s (/sparql, /update, /explain, /stats)\n", *addr)
+	fail(http.Serve(ln, strabon.NewEndpoint(st)))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stsparqld:", err)
+		os.Exit(1)
+	}
+}

@@ -410,3 +410,93 @@ func TestStoreRandomizedAgainstMap(t *testing.T) {
 		}
 	}
 }
+
+// brutePredicateCard recomputes PredicateCard by full scan, the oracle
+// for the incrementally-maintained statistics.
+func brutePredicateCard(s *Store, pred Term) (int, int, int) {
+	n := 0
+	subj := make(map[string]bool)
+	obj := make(map[string]bool)
+	s.MatchTerms(Term{}, pred, Term{}, func(t Triple) bool {
+		n++
+		subj[t.S.String()] = true
+		obj[t.O.String()] = true
+		return true
+	})
+	return n, len(subj), len(obj)
+}
+
+func TestCountPattern(t *testing.T) {
+	s := NewStore()
+	for _, t3 := range []Triple{
+		tr("http://e/a", "http://e/p", "http://e/x"),
+		tr("http://e/a", "http://e/p", "http://e/y"),
+		tr("http://e/b", "http://e/p", "http://e/x"),
+		tr("http://e/b", "http://e/q", "http://e/x"),
+	} {
+		s.Add(t3)
+	}
+	i := func(v string) Term { return NewIRI(v) }
+	for _, tc := range []struct {
+		s, p, o Term
+		want    int
+	}{
+		{Term{}, Term{}, Term{}, 4},
+		{i("http://e/a"), Term{}, Term{}, 2},
+		{Term{}, i("http://e/p"), Term{}, 3},
+		{Term{}, Term{}, i("http://e/x"), 3},
+		{i("http://e/a"), i("http://e/p"), Term{}, 2},
+		{Term{}, i("http://e/p"), i("http://e/x"), 2},
+		{i("http://e/b"), Term{}, i("http://e/x"), 2},
+		{i("http://e/a"), i("http://e/p"), i("http://e/x"), 1},
+		{i("http://e/a"), i("http://e/q"), i("http://e/x"), 0},
+		{i("http://e/nope"), Term{}, Term{}, 0},
+	} {
+		if got := s.CountPattern(tc.s, tc.p, tc.o); got != tc.want {
+			t.Errorf("CountPattern(%v %v %v) = %d, want %d", tc.s, tc.p, tc.o, got, tc.want)
+		}
+	}
+	triples, subjects, predicates, objects := s.StoreCard()
+	if triples != 4 || subjects != 2 || predicates != 2 || objects != 2 {
+		t.Fatalf("StoreCard = %d %d %d %d", triples, subjects, predicates, objects)
+	}
+}
+
+func TestPredicateCardMaintainedUnderChurn(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	s := NewStore()
+	preds := []Term{NewIRI("http://e/p0"), NewIRI("http://e/p1"), NewIRI("http://e/p2")}
+	var live []Triple
+	for i := 0; i < 3000; i++ {
+		t3 := tr(
+			fmt.Sprintf("http://e/s%d", r.Intn(15)),
+			fmt.Sprintf("http://e/p%d", r.Intn(3)),
+			fmt.Sprintf("http://e/o%d", r.Intn(25)),
+		)
+		if r.Float64() < 0.65 {
+			s.Add(t3)
+			live = append(live, t3)
+		} else {
+			s.Remove(t3)
+		}
+		if i%500 == 0 {
+			for _, p := range preds {
+				wn, ws, wo := brutePredicateCard(s, p)
+				gn, gs, go_ := s.PredicateCard(p)
+				if gn != wn || gs != ws || go_ != wo {
+					t.Fatalf("step %d pred %v: got (%d,%d,%d), want (%d,%d,%d)",
+						i, p, gn, gs, go_, wn, ws, wo)
+				}
+			}
+		}
+	}
+	// Drain and verify the counters return to zero.
+	for _, t3 := range live {
+		s.Remove(t3)
+	}
+	for _, p := range preds {
+		if n, ds, do := s.PredicateCard(p); n != 0 || ds != 0 || do != 0 {
+			t.Fatalf("after drain, pred %v card = (%d,%d,%d)", p, n, ds, do)
+		}
+	}
+}

@@ -52,22 +52,32 @@ func (ix index) remove(a, b, c ID) bool {
 
 // Store is an in-memory dictionary-encoded triple store with three
 // complete orderings, the classic layout of RDF column stores (and of
-// Strabon's underlying schema).
+// Strabon's underlying schema). Alongside the indexes it maintains cheap
+// cardinality statistics — triples and distinct subjects per predicate —
+// kept up to date on every Add/Remove, so a query planner can cost join
+// orders in O(1) per estimate.
 type Store struct {
 	dict *Dictionary
 	spo  index
 	pos  index
 	osp  index
 	size int
+
+	// predCount counts triples per predicate; predSubj counts distinct
+	// subjects per predicate (distinct objects come free as len(pos[p])).
+	predCount map[ID]int
+	predSubj  map[ID]int
 }
 
 // NewStore returns an empty store with a fresh dictionary.
 func NewStore() *Store {
 	return &Store{
-		dict: NewDictionary(),
-		spo:  make(index),
-		pos:  make(index),
-		osp:  make(index),
+		dict:      NewDictionary(),
+		spo:       make(index),
+		pos:       make(index),
+		osp:       make(index),
+		predCount: make(map[ID]int),
+		predSubj:  make(map[ID]int),
 	}
 }
 
@@ -94,6 +104,10 @@ func (s *Store) AddEncoded(t EncodedTriple) bool {
 	s.pos.add(t.P, t.O, t.S)
 	s.osp.add(t.O, t.S, t.P)
 	s.size++
+	s.predCount[t.P]++
+	if len(s.spo[t.S][t.P]) == 1 {
+		s.predSubj[t.P]++
+	}
 	return true
 }
 
@@ -122,6 +136,14 @@ func (s *Store) RemoveEncoded(t EncodedTriple) bool {
 	s.pos.remove(t.P, t.O, t.S)
 	s.osp.remove(t.O, t.S, t.P)
 	s.size--
+	if s.predCount[t.P]--; s.predCount[t.P] == 0 {
+		delete(s.predCount, t.P)
+	}
+	if _, ok := s.spo[t.S][t.P]; !ok {
+		if s.predSubj[t.P]--; s.predSubj[t.P] == 0 {
+			delete(s.predSubj, t.P)
+		}
+	}
 	return true
 }
 
@@ -295,6 +317,90 @@ func (s *Store) Triples() []Triple {
 		return true
 	})
 	return out
+}
+
+// --- cardinality statistics (the planner's cost inputs) ---
+
+// countEncoded returns the exact number of triples matching an encoded
+// pattern without enumerating them: every case is answered from index map
+// lengths or the maintained per-predicate counters. Worst case is O(number
+// of predicates of one subject or object), typically a handful.
+func (s *Store) countEncoded(sub, pred, obj ID) int {
+	switch {
+	case sub != Wildcard && pred != Wildcard && obj != Wildcard:
+		if _, ok := s.spo[sub][pred][obj]; ok {
+			return 1
+		}
+		return 0
+	case sub != Wildcard && pred != Wildcard:
+		return len(s.spo[sub][pred])
+	case pred != Wildcard && obj != Wildcard:
+		return len(s.pos[pred][obj])
+	case sub != Wildcard && obj != Wildcard:
+		n := 0
+		for _, m2 := range s.spo[sub] {
+			if _, ok := m2[obj]; ok {
+				n++
+			}
+		}
+		return n
+	case sub != Wildcard:
+		n := 0
+		for _, m2 := range s.spo[sub] {
+			n += len(m2)
+		}
+		return n
+	case pred != Wildcard:
+		return s.predCount[pred]
+	case obj != Wildcard:
+		n := 0
+		for _, m2 := range s.osp[obj] {
+			n += len(m2)
+		}
+		return n
+	default:
+		return s.size
+	}
+}
+
+// CountPattern returns the exact number of triples matching a term
+// pattern (zero Terms are wildcards) in near-constant time. Terms absent
+// from the dictionary match nothing.
+func (s *Store) CountPattern(sub, pred, obj Term) int {
+	var sid, pid, oid ID
+	var ok bool
+	if !sub.IsZero() {
+		if sid, ok = s.dict.Lookup(sub); !ok {
+			return 0
+		}
+	}
+	if !pred.IsZero() {
+		if pid, ok = s.dict.Lookup(pred); !ok {
+			return 0
+		}
+	}
+	if !obj.IsZero() {
+		if oid, ok = s.dict.Lookup(obj); !ok {
+			return 0
+		}
+	}
+	return s.countEncoded(sid, pid, oid)
+}
+
+// PredicateCard reports per-predicate cardinalities: total triples,
+// distinct subjects and distinct objects. All three are O(1).
+func (s *Store) PredicateCard(pred Term) (triples, distinctS, distinctO int) {
+	pid, ok := s.dict.Lookup(pred)
+	if !ok {
+		return 0, 0, 0
+	}
+	return s.predCount[pid], s.predSubj[pid], len(s.pos[pid])
+}
+
+// StoreCard reports store-level cardinalities: total triples and the
+// distinct subject, predicate and object counts. All four are O(1).
+func (s *Store) StoreCard() (triples, subjects, predicates, objects int) {
+	return s.size, len(s.spo), len(s.pos), len(s.osp)
 }
 
 // Subjects returns the distinct subject IDs with predicate pred and object

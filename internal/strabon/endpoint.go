@@ -1,0 +1,204 @@
+package strabon
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Endpoint is an http.Handler exposing a Store over a minimal
+// SPARQL-protocol surface — the role Strabon's endpoint plays for NOA
+// operators' thematic queries (Section 3.2.4 of the paper):
+//
+//	GET  /sparql?query=...          evaluate a SELECT/ASK
+//	POST /sparql                    form-encoded query=, or a raw
+//	                                application/sparql-query body
+//	POST /update                    form-encoded update=, or a raw
+//	                                application/sparql-update body
+//	GET  /explain?query=...         render the evaluation plan
+//	GET  /stats                     store + endpoint statistics
+//
+// Result format negotiation: "format=tsv" (or an Accept header naming
+// text/tab-separated-values) selects TSV; the default is SPARQL results
+// JSON. Every query response carries X-Rows and X-Elapsed-Us headers.
+//
+// Handlers take no locks of their own: the store's read-lock discipline
+// lets any number of /sparql and /explain requests run concurrently with
+// each other and with the planning phases of scoped updates.
+type Endpoint struct {
+	store *Store
+
+	mu    sync.Mutex
+	stats EndpointStats
+}
+
+// EndpointStats counts served traffic.
+type EndpointStats struct {
+	Requests int // query/update/explain requests accepted
+	Errors   int // requests answered with a non-2xx status
+	Rows     int // result rows served by queries
+}
+
+// NewEndpoint returns an endpoint over the store.
+func NewEndpoint(s *Store) *Endpoint { return &Endpoint{store: s} }
+
+// Stats returns a snapshot of the endpoint counters.
+func (ep *Endpoint) Stats() EndpointStats {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.stats
+}
+
+// ServeHTTP implements http.Handler.
+func (ep *Endpoint) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch strings.TrimSuffix(r.URL.Path, "/") {
+	case "", "/sparql":
+		ep.serveQuery(w, r)
+	case "/update":
+		ep.serveUpdate(w, r)
+	case "/explain":
+		ep.serveExplain(w, r)
+	case "/stats":
+		ep.serveStats(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// maxRequestBody caps request bodies (direct and form-encoded alike):
+// no thematic query comes anywhere near 1 MB.
+const maxRequestBody = 1 << 20
+
+// requestText extracts the query/update text per the SPARQL protocol:
+// the named form/URL parameter, or the raw body for direct-POST content
+// types.
+func requestText(w http.ResponseWriter, r *http.Request, param, directType string) (string, error) {
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	}
+	if r.Method == http.MethodPost {
+		ct := r.Header.Get("Content-Type")
+		if strings.HasPrefix(ct, directType) {
+			raw, err := io.ReadAll(r.Body)
+			if err != nil {
+				return "", err
+			}
+			return string(raw), nil
+		}
+	}
+	if err := r.ParseForm(); err != nil {
+		return "", err
+	}
+	return r.Form.Get(param), nil
+}
+
+func (ep *Endpoint) count(rows int, failed bool) {
+	ep.mu.Lock()
+	ep.stats.Requests++
+	ep.stats.Rows += rows
+	if failed {
+		ep.stats.Errors++
+	}
+	ep.mu.Unlock()
+}
+
+func (ep *Endpoint) serveQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		ep.count(0, true)
+		http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
+		return
+	}
+	q, err := requestText(w, r, "query", "application/sparql-query")
+	if err != nil || q == "" {
+		ep.count(0, true)
+		http.Error(w, "missing query", http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	res, err := ep.store.Query(q)
+	if err != nil {
+		ep.count(0, true)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	elapsed := time.Since(start)
+	ep.count(len(res.Rows), false)
+
+	w.Header().Set("X-Rows", fmt.Sprint(len(res.Rows)))
+	w.Header().Set("X-Elapsed-Us", fmt.Sprint(elapsed.Microseconds()))
+	if wantsTSV(r) {
+		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+		_ = WriteResultTSV(w, res)
+		return
+	}
+	w.Header().Set("Content-Type", "application/sparql-results+json")
+	_ = WriteResultJSON(w, res)
+}
+
+func (ep *Endpoint) serveUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		ep.count(0, true)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	u, err := requestText(w, r, "update", "application/sparql-update")
+	if err != nil || u == "" {
+		ep.count(0, true)
+		http.Error(w, "missing update", http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	st, err := ep.store.Update(u)
+	if err != nil {
+		ep.count(0, true)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ep.count(0, false)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Elapsed-Us", fmt.Sprint(time.Since(start).Microseconds()))
+	_ = json.NewEncoder(w).Encode(st)
+}
+
+func (ep *Endpoint) serveExplain(w http.ResponseWriter, r *http.Request) {
+	q, err := requestText(w, r, "query", "application/sparql-query")
+	if err != nil || q == "" {
+		ep.count(0, true)
+		http.Error(w, "missing query", http.StatusBadRequest)
+		return
+	}
+	plan, err := ep.store.Explain(q)
+	if err != nil {
+		ep.count(0, true)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ep.count(0, false)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, plan)
+}
+
+func (ep *Endpoint) serveStats(w http.ResponseWriter, r *http.Request) {
+	doc := struct {
+		Triples  int           `json:"triples"`
+		Store    Stats         `json:"store"`
+		Endpoint EndpointStats `json:"endpoint"`
+	}{
+		Triples:  ep.store.Len(),
+		Store:    ep.store.Stats(),
+		Endpoint: ep.Stats(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(doc)
+}
+
+func wantsTSV(r *http.Request) bool {
+	if r.Form.Get("format") == "tsv" || r.URL.Query().Get("format") == "tsv" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/tab-separated-values")
+}

@@ -1,0 +1,85 @@
+package strabon
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/stsparql"
+)
+
+// Result serialisation in the two formats the endpoint speaks: SPARQL
+// 1.1 Query Results JSON and W3C TSV. Both are also used by the
+// cmd/stsparql command-line client.
+
+// jsonTerm is one RDF term in the SPARQL results JSON format.
+type jsonTerm struct {
+	Type     string `json:"type"` // "uri" | "literal" | "bnode"
+	Value    string `json:"value"`
+	Datatype string `json:"datatype,omitempty"`
+	Lang     string `json:"xml:lang,omitempty"`
+}
+
+func termToJSON(t rdf.Term) jsonTerm {
+	switch {
+	case t.IsIRI():
+		return jsonTerm{Type: "uri", Value: t.Value}
+	case t.IsBlank():
+		return jsonTerm{Type: "bnode", Value: t.Value}
+	default:
+		return jsonTerm{Type: "literal", Value: t.Value, Datatype: t.Datatype, Lang: t.Lang}
+	}
+}
+
+// WriteResultJSON writes a result set in the SPARQL 1.1 Query Results
+// JSON format.
+func WriteResultJSON(w io.Writer, res *stsparql.Result) error {
+	type bindings struct {
+		Bindings []map[string]jsonTerm `json:"bindings"`
+	}
+	doc := struct {
+		Head struct {
+			Vars []string `json:"vars"`
+		} `json:"head"`
+		Results bindings `json:"results"`
+	}{}
+	doc.Head.Vars = res.Vars
+	doc.Results.Bindings = make([]map[string]jsonTerm, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		b := make(map[string]jsonTerm, len(res.Vars))
+		for _, v := range res.Vars {
+			if t, ok := row[v]; ok && !t.IsZero() {
+				b[v] = termToJSON(t)
+			}
+		}
+		doc.Results.Bindings = append(doc.Results.Bindings, b)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteResultTSV writes a result set in the W3C SPARQL TSV format: a
+// header of ?var names, then one N-Triples-encoded term per column.
+func WriteResultTSV(w io.Writer, res *stsparql.Result) error {
+	cols := make([]string, len(res.Vars))
+	for i, v := range res.Vars {
+		cols[i] = "?" + v
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, "\t")); err != nil {
+		return err
+	}
+	for _, row := range res.Rows {
+		for i, v := range res.Vars {
+			cols[i] = ""
+			if t, ok := row[v]; ok && !t.IsZero() {
+				cols[i] = t.String()
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cols, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

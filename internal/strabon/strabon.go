@@ -85,6 +85,17 @@ func New() *Store {
 	}
 }
 
+// NewWithCache returns an empty store sharing an externally-owned
+// geometry cache, so several stores — or a store and direct evaluator
+// use — can reuse parsed WKT across query runs.
+func NewWithCache(cache *stsparql.Cache) *Store {
+	s := New()
+	if cache != nil {
+		s.cache = cache
+	}
+	return s
+}
+
 // NewWithoutIndex returns a store with spatial index acceleration
 // disabled; used by the ablation benchmarks.
 func NewWithoutIndex() *Store {
@@ -156,6 +167,21 @@ func (s *Store) Remove(t rdf.Triple) bool {
 		delete(s.geomEntries, t.String())
 	}
 	return true
+}
+
+// CountPattern implements stsparql.StatSource.
+func (s *Store) CountPattern(sub, pred, obj rdf.Term) int {
+	return s.triples.CountPattern(sub, pred, obj)
+}
+
+// PredicateCard implements stsparql.StatSource.
+func (s *Store) PredicateCard(pred rdf.Term) (triples, distinctS, distinctO int) {
+	return s.triples.PredicateCard(pred)
+}
+
+// StoreCard implements stsparql.StatSource.
+func (s *Store) StoreCard() (triples, subjects, predicates, objects int) {
+	return s.triples.StoreCard()
 }
 
 // SpatialIndexEnabled implements stsparql.SpatialSource.
@@ -250,6 +276,21 @@ func (s *Store) Query(src string) (*stsparql.Result, error) {
 	default:
 		return nil, fmt.Errorf("strabon: Query wants SELECT or ASK; use Update for updates")
 	}
+}
+
+// Explain parses a request and renders the evaluation plan the engine
+// would choose for it — join order, join strategies (bind / hash /
+// R-tree window) and cardinality estimates — without executing it. It
+// runs under the read lock because the planner consults live statistics.
+func (s *Store) Explain(src string) (string, error) {
+	q, err := stsparql.Parse(src, s.ns)
+	if err != nil {
+		return "", err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ev := stsparql.NewEvaluatorWithCache(s, s.cache)
+	return ev.Explain(q)
 }
 
 // Update parses and executes a DELETE/INSERT request atomically: match

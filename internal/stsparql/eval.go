@@ -3,7 +3,6 @@ package stsparql
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"repro/internal/geom"
 	"repro/internal/rdf"
@@ -26,7 +25,7 @@ type UpdatableSource interface {
 
 // SpatialSource is an optional Source extension: a store that maintains a
 // spatial index over strdf:hasGeometry objects can serve window queries,
-// which the evaluator uses to prune spatial-join candidates.
+// which the engine uses to prune spatial-join candidates.
 type SpatialSource interface {
 	Source
 	// SpatialIndexEnabled reports whether the window path may be used.
@@ -68,9 +67,11 @@ type UpdateStats struct {
 	Inserted int // triples added
 }
 
-// Evaluator executes parsed queries against a source. It is not safe for
-// concurrent use; create one per goroutine (the geometry cache may be
-// shared through NewEvaluatorWithCache).
+// Evaluator executes parsed queries against a source. Queries are
+// compiled into a plan of physical operators (see plan.go and ops.go)
+// and then run. The evaluator is not safe for concurrent use; create one
+// per goroutine (the geometry cache may be shared through
+// NewEvaluatorWithCache).
 type Evaluator struct {
 	src   Source
 	cache *geomCache
@@ -88,11 +89,22 @@ func (e *Evaluator) Select(q *SelectQuery) (*Result, error) {
 
 // Ask evaluates an ASK query.
 func (e *Evaluator) Ask(q *AskQuery) (bool, error) {
-	rows, err := e.evalGroup(q.Where, []Binding{{}})
+	rows, err := e.evalWhere(q.Where)
 	if err != nil {
 		return false, err
 	}
 	return len(rows) > 0, nil
+}
+
+// evalSelect compiles and runs a SELECT.
+func (e *Evaluator) evalSelect(q *SelectQuery, seed []Binding) (*Result, error) {
+	return e.newPlanner().planSelect(q).run(e, seed)
+}
+
+// evalWhere compiles and runs a bare group graph pattern.
+func (e *Evaluator) evalWhere(gp *GroupPattern) ([]Binding, error) {
+	plan := e.newPlanner().planGroup(gp, map[string]bool{}, 1)
+	return plan.run(e, []Binding{{}})
 }
 
 // UpdatePlan is a computed but not yet applied DELETE/INSERT request: the
@@ -114,7 +126,7 @@ type UpdatePlan struct {
 func (e *Evaluator) PlanUpdate(q *UpdateQuery) (*UpdatePlan, error) {
 	var solutions []Binding
 	if q.Where != nil {
-		rows, err := e.evalGroup(q.Where, []Binding{{}})
+		rows, err := e.evalWhere(q.Where)
 		if err != nil {
 			return nil, err
 		}
@@ -195,66 +207,7 @@ func instantiate(tpl TriplePattern, row Binding) (rdf.Triple, bool) {
 	return rdf.Triple{S: s, P: p, O: o}, true
 }
 
-// --- SELECT evaluation ---
-
-func (e *Evaluator) evalSelect(q *SelectQuery, seed []Binding) (*Result, error) {
-	rows, err := e.evalGroup(q.Where, seed)
-	if err != nil {
-		return nil, err
-	}
-
-	grouped := len(q.GroupBy) > 0 || len(q.Having) > 0 || projectionHasAggregates(q)
-	if grouped {
-		rows, err = e.aggregate(q, rows)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// Projection.
-	vars := e.projectionVars(q, rows)
-	projected := make([]Binding, 0, len(rows))
-	for _, row := range rows {
-		out := make(Binding, len(vars))
-		for _, item := range q.Projection {
-			if item.Expr != nil && !grouped {
-				if t, ok := e.evalExpr(item.Expr, row).asTerm(); ok {
-					out[item.Var] = t
-				}
-				continue
-			}
-			// Plain variables, and grouped rows (which already carry the
-			// computed aggregate bindings), copy through.
-			if t, ok := row[item.Var]; ok {
-				out[item.Var] = t
-			}
-		}
-		if q.Star {
-			for k, v := range row {
-				out[k] = v
-			}
-		}
-		projected = append(projected, out)
-	}
-
-	if q.Distinct {
-		projected = distinctRows(projected, vars)
-	}
-	if len(q.OrderBy) > 0 {
-		e.orderRows(projected, q.OrderBy)
-	}
-	if q.Offset > 0 {
-		if q.Offset >= len(projected) {
-			projected = nil
-		} else {
-			projected = projected[q.Offset:]
-		}
-	}
-	if q.Limit >= 0 && q.Limit < len(projected) {
-		projected = projected[:q.Limit]
-	}
-	return &Result{Vars: vars, Rows: projected}, nil
-}
+// --- projection / modifier helpers (used by the tail operators) ---
 
 func (b Binding) has(v string) bool {
 	t, ok := b[v]
@@ -292,18 +245,18 @@ func (e *Evaluator) projectionVars(q *SelectQuery, rows []Binding) []string {
 	return vars
 }
 
+// distinctRows deduplicates rows over the given variables. The key
+// buffer is reused across rows and terms are encoded without the quoting
+// cost of Term.String — this sits on the DISTINCT hot path of every
+// thematic query.
 func distinctRows(rows []Binding, vars []string) []Binding {
 	seen := make(map[string]bool, len(rows))
 	out := rows[:0]
+	var key []byte
 	for _, row := range rows {
-		var b strings.Builder
-		for _, v := range vars {
-			b.WriteString(row[v].String())
-			b.WriteByte('|')
-		}
-		k := b.String()
-		if !seen[k] {
-			seen[k] = true
+		key = bindingKey(key[:0], row, vars)
+		if !seen[string(key)] {
+			seen[string(key)] = true
 			out = append(out, row)
 		}
 	}
@@ -339,19 +292,20 @@ func (e *Evaluator) aggregate(q *SelectQuery, rows []Binding) ([]Binding, error)
 	}
 	groups := make(map[string]*grp)
 	var order []string
+	var kb []byte
 	for _, row := range rows {
-		var kb strings.Builder
+		kb = kb[:0]
 		key := Binding{}
 		for _, ge := range q.GroupBy {
 			v := e.evalExpr(ge, row)
 			t, _ := v.asTerm()
-			kb.WriteString(t.String())
-			kb.WriteByte('|')
+			kb = appendTermKey(kb, t)
+			kb = append(kb, '|')
 			if ve, ok := ge.(*VarExpr); ok {
 				key[ve.Name] = t
 			}
 		}
-		k := kb.String()
+		k := string(kb)
 		g, ok := groups[k]
 		if !ok {
 			g = &grp{key: key}
@@ -545,18 +499,36 @@ func (e *Evaluator) evalAggregateCall(c *CallExpr, rows []Binding) Value {
 	}
 }
 
+// distinctAll deduplicates rows over every variable any row binds. The
+// variable union is collected and sorted once, then each row's key is
+// built into a reused buffer (missing variables encode distinctly from
+// every bound term).
 func distinctAll(rows []Binding) []Binding {
-	seen := make(map[string]bool)
-	var out []Binding
+	varSet := make(map[string]bool)
 	for _, row := range rows {
-		keys := make([]string, 0, len(row))
-		for k, v := range row {
-			keys = append(keys, k+"="+v.String())
+		for k := range row {
+			varSet[k] = true
 		}
-		sort.Strings(keys)
-		k := strings.Join(keys, "|")
-		if !seen[k] {
-			seen[k] = true
+	}
+	vars := make([]string, 0, len(varSet))
+	for k := range varSet {
+		vars = append(vars, k)
+	}
+	sort.Strings(vars)
+
+	seen := make(map[string]bool, len(rows))
+	var out []Binding
+	var key []byte
+	for _, row := range rows {
+		key = key[:0]
+		for _, v := range vars {
+			if t, ok := row[v]; ok {
+				key = appendTermKey(key, t)
+			}
+			key = append(key, '|')
+		}
+		if !seen[string(key)] {
+			seen[string(key)] = true
 			out = append(out, row)
 		}
 	}
@@ -592,112 +564,8 @@ func geomParts(g geom.Geometry) ([]geom.Point, []geom.LineString, []geom.Polygon
 	return nil, nil, nil
 }
 
-// --- group graph pattern evaluation ---
-
-func (e *Evaluator) evalGroup(gp *GroupPattern, seed []Binding) ([]Binding, error) {
-	if gp == nil {
-		return seed, nil
-	}
-	rows := seed
-	// Filters apply over the whole group; they are additionally pushed
-	// into BGP joins when their variables are certainly bound (see
-	// joinBGP).
-	var filters []*FilterElement
-	for _, el := range gp.Elements {
-		if f, ok := el.(*FilterElement); ok {
-			filters = append(filters, f)
-		}
-	}
-	for _, el := range gp.Elements {
-		var err error
-		switch v := el.(type) {
-		case *BGPElement:
-			rows, err = e.joinBGP(rows, v.Patterns, filters)
-		case *FilterElement:
-			// applied at group end
-		case *OptionalElement:
-			rows, err = e.leftJoin(rows, v.Pattern)
-		case *UnionElement:
-			rows, err = e.union(rows, v)
-		case *GroupPattern:
-			rows, err = e.evalGroup(v, rows)
-		case *SubSelectElement:
-			rows, err = e.subSelect(rows, v.Select)
-		}
-		if err != nil {
-			return nil, err
-		}
-		if len(rows) == 0 {
-			break
-		}
-	}
-	// Final filter pass (error => row dropped, per SPARQL semantics).
-	out := rows[:0]
-	for _, row := range rows {
-		keep := true
-		for _, f := range filters {
-			v := e.evalExpr(f.Cond, row)
-			pass, err := v.effectiveBool()
-			if err != nil || !pass {
-				keep = false
-				break
-			}
-		}
-		if keep {
-			out = append(out, row)
-		}
-	}
-	return out, nil
-}
-
-func (e *Evaluator) leftJoin(rows []Binding, pat *GroupPattern) ([]Binding, error) {
-	var out []Binding
-	for _, row := range rows {
-		sub, err := e.evalGroup(pat, []Binding{row})
-		if err != nil {
-			return nil, err
-		}
-		if len(sub) == 0 {
-			out = append(out, row)
-		} else {
-			out = append(out, sub...)
-		}
-	}
-	return out, nil
-}
-
-func (e *Evaluator) union(rows []Binding, u *UnionElement) ([]Binding, error) {
-	var out []Binding
-	for _, row := range rows {
-		for _, br := range u.Branches {
-			sub, err := e.evalGroup(br, []Binding{row})
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, sub...)
-		}
-	}
-	return out, nil
-}
-
-func (e *Evaluator) subSelect(rows []Binding, q *SelectQuery) ([]Binding, error) {
-	res, err := e.evalSelect(q, []Binding{{}})
-	if err != nil {
-		return nil, err
-	}
-	// Join on shared variables.
-	var out []Binding
-	for _, row := range rows {
-		for _, sub := range res.Rows {
-			merged, ok := mergeCompatible(row, sub)
-			if ok {
-				out = append(out, merged)
-			}
-		}
-	}
-	return out, nil
-}
-
+// mergeCompatible merges two bindings, failing on conflicting values for
+// a shared variable.
 func mergeCompatible(a, b Binding) (Binding, bool) {
 	out := a.clone()
 	for k, v := range b {
@@ -710,103 +578,6 @@ func mergeCompatible(a, b Binding) (Binding, bool) {
 		out[k] = v
 	}
 	return out, true
-}
-
-// joinBGP extends each row through the triple patterns, greedily ordering
-// patterns by boundness and eagerly applying any group filter whose
-// variables are certainly bound.
-func (e *Evaluator) joinBGP(rows []Binding, patterns []TriplePattern, filters []*FilterElement) ([]Binding, error) {
-	remaining := append([]TriplePattern(nil), patterns...)
-	applied := make(map[*FilterElement]bool)
-
-	boundVars := make(map[string]bool)
-	for _, row := range rows {
-		for k := range row {
-			boundVars[k] = true
-		}
-		break // seed rows share the same domain
-	}
-
-	spatialIdx := false
-	if ss, ok := e.src.(SpatialSource); ok {
-		spatialIdx = ss.SpatialIndexEnabled()
-	}
-
-	for len(remaining) > 0 {
-		// Pick the most selective pattern: most bound components.
-		best, bestScore := 0, -1
-		for i, p := range remaining {
-			score := 0
-			for _, tv := range []TermOrVar{p.S, p.P, p.O} {
-				if !tv.IsVar() || boundVars[tv.Var] {
-					score += 2
-				}
-			}
-			if !p.P.IsVar() {
-				score++ // prefer bound predicates: POS index is effective
-			}
-			// Prefer geometry patterns the R-tree can serve: when a pending
-			// spatial filter joins this pattern's fresh geometry variable
-			// against an already-bound one, scanning it next turns a full
-			// cross join into a window query (the paper's Municipalities-
-			// style joins collapse from hotspots×dataset to hotspots×few).
-			if spatialIdx && score < 6 && !p.P.IsVar() && GeometryPredicates[p.P.Term.Value] &&
-				p.O.IsVar() && !boundVars[p.O.Var] &&
-				spatialJoinReady(filters, applied, p.O.Var, boundVars) {
-				score = 6
-			}
-			if score > bestScore {
-				best, bestScore = i, score
-			}
-		}
-		pat := remaining[best]
-		remaining = append(remaining[:best], remaining[best+1:]...)
-
-		// Which filters become certainly-bound after this pattern?
-		for _, tv := range []TermOrVar{pat.S, pat.P, pat.O} {
-			if tv.IsVar() {
-				boundVars[tv.Var] = true
-			}
-		}
-		var eager []*FilterElement
-		for _, f := range filters {
-			if applied[f] {
-				continue
-			}
-			vars := map[string]bool{}
-			exprVars(f.Cond, vars)
-			all := true
-			for v := range vars {
-				if !boundVars[v] {
-					all = false
-					break
-				}
-			}
-			if all && !usesBoundFn(f.Cond) {
-				eager = append(eager, f)
-				applied[f] = true
-			}
-		}
-
-		var next []Binding
-		for _, row := range rows {
-			e.scanPattern(pat, row, filters, func(extended Binding) {
-				for _, f := range eager {
-					v := e.evalExpr(f.Cond, extended)
-					pass, err := v.effectiveBool()
-					if err != nil || !pass {
-						return
-					}
-				}
-				next = append(next, extended)
-			})
-		}
-		rows = next
-		if len(rows) == 0 {
-			return rows, nil
-		}
-	}
-	return rows, nil
 }
 
 // usesBoundFn reports whether the expression calls bound(); such filters
@@ -828,168 +599,4 @@ func usesBoundFn(e Expr) bool {
 		return usesBoundFn(v.X)
 	}
 	return false
-}
-
-// scanPattern matches one triple pattern under a row, emitting extended
-// rows. When the pattern binds a fresh geometry variable that a pending
-// spatial filter constrains against an already-known geometry, and the
-// source has a spatial index, the scan is served by an R-tree window
-// query instead of a full predicate scan.
-func (e *Evaluator) scanPattern(pat TriplePattern, row Binding, filters []*FilterElement, emit func(Binding)) {
-	resolve := func(tv TermOrVar) rdf.Term {
-		if !tv.IsVar() {
-			return tv.Term
-		}
-		if t, ok := row[tv.Var]; ok {
-			return t
-		}
-		return rdf.Term{}
-	}
-	s, p, o := resolve(pat.S), resolve(pat.P), resolve(pat.O)
-
-	tryBind := func(t rdf.Triple) {
-		out := row
-		cloned := false
-		bind := func(tv TermOrVar, val rdf.Term) bool {
-			if !tv.IsVar() {
-				return true
-			}
-			if existing, ok := out[tv.Var]; ok && !existing.IsZero() {
-				return existing.Equal(val)
-			}
-			if !cloned {
-				out = row.clone()
-				cloned = true
-			}
-			out[tv.Var] = val
-			return true
-		}
-		if !bind(pat.S, t.S) || !bind(pat.P, t.P) || !bind(pat.O, t.O) {
-			return
-		}
-		if !cloned {
-			out = row.clone()
-		}
-		emit(out)
-	}
-
-	// Spatial index fast path.
-	if ss, ok := e.src.(SpatialSource); ok && ss.SpatialIndexEnabled() &&
-		!p.IsZero() && GeometryPredicates[p.Value] && pat.O.IsVar() && o.IsZero() {
-		if env, found := e.spatialWindowFor(pat.O.Var, row, filters); found {
-			ss.MatchGeometryWindow(env, func(t rdf.Triple) bool {
-				if !p.IsZero() && t.P.Value != p.Value {
-					return true
-				}
-				if !s.IsZero() && !t.S.Equal(s) {
-					return true
-				}
-				tryBind(t)
-				return true
-			})
-			return
-		}
-	}
-
-	e.src.MatchTerms(s, p, o, func(t rdf.Triple) bool {
-		tryBind(t)
-		return true
-	})
-}
-
-// spatialWindowFor inspects pending filters for a spatial predicate
-// constraining variable v against a geometry already computable under row;
-// it returns the candidate envelope.
-func (e *Evaluator) spatialWindowFor(v string, row Binding, filters []*FilterElement) (geom.Envelope, bool) {
-	for _, f := range filters {
-		if env, ok := e.findSpatialConstraint(f.Cond, v, row); ok {
-			return env, true
-		}
-	}
-	return geom.Envelope{}, false
-}
-
-var spatialJoinFns = map[string]bool{
-	"strdf:anyinteract": true,
-	"strdf:intersects":  true,
-	"strdf:contains":    true,
-	"strdf:within":      true,
-	"strdf:overlap":     true,
-	"strdf:overlaps":    true,
-	"strdf:touches":     true,
-	"strdf:touch":       true,
-	"strdf:equals":      true,
-	"strdf:coveredby":   true,
-	"strdf:covers":      true,
-}
-
-// spatialJoinReady reports whether a pending filter spatially joins
-// variable v against a geometry computable from the already-bound
-// variables — the static planning counterpart of findSpatialConstraint,
-// used to order index-servable geometry patterns early.
-func spatialJoinReady(filters []*FilterElement, applied map[*FilterElement]bool, v string, bound map[string]bool) bool {
-	for _, f := range filters {
-		if applied[f] {
-			continue
-		}
-		if spatialJoinReadyExpr(f.Cond, v, bound) {
-			return true
-		}
-	}
-	return false
-}
-
-func spatialJoinReadyExpr(expr Expr, v string, bound map[string]bool) bool {
-	switch n := expr.(type) {
-	case *CallExpr:
-		if spatialJoinFns[n.Name] && len(n.Args) == 2 {
-			for i := 0; i < 2; i++ {
-				ve, ok := n.Args[i].(*VarExpr)
-				if !ok || ve.Name != v {
-					continue
-				}
-				vars := map[string]bool{}
-				exprVars(n.Args[1-i], vars)
-				otherBound := true
-				for name := range vars {
-					if !bound[name] {
-						otherBound = false
-						break
-					}
-				}
-				if otherBound {
-					return true
-				}
-			}
-		}
-	case *BinaryExpr:
-		if n.Op == "&&" {
-			return spatialJoinReadyExpr(n.L, v, bound) || spatialJoinReadyExpr(n.R, v, bound)
-		}
-	}
-	return false
-}
-
-func (e *Evaluator) findSpatialConstraint(expr Expr, v string, row Binding) (geom.Envelope, bool) {
-	switch n := expr.(type) {
-	case *CallExpr:
-		if spatialJoinFns[n.Name] && len(n.Args) == 2 {
-			for i := 0; i < 2; i++ {
-				if ve, ok := n.Args[i].(*VarExpr); ok && ve.Name == v {
-					other := e.evalExpr(n.Args[1-i], row)
-					if other.Kind == VGeom {
-						return other.Geom.Envelope(), true
-					}
-				}
-			}
-		}
-	case *BinaryExpr:
-		if n.Op == "&&" {
-			if env, ok := e.findSpatialConstraint(n.L, v, row); ok {
-				return env, true
-			}
-			return e.findSpatialConstraint(n.R, v, row)
-		}
-	}
-	return geom.Envelope{}, false
 }

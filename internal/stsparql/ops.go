@@ -1,0 +1,498 @@
+package stsparql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/rdf"
+)
+
+// This file holds the physical operators of the stSPARQL engine. A
+// compiled plan (see plan.go) is a pipeline of operators, each
+// transforming a batch of binding rows into the next batch — the
+// materialised flavour of the iterator model, which matches the
+// evaluation semantics the original tree-walking evaluator pinned.
+//
+// Operators are single-use: a plan is compiled per evaluation and may
+// carry per-execution state (a hash join caches its build side so that
+// per-row re-execution under OPTIONAL does not rebuild it).
+
+// operator is one stage of a compiled query pipeline.
+type operator interface {
+	run(e *Evaluator, in []Binding) ([]Binding, error)
+	// explain renders the operator (and any sub-plans) at the given
+	// indentation.
+	explain(b *strings.Builder, indent string)
+}
+
+// Join strategies a joinOp can be planned with.
+const (
+	joinBind   = "bind"   // per-row indexed scan
+	joinHash   = "hash"   // scan once, hash on shared vars, probe
+	joinWindow = "window" // per-row R-tree window scan (spatial join)
+)
+
+// joinOp extends each input row through one triple pattern. The planner
+// chooses the strategy; window falls back to bind per row when no filter
+// yields a candidate envelope, and hash falls back to bind for tiny
+// inputs (the build cost would dominate).
+type joinOp struct {
+	pat      TriplePattern
+	filters  []*FilterElement // group filters, for spatial-window detection
+	strategy string
+	shared   []string // pattern vars certainly bound by the input rows
+	est      float64  // estimated output rows (Explain annotation)
+
+	table map[string][]Binding // hash build side, cached per execution
+}
+
+func (op *joinOp) run(e *Evaluator, in []Binding) ([]Binding, error) {
+	if op.strategy == joinHash && len(in) > 1 {
+		return op.hashRun(e, in), nil
+	}
+	var out []Binding
+	for _, row := range in {
+		e.scanPattern(op.pat, row, op.filters, func(extended Binding) {
+			out = append(out, extended)
+		})
+	}
+	return out, nil
+}
+
+// hashRun materialises the pattern's matches once, buckets them by the
+// shared variables, and probes with each input row. With no shared
+// variables the single bucket is a cross product — still a win over
+// rescanning the pattern per input row.
+func (op *joinOp) hashRun(e *Evaluator, in []Binding) []Binding {
+	if op.table == nil {
+		op.table = make(map[string][]Binding)
+		e.scanPattern(op.pat, Binding{}, nil, func(m Binding) {
+			k := string(bindingKey(nil, m, op.shared))
+			op.table[k] = append(op.table[k], m)
+		})
+	}
+	var out []Binding
+	var kb []byte
+	for _, row := range in {
+		kb = bindingKey(kb[:0], row, op.shared)
+		for _, cand := range op.table[string(kb)] {
+			if merged, ok := mergeCompatible(row, cand); ok {
+				out = append(out, merged)
+			}
+		}
+	}
+	return out
+}
+
+func (op *joinOp) explain(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%sjoin[%s] {%s %s %s}", indent, op.strategy,
+		termOrVarString(op.pat.S), termOrVarString(op.pat.P), termOrVarString(op.pat.O))
+	if len(op.shared) > 0 {
+		fmt.Fprintf(b, " on %s", strings.Join(op.shared, ","))
+	}
+	fmt.Fprintf(b, " est=%s\n", formatEst(op.est))
+}
+
+// bindingKey appends a composite key of the row's values for vars to dst.
+// Missing vars are encoded distinctly from any bound value.
+func bindingKey(dst []byte, row Binding, vars []string) []byte {
+	for _, v := range vars {
+		dst = appendTermKey(dst, row[v])
+		dst = append(dst, 0x1f)
+	}
+	return dst
+}
+
+// appendTermKey appends a unique byte encoding of a term without the
+// quoting cost of Term.String. The zero term (unbound) encodes as a lone
+// sentinel byte.
+func appendTermKey(dst []byte, t rdf.Term) []byte {
+	if t.IsZero() {
+		return append(dst, 0x00)
+	}
+	dst = append(dst, byte('1'+t.Kind))
+	dst = append(dst, t.Value...)
+	dst = append(dst, 0x00)
+	dst = append(dst, t.Datatype...)
+	dst = append(dst, 0x00)
+	dst = append(dst, t.Lang...)
+	return dst
+}
+
+// filterOp keeps the rows satisfying a FILTER condition; evaluation
+// errors drop the row, per SPARQL semantics.
+type filterOp struct {
+	cond  Expr
+	eager bool // pushed into a BGP by the planner (Explain annotation)
+}
+
+func (op *filterOp) run(e *Evaluator, in []Binding) ([]Binding, error) {
+	out := in[:0]
+	for _, row := range in {
+		v := e.evalExpr(op.cond, row)
+		pass, err := v.effectiveBool()
+		if err == nil && pass {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+func (op *filterOp) explain(b *strings.Builder, indent string) {
+	label := "filter"
+	if op.eager {
+		label = "filter[pushed]"
+	}
+	fmt.Fprintf(b, "%s%s %s\n", indent, label, exprString(op.cond))
+}
+
+// optionalOp left-joins each row against a sub-plan: rows with no
+// sub-solution pass through unextended.
+type optionalOp struct {
+	sub *groupPlan
+}
+
+func (op *optionalOp) run(e *Evaluator, in []Binding) ([]Binding, error) {
+	var out []Binding
+	for _, row := range in {
+		sub, err := op.sub.run(e, []Binding{row})
+		if err != nil {
+			return nil, err
+		}
+		if len(sub) == 0 {
+			out = append(out, row)
+		} else {
+			out = append(out, sub...)
+		}
+	}
+	return out, nil
+}
+
+func (op *optionalOp) explain(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%soptional\n", indent)
+	op.sub.explain(b, indent+"  ")
+}
+
+// unionOp concatenates the solutions of each branch, seeded per row.
+type unionOp struct {
+	branches []*groupPlan
+}
+
+func (op *unionOp) run(e *Evaluator, in []Binding) ([]Binding, error) {
+	var out []Binding
+	for _, row := range in {
+		for _, br := range op.branches {
+			sub, err := br.run(e, []Binding{row})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+		}
+	}
+	return out, nil
+}
+
+func (op *unionOp) explain(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%sunion\n", indent)
+	for _, br := range op.branches {
+		fmt.Fprintf(b, "%s branch\n", indent)
+		br.explain(b, indent+"  ")
+	}
+}
+
+// nestedGroupOp evaluates a nested group graph pattern with its own
+// filter scope.
+type nestedGroupOp struct {
+	sub *groupPlan
+}
+
+func (op *nestedGroupOp) run(e *Evaluator, in []Binding) ([]Binding, error) {
+	return op.sub.run(e, in)
+}
+
+func (op *nestedGroupOp) explain(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%sgroup\n", indent)
+	op.sub.explain(b, indent+"  ")
+}
+
+// subSelectOp evaluates a nested SELECT once and joins its solutions
+// with the input rows on their shared variables.
+type subSelectOp struct {
+	sub *selectPlan
+}
+
+func (op *subSelectOp) run(e *Evaluator, in []Binding) ([]Binding, error) {
+	res, err := op.sub.run(e, []Binding{{}})
+	if err != nil {
+		return nil, err
+	}
+	var out []Binding
+	for _, row := range in {
+		for _, sub := range res.Rows {
+			if merged, ok := mergeCompatible(row, sub); ok {
+				out = append(out, merged)
+			}
+		}
+	}
+	return out, nil
+}
+
+func (op *subSelectOp) explain(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%ssub-select\n", indent)
+	op.sub.explain(b, indent+"  ")
+}
+
+// aggregateOp groups rows and evaluates aggregate projections and HAVING
+// constraints.
+type aggregateOp struct {
+	q *SelectQuery
+}
+
+func (op *aggregateOp) run(e *Evaluator, in []Binding) ([]Binding, error) {
+	return e.aggregate(op.q, in)
+}
+
+func (op *aggregateOp) explain(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%saggregate", indent)
+	if len(op.q.GroupBy) > 0 {
+		keys := make([]string, len(op.q.GroupBy))
+		for i, g := range op.q.GroupBy {
+			keys[i] = exprString(g)
+		}
+		fmt.Fprintf(b, " group=%s", strings.Join(keys, ","))
+	}
+	if len(op.q.Having) > 0 {
+		fmt.Fprintf(b, " having=%d", len(op.q.Having))
+	}
+	b.WriteByte('\n')
+}
+
+// projectOp applies the SELECT projection. It records the output
+// variable list (which for SELECT * depends on the rows) for the result
+// header and the distinct operator.
+type projectOp struct {
+	q       *SelectQuery
+	grouped bool
+	vars    []string // set during run
+}
+
+func (op *projectOp) run(e *Evaluator, in []Binding) ([]Binding, error) {
+	op.vars = e.projectionVars(op.q, in)
+	projected := make([]Binding, 0, len(in))
+	for _, row := range in {
+		out := make(Binding, len(op.vars))
+		for _, item := range op.q.Projection {
+			if item.Expr != nil && !op.grouped {
+				if t, ok := e.evalExpr(item.Expr, row).asTerm(); ok {
+					out[item.Var] = t
+				}
+				continue
+			}
+			// Plain variables, and grouped rows (which already carry the
+			// computed aggregate bindings), copy through.
+			if t, ok := row[item.Var]; ok {
+				out[item.Var] = t
+			}
+		}
+		if op.q.Star {
+			for k, v := range row {
+				out[k] = v
+			}
+		}
+		projected = append(projected, out)
+	}
+	return projected, nil
+}
+
+func (op *projectOp) explain(b *strings.Builder, indent string) {
+	if op.q.Star {
+		fmt.Fprintf(b, "%sproject *\n", indent)
+		return
+	}
+	items := make([]string, len(op.q.Projection))
+	for i, item := range op.q.Projection {
+		if item.Expr != nil {
+			items[i] = "(" + exprString(item.Expr) + " AS ?" + item.Var + ")"
+		} else {
+			items[i] = "?" + item.Var
+		}
+	}
+	fmt.Fprintf(b, "%sproject %s\n", indent, strings.Join(items, " "))
+}
+
+// distinctOp deduplicates rows over the projected variables.
+type distinctOp struct {
+	proj *projectOp
+}
+
+func (op *distinctOp) run(e *Evaluator, in []Binding) ([]Binding, error) {
+	return distinctRows(in, op.proj.vars), nil
+}
+
+func (op *distinctOp) explain(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%sdistinct\n", indent)
+}
+
+// orderOp sorts rows by the ORDER BY keys (stable; incomparable values
+// tie).
+type orderOp struct {
+	keys []OrderKey
+}
+
+func (op *orderOp) run(e *Evaluator, in []Binding) ([]Binding, error) {
+	e.orderRows(in, op.keys)
+	return in, nil
+}
+
+func (op *orderOp) explain(b *strings.Builder, indent string) {
+	keys := make([]string, len(op.keys))
+	for i, k := range op.keys {
+		keys[i] = exprString(k.Expr)
+		if k.Desc {
+			keys[i] += " desc"
+		}
+	}
+	fmt.Fprintf(b, "%sorder %s\n", indent, strings.Join(keys, ", "))
+}
+
+// sliceOp applies OFFSET and LIMIT.
+type sliceOp struct {
+	offset, limit int
+}
+
+func (op *sliceOp) run(e *Evaluator, in []Binding) ([]Binding, error) {
+	if op.offset > 0 {
+		if op.offset >= len(in) {
+			return nil, nil
+		}
+		in = in[op.offset:]
+	}
+	if op.limit >= 0 && op.limit < len(in) {
+		in = in[:op.limit]
+	}
+	return in, nil
+}
+
+func (op *sliceOp) explain(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%sslice offset=%d limit=%d\n", indent, op.offset, op.limit)
+}
+
+// --- pattern scanning (shared by bind joins and hash build sides) ---
+
+// scanPattern matches one triple pattern under a row, emitting extended
+// rows. When the pattern binds a fresh geometry variable that a pending
+// spatial filter constrains against an already-known geometry, and the
+// source has a spatial index, the scan is served by an R-tree window
+// query instead of a full predicate scan.
+func (e *Evaluator) scanPattern(pat TriplePattern, row Binding, filters []*FilterElement, emit func(Binding)) {
+	resolve := func(tv TermOrVar) rdf.Term {
+		if !tv.IsVar() {
+			return tv.Term
+		}
+		if t, ok := row[tv.Var]; ok {
+			return t
+		}
+		return rdf.Term{}
+	}
+	s, p, o := resolve(pat.S), resolve(pat.P), resolve(pat.O)
+
+	tryBind := func(t rdf.Triple) {
+		out := row
+		cloned := false
+		bind := func(tv TermOrVar, val rdf.Term) bool {
+			if !tv.IsVar() {
+				return true
+			}
+			if existing, ok := out[tv.Var]; ok && !existing.IsZero() {
+				return existing.Equal(val)
+			}
+			if !cloned {
+				out = row.clone()
+				cloned = true
+			}
+			out[tv.Var] = val
+			return true
+		}
+		if !bind(pat.S, t.S) || !bind(pat.P, t.P) || !bind(pat.O, t.O) {
+			return
+		}
+		if !cloned {
+			out = row.clone()
+		}
+		emit(out)
+	}
+
+	// Spatial index fast path.
+	if ss, ok := e.src.(SpatialSource); ok && ss.SpatialIndexEnabled() &&
+		!p.IsZero() && GeometryPredicates[p.Value] && pat.O.IsVar() && o.IsZero() {
+		if env, found := e.spatialWindowFor(pat.O.Var, row, filters); found {
+			ss.MatchGeometryWindow(env, func(t rdf.Triple) bool {
+				if !p.IsZero() && t.P.Value != p.Value {
+					return true
+				}
+				if !s.IsZero() && !t.S.Equal(s) {
+					return true
+				}
+				tryBind(t)
+				return true
+			})
+			return
+		}
+	}
+
+	e.src.MatchTerms(s, p, o, func(t rdf.Triple) bool {
+		tryBind(t)
+		return true
+	})
+}
+
+// spatialWindowFor inspects pending filters for a spatial predicate
+// constraining variable v against a geometry already computable under row;
+// it returns the candidate envelope.
+func (e *Evaluator) spatialWindowFor(v string, row Binding, filters []*FilterElement) (geom.Envelope, bool) {
+	for _, f := range filters {
+		if env, ok := e.findSpatialConstraint(f.Cond, v, row); ok {
+			return env, true
+		}
+	}
+	return geom.Envelope{}, false
+}
+
+var spatialJoinFns = map[string]bool{
+	"strdf:anyinteract": true,
+	"strdf:intersects":  true,
+	"strdf:contains":    true,
+	"strdf:within":      true,
+	"strdf:overlap":     true,
+	"strdf:overlaps":    true,
+	"strdf:touches":     true,
+	"strdf:touch":       true,
+	"strdf:equals":      true,
+	"strdf:coveredby":   true,
+	"strdf:covers":      true,
+}
+
+func (e *Evaluator) findSpatialConstraint(expr Expr, v string, row Binding) (geom.Envelope, bool) {
+	switch n := expr.(type) {
+	case *CallExpr:
+		if spatialJoinFns[n.Name] && len(n.Args) == 2 {
+			for i := 0; i < 2; i++ {
+				if ve, ok := n.Args[i].(*VarExpr); ok && ve.Name == v {
+					other := e.evalExpr(n.Args[1-i], row)
+					if other.Kind == VGeom {
+						return other.Geom.Envelope(), true
+					}
+				}
+			}
+		}
+	case *BinaryExpr:
+		if n.Op == "&&" {
+			if env, ok := e.findSpatialConstraint(n.L, v, row); ok {
+				return env, true
+			}
+			return e.findSpatialConstraint(n.R, v, row)
+		}
+	}
+	return geom.Envelope{}, false
+}

@@ -257,21 +257,35 @@ projDone:
 		}
 	}
 orderDone:
-	if p.acceptKeyword("LIMIT") {
-		n, err := p.parseInt()
-		if err != nil {
-			return nil, err
+	// SPARQL allows LIMIT and OFFSET in either order, but at most one of
+	// each.
+	sawLimit, sawOffset := false, false
+	for {
+		switch {
+		case p.acceptKeyword("LIMIT"):
+			if sawLimit {
+				return nil, p.errf("duplicate LIMIT clause")
+			}
+			sawLimit = true
+			n, err := p.parseInt()
+			if err != nil {
+				return nil, err
+			}
+			q.Limit = n
+		case p.acceptKeyword("OFFSET"):
+			if sawOffset {
+				return nil, p.errf("duplicate OFFSET clause")
+			}
+			sawOffset = true
+			n, err := p.parseInt()
+			if err != nil {
+				return nil, err
+			}
+			q.Offset = n
+		default:
+			return q, nil
 		}
-		q.Limit = n
 	}
-	if p.acceptKeyword("OFFSET") {
-		n, err := p.parseInt()
-		if err != nil {
-			return nil, err
-		}
-		q.Offset = n
-	}
-	return q, nil
 }
 
 // parseGroupByKey accepts "?v" or "(expr)" or "(expr AS ?v)".

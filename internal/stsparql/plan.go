@@ -1,0 +1,572 @@
+package stsparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// This file is the logical planner of the stSPARQL engine: it compiles a
+// parsed query into the operator pipeline of ops.go. The planner orders
+// basic graph patterns by cardinality estimates drawn from the source's
+// maintained statistics (StatSource), pushes filters down to the
+// earliest point where their variables are certainly bound, routes
+// R-tree-servable geometry patterns through window scans, and picks hash
+// joins for large or disconnected intermediate results. Explain renders
+// the chosen plan.
+
+// StatSource is an optional Source extension providing the cardinality
+// statistics the planner costs join orders with. All methods must be
+// cheap (O(1)-ish); rdf.Store maintains them incrementally.
+type StatSource interface {
+	Source
+	// CountPattern returns the exact number of triples matching a term
+	// pattern (zero Terms are wildcards).
+	CountPattern(s, p, o rdf.Term) int
+	// PredicateCard reports triples, distinct subjects and distinct
+	// objects for one predicate.
+	PredicateCard(p rdf.Term) (triples, distinctS, distinctO int)
+	// StoreCard reports total triples and distinct subject / predicate /
+	// object counts.
+	StoreCard() (triples, subjects, predicates, objects int)
+}
+
+const (
+	// spatialWindowSelectivity scales the estimate of a geometry pattern
+	// the R-tree can serve through a window query: the window prunes the
+	// scan to the join partner's envelope, so such patterns should order
+	// ahead of similarly-sized plain scans (the paper's Municipalities-
+	// style joins collapse from hotspots x dataset to hotspots x few).
+	spatialWindowSelectivity = 0.01
+	// hashJoinMinRows is the estimated input size above which building a
+	// hash table beats per-row index scans for a connected pattern.
+	hashJoinMinRows = 64
+	// crossJoinHashMinRows is the threshold for disconnected patterns,
+	// where the bind strategy degenerates to a full rescan per input row.
+	crossJoinHashMinRows = 4
+	// eagerFilterSelectivity discounts the cumulative row estimate for
+	// each filter pushed into the BGP; it keeps downstream hash-join
+	// decisions from overestimating their probe side.
+	eagerFilterSelectivity = 0.25
+)
+
+// planner compiles queries for one evaluator.
+type planner struct {
+	e       *Evaluator
+	stats   StatSource // nil when the source keeps no statistics
+	spatial bool
+
+	totalTriples, totalSubj, totalPred, totalObj int
+}
+
+func (e *Evaluator) newPlanner() *planner {
+	p := &planner{e: e}
+	if st, ok := e.src.(StatSource); ok {
+		p.stats = st
+		p.totalTriples, p.totalSubj, p.totalPred, p.totalObj = st.StoreCard()
+	}
+	if ss, ok := e.src.(SpatialSource); ok {
+		p.spatial = ss.SpatialIndexEnabled()
+	}
+	return p
+}
+
+// --- compiled plan containers ---
+
+// groupPlan is the pipeline of one group graph pattern. Its run
+// early-exits when the row set empties, mirroring the join semantics of
+// the group (no element can resurrect rows; sub-selects are skipped,
+// which matters for cost, not correctness).
+type groupPlan struct {
+	ops []operator
+}
+
+func (g *groupPlan) run(e *Evaluator, rows []Binding) ([]Binding, error) {
+	var err error
+	for _, op := range g.ops {
+		if len(rows) == 0 {
+			return rows, nil
+		}
+		rows, err = op.run(e, rows)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+func (g *groupPlan) explain(b *strings.Builder, indent string) {
+	for _, op := range g.ops {
+		op.explain(b, indent)
+	}
+}
+
+// selectPlan is a compiled SELECT: the WHERE pipeline plus the solution
+// modifiers (aggregate, project, distinct, order, slice), which run even
+// over an empty row set (COUNT over zero rows still yields a row).
+type selectPlan struct {
+	where *groupPlan
+	tail  []operator
+	proj  *projectOp
+}
+
+func (p *selectPlan) run(e *Evaluator, seed []Binding) (*Result, error) {
+	rows, err := p.where.run(e, seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range p.tail {
+		rows, err = op.run(e, rows)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Vars: p.proj.vars, Rows: rows}, nil
+}
+
+func (p *selectPlan) explain(b *strings.Builder, indent string) {
+	p.where.explain(b, indent)
+	for _, op := range p.tail {
+		op.explain(b, indent)
+	}
+}
+
+// --- compilation ---
+
+func (p *planner) planSelect(q *SelectQuery) *selectPlan {
+	bound := map[string]bool{}
+	where := p.planGroup(q.Where, bound, 1)
+
+	grouped := len(q.GroupBy) > 0 || len(q.Having) > 0 || projectionHasAggregates(q)
+	proj := &projectOp{q: q, grouped: grouped}
+	var tail []operator
+	if grouped {
+		tail = append(tail, &aggregateOp{q: q})
+	}
+	tail = append(tail, proj)
+	if q.Distinct {
+		tail = append(tail, &distinctOp{proj: proj})
+	}
+	if len(q.OrderBy) > 0 {
+		tail = append(tail, &orderOp{keys: q.OrderBy})
+	}
+	if q.Offset > 0 || q.Limit >= 0 {
+		tail = append(tail, &sliceOp{offset: q.Offset, limit: q.Limit})
+	}
+	return &selectPlan{where: where, tail: tail, proj: proj}
+}
+
+// planGroup compiles a group graph pattern. bound is the set of
+// variables certainly bound when the group starts; it is extended with
+// the variables this group certainly binds (BGP patterns; for UNION, the
+// intersection across branches).
+func (p *planner) planGroup(gp *GroupPattern, bound map[string]bool, inEst float64) *groupPlan {
+	g := &groupPlan{}
+	if gp == nil {
+		return g
+	}
+	var filters []*FilterElement
+	for _, el := range gp.Elements {
+		if f, ok := el.(*FilterElement); ok {
+			filters = append(filters, f)
+		}
+	}
+	applied := make(map[*FilterElement]bool)
+
+	for _, el := range gp.Elements {
+		switch v := el.(type) {
+		case *BGPElement:
+			var ops []operator
+			ops, inEst = p.planBGP(v.Patterns, filters, applied, bound, inEst)
+			g.ops = append(g.ops, ops...)
+		case *FilterElement:
+			// applied at group end (or pushed into a BGP)
+		case *OptionalElement:
+			sub := p.planGroup(v.Pattern, cloneBound(bound), 1)
+			g.ops = append(g.ops, &optionalOp{sub: sub})
+		case *UnionElement:
+			u := &unionOp{}
+			var branchBound []map[string]bool
+			for _, br := range v.Branches {
+				bb := cloneBound(bound)
+				u.branches = append(u.branches, p.planGroup(br, bb, 1))
+				branchBound = append(branchBound, bb)
+			}
+			g.ops = append(g.ops, u)
+			// Variables bound in every branch are certainly bound after
+			// the union.
+			if len(branchBound) > 0 {
+				for v2 := range branchBound[0] {
+					all := true
+					for _, bb := range branchBound[1:] {
+						if !bb[v2] {
+							all = false
+							break
+						}
+					}
+					if all {
+						bound[v2] = true
+					}
+				}
+			}
+			inEst *= float64(len(v.Branches))
+		case *GroupPattern:
+			sub := p.planGroup(v, bound, inEst)
+			g.ops = append(g.ops, &nestedGroupOp{sub: sub})
+		case *SubSelectElement:
+			sub := p.planSelect(v.Select)
+			g.ops = append(g.ops, &subSelectOp{sub: sub})
+			// The sub-select's projected variables are NOT certainly bound:
+			// a projection can come from an OPTIONAL-only variable or an
+			// erroring expression, leaving it unbound in some rows. Marking
+			// them here would let a later hash join key on an unbound
+			// variable and silently drop rows; leaving them unmarked only
+			// costs eager-filter and hash opportunities (bind joins still
+			// use the runtime bindings).
+		}
+	}
+
+	// Remaining filters apply over the whole group. Filters already pushed
+	// into a BGP are pure pruning and need not re-run.
+	for _, f := range filters {
+		if !applied[f] {
+			g.ops = append(g.ops, &filterOp{cond: f.Cond})
+		}
+	}
+	return g
+}
+
+// planBGP orders a basic graph pattern's triples by cardinality
+// estimates and interleaves eagerly-applicable filters, returning the
+// operators and the updated cumulative row estimate.
+func (p *planner) planBGP(patterns []TriplePattern, filters []*FilterElement, applied map[*FilterElement]bool, bound map[string]bool, inEst float64) ([]operator, float64) {
+	remaining := append([]TriplePattern(nil), patterns...)
+	var ops []operator
+
+	for len(remaining) > 0 {
+		// Pick the next pattern by (boundness class, cardinality estimate):
+		// the class ranks patterns by how many components are constant or
+		// certainly bound — with R-tree-servable geometry patterns promoted
+		// when a pending spatial filter joins their fresh geometry variable
+		// against a bound one — and the statistics break ties within a
+		// class with the lowest estimated matches per input row. The class
+		// ordering is the heuristic the tree-walking evaluator pinned
+		// (selective scans first, window scans as soon as servable); the
+		// estimates refine choices the class cannot rank, such as two type
+		// scans of different sizes.
+		best, bestScore, bestEst, bestWindow := 0, -1, 0.0, false
+		for i, pat := range remaining {
+			score := 0
+			for _, tv := range []TermOrVar{pat.S, pat.P, pat.O} {
+				if !tv.IsVar() || bound[tv.Var] {
+					score += 2
+				}
+			}
+			if !pat.P.IsVar() {
+				score++ // bound predicates: the POS index is effective
+			}
+			window := false
+			if p.spatial && score < 6 && !pat.P.IsVar() && GeometryPredicates[pat.P.Term.Value] &&
+				pat.O.IsVar() && !bound[pat.O.Var] &&
+				spatialJoinReady(filters, applied, pat.O.Var, bound) {
+				score = 6
+				window = true
+			}
+			est := p.estimateFanout(pat, bound)
+			if window {
+				est *= spatialWindowSelectivity
+			}
+			if score > bestScore || (score == bestScore && est < bestEst) {
+				best, bestScore, bestEst, bestWindow = i, score, est, window
+			}
+		}
+		pat := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+
+		op := &joinOp{pat: pat, filters: filters, strategy: joinBind}
+		for _, tv := range []TermOrVar{pat.S, pat.P, pat.O} {
+			if tv.IsVar() && bound[tv.Var] && !containsVar(op.shared, tv.Var) {
+				op.shared = append(op.shared, tv.Var)
+			}
+		}
+		// Hash joins need real cardinalities: without statistics the
+		// pseudo-estimates rank patterns but do not measure rows, so the
+		// planner sticks to bind joins.
+		switch {
+		case bestWindow:
+			op.strategy = joinWindow
+		case p.stats != nil && len(op.shared) == 0 && inEst >= crossJoinHashMinRows:
+			// Disconnected pattern: bind degenerates to a rescan per row.
+			op.strategy = joinHash
+		case p.stats != nil && len(op.shared) > 0 && inEst >= hashJoinMinRows &&
+			p.scanAllEstimate(pat) <= inEst*maxf(bestEst, 1):
+			op.strategy = joinHash
+		}
+		if p.stats != nil {
+			inEst *= maxf(bestEst, 1.0/16)
+		}
+		op.est = inEst
+		ops = append(ops, op)
+
+		for _, tv := range []TermOrVar{pat.S, pat.P, pat.O} {
+			if tv.IsVar() {
+				bound[tv.Var] = true
+			}
+		}
+
+		// Push down any filter whose variables just became certainly
+		// bound (bound() must wait for the group end: OPTIONAL may bind
+		// later).
+		for _, f := range filters {
+			if applied[f] {
+				continue
+			}
+			vars := map[string]bool{}
+			exprVars(f.Cond, vars)
+			all := true
+			for v := range vars {
+				if !bound[v] {
+					all = false
+					break
+				}
+			}
+			if all && !usesBoundFn(f.Cond) {
+				applied[f] = true
+				ops = append(ops, &filterOp{cond: f.Cond, eager: true})
+				inEst *= eagerFilterSelectivity
+			}
+		}
+	}
+	return ops, inEst
+}
+
+// estimateFanout estimates how many matches one input row finds in the
+// pattern. Components are either constants (usable in exact counts),
+// certainly-bound variables (whose value is unknown at plan time —
+// estimated through per-predicate distinct counts), or free.
+func (p *planner) estimateFanout(pat TriplePattern, bound map[string]bool) float64 {
+	sBound := pat.S.IsVar() && bound[pat.S.Var]
+	pBound := pat.P.IsVar() && bound[pat.P.Var]
+	oBound := pat.O.IsVar() && bound[pat.O.Var]
+
+	if p.stats == nil {
+		// No statistics: order by boundness, the old evaluator's
+		// heuristic, expressed as a pseudo-estimate.
+		est := 1e9
+		for _, c := range []struct {
+			tv      TermOrVar
+			isBound bool
+		}{{pat.S, sBound}, {pat.P, pBound}, {pat.O, oBound}} {
+			if !c.tv.IsVar() || c.isBound {
+				est /= 1000
+			}
+		}
+		if !pat.P.IsVar() {
+			est /= 2
+		}
+		return est
+	}
+
+	term := func(tv TermOrVar) rdf.Term {
+		if tv.IsVar() {
+			return rdf.Term{}
+		}
+		return tv.Term
+	}
+	base := float64(p.stats.CountPattern(term(pat.S), term(pat.P), term(pat.O)))
+	if !sBound && !pBound && !oBound {
+		return base // exact
+	}
+	var distinctS, distinctO int
+	if !pat.P.IsVar() {
+		_, distinctS, distinctO = p.stats.PredicateCard(pat.P.Term)
+	}
+	if sBound {
+		if !pat.P.IsVar() {
+			base /= float64(maxi(distinctS, 1))
+		} else {
+			base /= float64(maxi(p.totalSubj, 1))
+		}
+	}
+	if oBound {
+		if !pat.P.IsVar() {
+			base /= float64(maxi(distinctO, 1))
+		} else {
+			base /= float64(maxi(p.totalObj, 1))
+		}
+	}
+	if pBound {
+		base /= float64(maxi(p.totalPred, 1))
+	}
+	return base
+}
+
+// scanAllEstimate estimates the cost of materialising the pattern's
+// matches with only its constants bound — the hash join's build side.
+func (p *planner) scanAllEstimate(pat TriplePattern) float64 {
+	if p.stats == nil {
+		return 1e9
+	}
+	term := func(tv TermOrVar) rdf.Term {
+		if tv.IsVar() {
+			return rdf.Term{}
+		}
+		return tv.Term
+	}
+	return float64(p.stats.CountPattern(term(pat.S), term(pat.P), term(pat.O)))
+}
+
+// spatialJoinReady reports whether a pending filter spatially joins
+// variable v against a geometry computable from the already-bound
+// variables — the static counterpart of findSpatialConstraint, used to
+// route index-servable geometry patterns through window scans.
+func spatialJoinReady(filters []*FilterElement, applied map[*FilterElement]bool, v string, bound map[string]bool) bool {
+	for _, f := range filters {
+		if applied[f] {
+			continue
+		}
+		if spatialJoinReadyExpr(f.Cond, v, bound) {
+			return true
+		}
+	}
+	return false
+}
+
+func spatialJoinReadyExpr(expr Expr, v string, bound map[string]bool) bool {
+	switch n := expr.(type) {
+	case *CallExpr:
+		if spatialJoinFns[n.Name] && len(n.Args) == 2 {
+			for i := 0; i < 2; i++ {
+				ve, ok := n.Args[i].(*VarExpr)
+				if !ok || ve.Name != v {
+					continue
+				}
+				vars := map[string]bool{}
+				exprVars(n.Args[1-i], vars)
+				otherBound := true
+				for name := range vars {
+					if !bound[name] {
+						otherBound = false
+						break
+					}
+				}
+				if otherBound {
+					return true
+				}
+			}
+		}
+	case *BinaryExpr:
+		if n.Op == "&&" {
+			return spatialJoinReadyExpr(n.L, v, bound) || spatialJoinReadyExpr(n.R, v, bound)
+		}
+	}
+	return false
+}
+
+// --- Explain ---
+
+// Explain compiles the query and renders the chosen plan without
+// executing it. Join operators are annotated with their strategy and the
+// planner's cumulative row estimates.
+func (e *Evaluator) Explain(q *Query) (string, error) {
+	p := e.newPlanner()
+	var b strings.Builder
+	switch {
+	case q.Select != nil:
+		b.WriteString("select\n")
+		p.planSelect(q.Select).explain(&b, "  ")
+	case q.Ask != nil:
+		b.WriteString("ask\n")
+		p.planGroup(q.Ask.Where, map[string]bool{}, 1).explain(&b, "  ")
+	case q.Update != nil:
+		fmt.Fprintf(&b, "update delete=%d insert=%d\n", len(q.Update.Delete), len(q.Update.Insert))
+		if q.Update.Where != nil {
+			p.planGroup(q.Update.Where, map[string]bool{}, 1).explain(&b, "  ")
+		}
+	default:
+		return "", fmt.Errorf("stsparql: empty query")
+	}
+	return b.String(), nil
+}
+
+// --- rendering helpers ---
+
+func termOrVarString(tv TermOrVar) string {
+	if tv.IsVar() {
+		return "?" + tv.Var
+	}
+	return tv.Term.String()
+}
+
+func exprString(e Expr) string {
+	switch v := e.(type) {
+	case *VarExpr:
+		return "?" + v.Name
+	case *ConstExpr:
+		return v.Term.String()
+	case *BinaryExpr:
+		return "(" + exprString(v.L) + " " + v.Op + " " + exprString(v.R) + ")"
+	case *UnaryExpr:
+		return v.Op + exprString(v.X)
+	case *CallExpr:
+		var b strings.Builder
+		b.WriteString(v.Name)
+		b.WriteByte('(')
+		if v.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		if v.Star {
+			b.WriteByte('*')
+		}
+		for i, a := range v.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(exprString(a))
+		}
+		b.WriteByte(')')
+		return b.String()
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+func formatEst(est float64) string {
+	if est >= 10 {
+		return strconv.FormatFloat(est, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(est, 'g', 2, 64)
+}
+
+func cloneBound(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func containsVar(vars []string, v string) bool {
+	for _, x := range vars {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

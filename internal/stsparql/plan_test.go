@@ -1,0 +1,259 @@
+package stsparql
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rdf"
+)
+
+// spatialFixture wraps the fixture store with a SpatialSource
+// implementation (envelope scan; exactness does not matter for planning
+// tests) so plans include window-served joins like strabon's store does.
+type spatialFixture struct {
+	*rdf.Store
+}
+
+func (s spatialFixture) SpatialIndexEnabled() bool { return true }
+
+func (s spatialFixture) MatchGeometryWindow(env geom.Envelope, visit func(rdf.Triple) bool) {
+	s.MatchTerms(rdf.Term{}, rdf.NewIRI("http://strdf.di.uoa.gr/ontology#hasGeometry"), rdf.Term{},
+		func(t rdf.Triple) bool {
+			g, err := geom.ParseWKT(t.O.Value)
+			if err != nil {
+				return true
+			}
+			if g.Envelope().Intersects(env) {
+				return visit(t)
+			}
+			return true
+		})
+}
+
+// clcFixture extends the fixture with one Corine land-cover area so the
+// InvalidForFires refinement shape has data on both join sides.
+func clcFixture() spatialFixture {
+	s := fixtureStore()
+	clcNS := "http://teleios.di.uoa.gr/ontologies/clcOntology.owl#"
+	add := func(subj, pred string, obj rdf.Term) {
+		s.Add(rdf.Triple{S: iri(subj), P: iri(pred), O: obj})
+	}
+	add(clcNS+"area1", rdf.RDFType, iri(clcNS+"Area"))
+	add(clcNS+"area1", clcNS+"hasLandUse", iri(clcNS+"NonIrrigatedArableLand"))
+	add(clcNS+"area1", "http://strdf.di.uoa.gr/ontology#hasGeometry",
+		rdf.NewGeometry("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))"))
+	return spatialFixture{s}
+}
+
+const invalidForFiresQuery = `
+DELETE { ?h ?hProperty ?hObject }
+WHERE {
+  ?h a noa:Hotspot ;
+     noa:hasAcquisitionDateTime ?at ;
+     strdf:hasGeometry ?hGeo ;
+     ?hProperty ?hObject .
+  ?a a clc:Area ;
+     clc:hasLandUse ?use ;
+     strdf:hasGeometry ?aGeo .
+  FILTER( str(?at) = "2007-08-24T18:15:00" )
+  FILTER( ?use = clc:NonIrrigatedArableLand || ?use = clc:ContinuousUrbanFabric )
+  FILTER( strdf:coveredBy(?hGeo, ?aGeo) )
+}`
+
+// TestExplainInvalidForFiresGolden pins the plan chosen for the paper's
+// InvalidForFires refinement: the hotspot side scans first, the
+// acquisition-scope filter is pushed directly below the pattern binding
+// ?at, and the land-cover geometry (the second basic graph pattern — the
+// parser splits subject blocks) is joined through an R-tree window scan
+// as soon as the plan reaches it, with ?hGeo already bound.
+func TestExplainInvalidForFiresGolden(t *testing.T) {
+	q := mustParse(t, invalidForFiresQuery)
+	got, err := NewEvaluator(clcFixture()).Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `update delete=1 insert=0
+  join[bind] {?h <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#Hotspot>} est=3
+  join[bind] {?h <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#hasAcquisitionDateTime> ?at} on h est=3
+  filter[pushed] (str(?at) = "2007-08-24T18:15:00")
+  join[bind] {?h <http://strdf.di.uoa.gr/ontology#hasGeometry> ?hGeo} on h est=0.75
+  join[bind] {?h ?hProperty ?hObject} on h est=3
+  join[window] {?a <http://strdf.di.uoa.gr/ontology#hasGeometry> ?aGeo} est=0.21
+  filter[pushed] strdf:coveredby(?hGeo, ?aGeo)
+  join[bind] {?a <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://teleios.di.uoa.gr/ontologies/clcOntology.owl#Area>} on a est=0.0075
+  join[bind] {?a <http://teleios.di.uoa.gr/ontologies/clcOntology.owl#hasLandUse> ?use} on a est=0.0075
+  filter[pushed] ((?use = <http://teleios.di.uoa.gr/ontologies/clcOntology.owl#NonIrrigatedArableLand>) || (?use = <http://teleios.di.uoa.gr/ontologies/clcOntology.owl#ContinuousUrbanFabric>))
+`
+	if got != want {
+		t.Fatalf("explain mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExplainAggregateGolden pins the plan of a grouped thematic query:
+// joins, then aggregate / project / order / slice as explicit operators.
+func TestExplainAggregateGolden(t *testing.T) {
+	q := mustParse(t, `
+SELECT ?sensor (COUNT(?h) AS ?n) WHERE {
+  ?h a noa:Hotspot ; noa:isDerivedFromSensor ?sensor .
+} GROUP BY ?sensor HAVING (COUNT(?h) > 1) ORDER BY ?sensor LIMIT 5`)
+	got, err := NewEvaluator(clcFixture()).Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `select
+  join[bind] {?h <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#Hotspot>} est=3
+  join[bind] {?h <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#isDerivedFromSensor> ?sensor} on h est=3
+  aggregate group=?sensor having=1
+  project ?sensor (count(?h) AS ?n)
+  order ?sensor
+  slice offset=0 limit=5
+`
+	if got != want {
+		t.Fatalf("explain mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExplainShapes spot-checks plan features that golden tests would
+// make brittle: optional/union sub-plans and the hash strategy for
+// disconnected patterns over large intermediates.
+func TestExplainShapes(t *testing.T) {
+	q := mustParse(t, `
+SELECT ?h WHERE {
+  ?h a noa:Hotspot ; strdf:hasGeometry ?hGeo .
+  OPTIONAL {
+    ?c a coast:Coastline ; strdf:hasGeometry ?cGeo .
+    FILTER( strdf:anyInteract(?hGeo, ?cGeo) )
+  }
+  FILTER( !bound(?c) )
+}`)
+	out, err := NewEvaluator(clcFixture()).Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"optional\n", "join[window] {?c <http://strdf.di.uoa.gr/ontology#hasGeometry> ?cGeo}", "filter !bound(?c)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+
+	q2 := mustParse(t, `
+SELECT ?x WHERE { { ?x a noa:Hotspot . } UNION { ?x a gag:Municipality . } }`)
+	out2, err := NewEvaluator(clcFixture()).Explain(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2, "union\n") || strings.Count(out2, "branch") != 2 {
+		t.Errorf("union explain:\n%s", out2)
+	}
+}
+
+// TestPlanExecutionEquivalence cross-checks the planned execution against
+// the same queries' known results on the spatial fixture (window scans
+// and hash joins must not change the solution set).
+func TestPlanExecutionEquivalence(t *testing.T) {
+	src := clcFixture()
+	res := runSelectSrc(t, src, `
+SELECT ?h ?m WHERE {
+  ?h a noa:Hotspot ;
+     strdf:hasGeometry ?hGeo .
+  ?m a gag:Municipality ;
+     strdf:hasGeometry ?mGeo .
+  FILTER( strdf:anyInteract(?hGeo, ?mGeo) ) .
+}`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("spatial join rows = %d, want 2", len(res.Rows))
+	}
+
+	// Force the hash-join path: a disconnected pattern under a large
+	// intermediate result (every hotspot x every municipality).
+	res2 := runSelectSrc(t, src, `
+SELECT ?h ?p ?m WHERE {
+  ?h a noa:Hotspot .
+  ?m a gag:Municipality ; gag:hasPopulation ?p .
+}`)
+	if len(res2.Rows) != 6 {
+		t.Fatalf("cross join rows = %d, want 6", len(res2.Rows))
+	}
+}
+
+func runSelectSrc(t *testing.T, src Source, q string) *Result {
+	t.Helper()
+	parsed := mustParse(t, q)
+	res, err := NewEvaluator(src).Select(parsed.Select)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSubSelectUnboundProjectionSurvivesJoin pins that a variable a
+// sub-select projects but leaves unbound (here via OPTIONAL) must not be
+// treated as certainly bound: a later join keyed on it (the hash path
+// would probe with an unbound sentinel) has to fall back to runtime
+// binding semantics instead of dropping the rows.
+func TestSubSelectUnboundProjectionSurvivesJoin(t *testing.T) {
+	s := rdf.NewStore()
+	p := rdf.NewIRI("http://e/p")
+	m := rdf.NewIRI("http://e/m")
+	q := rdf.NewIRI("http://e/q")
+	r := rdf.NewIRI("http://e/r")
+	const n = 70 // past hashJoinMinRows
+	for i := 0; i < n; i++ {
+		subj := rdf.NewIRI(fmt.Sprintf("http://e/s%d", i))
+		s.Add(rdf.Triple{S: subj, P: p, O: rdf.NewIRI(fmt.Sprintf("http://e/o%d", i))})
+		s.Add(rdf.Triple{S: rdf.NewIRI(fmt.Sprintf("http://e/o%d", i)), P: m, O: rdf.NewIRI(fmt.Sprintf("http://e/mid%d", i))})
+	}
+	// Only one mid resolves to an x, and that x has two r-values.
+	s.Add(rdf.Triple{S: rdf.NewIRI("http://e/mid0"), P: q, O: rdf.NewIRI("http://e/x0")})
+	s.Add(rdf.Triple{S: rdf.NewIRI("http://e/x0"), P: r, O: rdf.NewIRI("http://e/y0")})
+	s.Add(rdf.Triple{S: rdf.NewIRI("http://e/x0"), P: r, O: rdf.NewIRI("http://e/y1")})
+
+	res := runSelectSrc(t, s, `
+PREFIX e: <http://e/>
+SELECT ?s ?x ?y WHERE {
+  ?s e:p ?o .
+  { SELECT ?o ?x WHERE { ?o e:m ?mid . OPTIONAL { ?mid e:q ?x } } }
+  ?x e:r ?y .
+}`)
+	// Every row extends through ?x e:r ?y: the one row carrying ?x=x0
+	// joins on it, and the 69 rows with ?x unbound scan the pattern and
+	// bind ?x afresh — two r-triples each way, so 70 x 2 solutions. A
+	// hash join keyed on a wrongly-"certain" ?x would return 2.
+	if len(res.Rows) != 2*n {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), 2*n)
+	}
+}
+
+// TestHashJoinMatchesBindJoin runs a connected join both ways over a
+// dataset sized past the hash threshold and compares solution multisets.
+func TestHashJoinMatchesBindJoin(t *testing.T) {
+	s := rdf.NewStore()
+	typ := rdf.NewIRI(rdf.RDFType)
+	cls := rdf.NewIRI("http://e/Thing")
+	link := rdf.NewIRI("http://e/linksTo")
+	for i := 0; i < 200; i++ {
+		subj := rdf.NewIRI(fmt.Sprintf("http://e/s%d", i))
+		s.Add(rdf.Triple{S: subj, P: typ, O: cls})
+		s.Add(rdf.Triple{S: subj, P: link, O: rdf.NewIRI(fmt.Sprintf("http://e/s%d", (i+1)%200))})
+	}
+	q := mustParse(t, `
+PREFIX e: <http://e/>
+SELECT ?a ?b WHERE { ?a a e:Thing ; e:linksTo ?b . ?b a e:Thing . }`)
+	res, err := NewEvaluator(s).Select(q.Select)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 200 {
+		t.Fatalf("rows = %d, want 200", len(res.Rows))
+	}
+	seen := map[string]bool{}
+	for _, row := range res.Rows {
+		k := row["a"].Value + "->" + row["b"].Value
+		if seen[k] {
+			t.Fatalf("duplicate solution %s", k)
+		}
+		seen[k] = true
+	}
+}
