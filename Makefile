@@ -3,23 +3,29 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-endpoint lint fmt
+.PHONY: build test bench bench-endpoint bench-stream lint fmt
 
 build:
 	$(GO) build ./...
 
 test:
 	$(GO) test -race ./...
-	$(GO) test -race -count=2 -run 'TestEndpointConcurrent|TestConcurrentEndpointSmoke' ./internal/strabon
+	$(GO) test -race -count=2 -run 'TestEndpointConcurrent|TestConcurrentEndpointSmoke|TestEndpointStreamsDuringWrites' ./internal/strabon
 
 # Full benchmark sweep; CI runs the 1x smoke variant of the end-to-end
-# and pipeline benchmarks and the served-query smoke.
+# and pipeline benchmarks plus the served-query and streamed-select
+# smokes.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 # Concurrent endpoint read throughput across core counts.
 bench-endpoint:
 	$(GO) test -run '^$$' -bench 'BenchmarkServedQueries' -cpu 1,4,8 ./internal/strabon
+
+# Cursor-path allocation behaviour: materialised vs streamed vs LIMIT
+# pushdown over a 10k-row SELECT.
+bench-stream:
+	$(GO) test -run '^$$' -bench 'BenchmarkStreamedSelect' -benchmem ./internal/strabon
 
 lint:
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \

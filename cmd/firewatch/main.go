@@ -5,7 +5,10 @@
 // pre-TELEIOS architecture) with Strabon's stSPARQL endpoint (/sparql,
 // /update, /explain, /stats). The stSPARQL endpoint comes up before the
 // acquisition window starts, so operator queries run against the store
-// while detection and refinement are writing to it.
+// while detection and refinement are writing to it: SELECTs stream row
+// by row under the store's read lock, and each pipeline flush bumps the
+// store generation, invalidating cached query plans so repeated
+// operator queries never see a stale plan.
 package main
 
 import (
@@ -116,6 +119,10 @@ func main() {
 		return
 	}
 	windowDone.Store(true)
+	st := svc.Strabon.Stats()
+	ps := svc.Strabon.PlanStats()
+	fmt.Printf("firewatch: served %d queries during the window (plan cache: %d hits, %d misses, %d evictions)\n",
+		st.Queries, ps.Hits, ps.Misses, ps.Evictions)
 	fmt.Println("firewatch: window complete, continuing to serve (interrupt to stop)")
 	select {}
 }

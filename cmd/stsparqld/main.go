@@ -8,9 +8,14 @@
 //	stsparqld -addr :7575
 //	stsparqld -addr :7575 -load extra.ttl
 //	stsparqld -addr :7575 -live -window 1h -workers 4
+//	stsparqld -addr :7575 -plan-cache 1024
 //
 // Endpoints: /sparql (GET/POST query; JSON or format=tsv), /update
-// (POST), /explain, /stats.
+// (POST), /explain, /stats. SELECT responses stream row by row with
+// X-Rows/X-Elapsed-Us trailers; repeated queries skip parse+plan
+// through the store's generation-invalidated plan cache, whose
+// hit/miss/eviction counters /stats reports (-plan-cache sizes it,
+// 0 disables).
 package main
 
 import (
@@ -29,13 +34,14 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":7575", "HTTP listen address")
-		seed    = flag.Int64("seed", 42, "synthetic world seed (0 disables world loading)")
-		load    = flag.String("load", "", "optional Turtle file to load")
-		live    = flag.Bool("live", false, "run the fire monitoring service against the served store")
-		sensor  = flag.String("sensor", "MSG1", "live mode sensor stream: MSG1 or MSG2")
-		window  = flag.Duration("window", time.Hour, "live mode monitored span")
-		workers = flag.Int("workers", 0, "live mode pipeline workers (0 = NumCPU)")
+		addr      = flag.String("addr", ":7575", "HTTP listen address")
+		seed      = flag.Int64("seed", 42, "synthetic world seed (0 disables world loading)")
+		load      = flag.String("load", "", "optional Turtle file to load")
+		live      = flag.Bool("live", false, "run the fire monitoring service against the served store")
+		sensor    = flag.String("sensor", "MSG1", "live mode sensor stream: MSG1 or MSG2")
+		window    = flag.Duration("window", time.Hour, "live mode monitored span")
+		workers   = flag.Int("workers", 0, "live mode pipeline workers (0 = NumCPU)")
+		planCache = flag.Int("plan-cache", 256, "compiled-plan cache entries (0 disables plan caching)")
 	)
 	flag.Parse()
 
@@ -78,9 +84,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "stsparqld: loaded %d triples from %s\n", n, *load)
 	}
 
+	st.SetPlanCacheSize(*planCache)
+
 	ln, err := net.Listen("tcp", *addr)
 	fail(err)
-	fmt.Fprintf(os.Stderr, "stsparqld: serving stSPARQL on %s (/sparql, /update, /explain, /stats)\n", *addr)
+	fmt.Fprintf(os.Stderr, "stsparqld: serving stSPARQL on %s (/sparql, /update, /explain, /stats; plan cache %d entries)\n",
+		*addr, *planCache)
 	fail(http.Serve(ln, strabon.NewEndpoint(st)))
 }
 

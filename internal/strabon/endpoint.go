@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/stsparql"
 )
 
 // Endpoint is an http.Handler exposing a Store over a minimal
@@ -24,11 +26,21 @@ import (
 //
 // Result format negotiation: "format=tsv" (or an Accept header naming
 // text/tab-separated-values) selects TSV; the default is SPARQL results
-// JSON. Every query response carries X-Rows and X-Elapsed-Us headers.
+// JSON.
+//
+// SELECT responses stream: rows are encoded from the store cursor as
+// they are produced and flushed in chunks, so the first byte goes out
+// before the last row exists and no full result set is ever buffered.
+// Because the byte count is unknown up front, per-request statistics
+// for streamed SELECTs travel as HTTP trailers (X-Rows, X-Elapsed-Us,
+// and X-Error if evaluation failed mid-stream) on the chunked response;
+// ASK and /update responses are tiny and keep them as plain headers.
 //
 // Handlers take no locks of their own: the store's read-lock discipline
 // lets any number of /sparql and /explain requests run concurrently with
-// each other and with the planning phases of scoped updates.
+// each other and with the planning phases of scoped updates. A streamed
+// response holds the store read lock for as long as the client keeps
+// reading (until the cursor closes).
 type Endpoint struct {
 	store *Store
 
@@ -106,6 +118,10 @@ func (ep *Endpoint) count(rows int, failed bool) {
 	ep.mu.Unlock()
 }
 
+// streamFlushRows is the row interval at which a streamed response is
+// flushed to the client (each flush emits an HTTP chunk).
+const streamFlushRows = 64
+
 func (ep *Endpoint) serveQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
 		ep.count(0, true)
@@ -119,24 +135,79 @@ func (ep *Endpoint) serveQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	res, err := ep.store.Query(q)
+	cur, err := ep.store.QueryStream(q)
 	if err != nil {
 		ep.count(0, true)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	elapsed := time.Since(start)
-	ep.count(len(res.Rows), false)
+	defer cur.Close()
 
-	w.Header().Set("X-Rows", fmt.Sprint(len(res.Rows)))
-	w.Header().Set("X-Elapsed-Us", fmt.Sprint(elapsed.Microseconds()))
-	if wantsTSV(r) {
-		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
-		_ = WriteResultTSV(w, res)
+	// Pull the first row before committing to a status code: blocking
+	// plans (aggregates, ORDER BY) surface their evaluation errors here,
+	// keeping them 400s instead of mid-stream aborts.
+	first, hasFirst := cur.Next()
+	if err := cur.Err(); err != nil {
+		cur.Close()
+		ep.count(0, true)
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	w.Header().Set("Content-Type", "application/sparql-results+json")
-	_ = WriteResultJSON(w, res)
+
+	if cur.IsAsk() {
+		// ASK: a single pre-materialised row — keep the plain headers.
+		res := &stsparql.Result{Vars: cur.Vars()}
+		if hasFirst {
+			res.Rows = append(res.Rows, first)
+		}
+		cur.Close()
+		w.Header().Set("X-Rows", fmt.Sprint(len(res.Rows)))
+		w.Header().Set("X-Elapsed-Us", fmt.Sprint(time.Since(start).Microseconds()))
+		if wantsTSV(r) {
+			w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+			_ = WriteResultTSV(w, res)
+		} else {
+			w.Header().Set("Content-Type", "application/sparql-results+json")
+			_ = WriteResultJSON(w, res)
+		}
+		ep.count(len(res.Rows), false)
+		return
+	}
+
+	// Streamed SELECT: declare the trailers, then encode rows from the
+	// cursor, flushing every streamFlushRows rows.
+	w.Header().Set("Trailer", "X-Rows, X-Elapsed-Us, X-Error")
+	var enc RowWriter
+	if wantsTSV(r) {
+		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+		enc = NewTSVRowWriter(w, cur.Vars())
+	} else {
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		enc = NewJSONRowWriter(w, cur.Vars())
+	}
+	flusher, _ := w.(http.Flusher)
+	var writeErr error
+	for ok := hasFirst; ok; first, ok = cur.Next() {
+		if writeErr = enc.Row(first); writeErr != nil {
+			break // client gone: stop pulling rows
+		}
+		if cur.Rows()%streamFlushRows == 0 && flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if writeErr == nil {
+		writeErr = enc.End()
+	}
+	closeErr := cur.Close() // rows are final once the cursor is closed
+	rows := cur.Rows()
+	w.Header().Set("X-Rows", fmt.Sprint(rows))
+	w.Header().Set("X-Elapsed-Us", fmt.Sprint(time.Since(start).Microseconds()))
+	failed := false
+	if closeErr != nil {
+		w.Header().Set("X-Error", closeErr.Error())
+		failed = true
+	}
+	ep.count(rows, failed || writeErr != nil)
 }
 
 func (ep *Endpoint) serveUpdate(w http.ResponseWriter, r *http.Request) {
@@ -184,13 +255,15 @@ func (ep *Endpoint) serveExplain(w http.ResponseWriter, r *http.Request) {
 
 func (ep *Endpoint) serveStats(w http.ResponseWriter, r *http.Request) {
 	doc := struct {
-		Triples  int           `json:"triples"`
-		Store    Stats         `json:"store"`
-		Endpoint EndpointStats `json:"endpoint"`
+		Triples   int                     `json:"triples"`
+		Store     Stats                   `json:"store"`
+		Endpoint  EndpointStats           `json:"endpoint"`
+		PlanCache stsparql.PlanCacheStats `json:"plan_cache"`
 	}{
-		Triples:  ep.store.Len(),
-		Store:    ep.store.Stats(),
-		Endpoint: ep.Stats(),
+		Triples:   ep.store.Len(),
+		Store:     ep.store.Stats(),
+		Endpoint:  ep.Stats(),
+		PlanCache: ep.store.PlanStats(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(doc)

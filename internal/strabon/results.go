@@ -11,8 +11,19 @@ import (
 )
 
 // Result serialisation in the two formats the endpoint speaks: SPARQL
-// 1.1 Query Results JSON and W3C TSV. Both are also used by the
-// cmd/stsparql command-line client.
+// 1.1 Query Results JSON and W3C TSV. Both are written row by row
+// through RowWriter, so the endpoint (and cmd/stsparql) can encode a
+// cursor's rows as they are pulled instead of materialising the result;
+// WriteResultJSON / WriteResultTSV remain as materialised-result
+// wrappers.
+
+// RowWriter encodes one result set incrementally: any prologue (JSON
+// head, TSV header line) is written with the first row — or by End for
+// an empty result — and End closes the document.
+type RowWriter interface {
+	Row(stsparql.Binding) error
+	End() error
+}
 
 // jsonTerm is one RDF term in the SPARQL results JSON format.
 type jsonTerm struct {
@@ -33,53 +44,123 @@ func termToJSON(t rdf.Term) jsonTerm {
 	}
 }
 
-// WriteResultJSON writes a result set in the SPARQL 1.1 Query Results
-// JSON format.
-func WriteResultJSON(w io.Writer, res *stsparql.Result) error {
-	type bindings struct {
-		Bindings []map[string]jsonTerm `json:"bindings"`
-	}
-	doc := struct {
-		Head struct {
-			Vars []string `json:"vars"`
-		} `json:"head"`
-		Results bindings `json:"results"`
-	}{}
-	doc.Head.Vars = res.Vars
-	doc.Results.Bindings = make([]map[string]jsonTerm, 0, len(res.Rows))
-	for _, row := range res.Rows {
-		b := make(map[string]jsonTerm, len(res.Vars))
-		for _, v := range res.Vars {
-			if t, ok := row[v]; ok && !t.IsZero() {
-				b[v] = termToJSON(t)
-			}
-		}
-		doc.Results.Bindings = append(doc.Results.Bindings, b)
-	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(doc)
+type jsonRowWriter struct {
+	w       io.Writer
+	vars    []string
+	started bool
+	first   bool
 }
 
-// WriteResultTSV writes a result set in the W3C SPARQL TSV format: a
-// header of ?var names, then one N-Triples-encoded term per column.
-func WriteResultTSV(w io.Writer, res *stsparql.Result) error {
-	cols := make([]string, len(res.Vars))
-	for i, v := range res.Vars {
-		cols[i] = "?" + v
+// NewJSONRowWriter returns a RowWriter emitting the SPARQL 1.1 Query
+// Results JSON format.
+func NewJSONRowWriter(w io.Writer, vars []string) RowWriter {
+	return &jsonRowWriter{w: w, vars: vars, first: true}
+}
+
+func (jw *jsonRowWriter) begin() error {
+	if jw.started {
+		return nil
 	}
-	if _, err := fmt.Fprintln(w, strings.Join(cols, "\t")); err != nil {
+	jw.started = true
+	head, err := json.Marshal(jw.vars)
+	if err != nil {
 		return err
 	}
-	for _, row := range res.Rows {
-		for i, v := range res.Vars {
-			cols[i] = ""
-			if t, ok := row[v]; ok && !t.IsZero() {
-				cols[i] = t.String()
-			}
+	_, err = fmt.Fprintf(jw.w, `{"head":{"vars":%s},"results":{"bindings":[`, head)
+	return err
+}
+
+func (jw *jsonRowWriter) Row(row stsparql.Binding) error {
+	if err := jw.begin(); err != nil {
+		return err
+	}
+	b := make(map[string]jsonTerm, len(jw.vars))
+	for _, v := range jw.vars {
+		if t, ok := row[v]; ok && !t.IsZero() {
+			b[v] = termToJSON(t)
 		}
-		if _, err := fmt.Fprintln(w, strings.Join(cols, "\t")); err != nil {
+	}
+	doc, err := json.Marshal(b)
+	if err != nil {
+		return err
+	}
+	if !jw.first {
+		if _, err := io.WriteString(jw.w, ","); err != nil {
 			return err
 		}
 	}
-	return nil
+	jw.first = false
+	_, err = jw.w.Write(doc)
+	return err
+}
+
+func (jw *jsonRowWriter) End() error {
+	if err := jw.begin(); err != nil {
+		return err
+	}
+	_, err := io.WriteString(jw.w, "]}}\n")
+	return err
+}
+
+type tsvRowWriter struct {
+	w       io.Writer
+	vars    []string
+	started bool
+	cols    []string
+}
+
+// NewTSVRowWriter returns a RowWriter emitting the W3C SPARQL TSV
+// format: a header of ?var names, then one N-Triples-encoded term per
+// column.
+func NewTSVRowWriter(w io.Writer, vars []string) RowWriter {
+	return &tsvRowWriter{w: w, vars: vars, cols: make([]string, len(vars))}
+}
+
+func (tw *tsvRowWriter) begin() error {
+	if tw.started {
+		return nil
+	}
+	tw.started = true
+	for i, v := range tw.vars {
+		tw.cols[i] = "?" + v
+	}
+	_, err := fmt.Fprintln(tw.w, strings.Join(tw.cols, "\t"))
+	return err
+}
+
+func (tw *tsvRowWriter) Row(row stsparql.Binding) error {
+	if err := tw.begin(); err != nil {
+		return err
+	}
+	for i, v := range tw.vars {
+		tw.cols[i] = ""
+		if t, ok := row[v]; ok && !t.IsZero() {
+			tw.cols[i] = t.String()
+		}
+	}
+	_, err := fmt.Fprintln(tw.w, strings.Join(tw.cols, "\t"))
+	return err
+}
+
+func (tw *tsvRowWriter) End() error { return tw.begin() }
+
+// WriteResultJSON writes a materialised result set in the SPARQL 1.1
+// Query Results JSON format.
+func WriteResultJSON(w io.Writer, res *stsparql.Result) error {
+	return writeRows(NewJSONRowWriter(w, res.Vars), res.Rows)
+}
+
+// WriteResultTSV writes a materialised result set in the W3C SPARQL TSV
+// format.
+func WriteResultTSV(w io.Writer, res *stsparql.Result) error {
+	return writeRows(NewTSVRowWriter(w, res.Vars), res.Rows)
+}
+
+func writeRows(rw RowWriter, rows []stsparql.Binding) error {
+	for _, row := range rows {
+		if err := rw.Row(row); err != nil {
+			return err
+		}
+	}
+	return rw.End()
 }

@@ -12,10 +12,15 @@
 // RWMutex guards the triple store, the spatial index and the geometry
 // entry table:
 //
-//   - Query evaluates under a read lock, so any number of queries — and
-//     the read-only planning phases of UpdateScoped — run concurrently.
+//   - Query and QueryStream evaluate under a read lock, so any number
+//     of queries — and the read-only planning phases of UpdateScoped —
+//     run concurrently. A streaming cursor HOLDS the read lock from
+//     QueryStream until Close: writers queue behind open cursors, which
+//     is what makes a half-consumed result set immune to concurrent
+//     mutation. Clients must Close cursors promptly.
 //   - Update, InsertAll and plan application take the write lock;
-//     mutations are serialised.
+//     mutations are serialised. Every mutation bumps the store
+//     generation, invalidating cached query plans.
 //   - The stsparql interface methods (MatchTerms, Add, Remove,
 //     MatchGeometryWindow, SpatialIndexEnabled) do NOT lock: they are
 //     called by the evaluator while an endpoint method already holds the
@@ -50,6 +55,12 @@ type Store struct {
 	ns      *rdf.Namespaces
 	cache   *stsparql.Cache
 
+	// plans caches compiled query plans keyed by query text; gen is the
+	// mutation generation the cache entries are pinned to. Both are
+	// guarded by mu (gen is only written under the write lock).
+	plans *stsparql.PlanCache
+	gen   uint64
+
 	indexOn bool
 	index   *rtree.Tree
 	// geomEntries remembers what was inserted in the index so Remove can
@@ -59,6 +70,10 @@ type Store struct {
 	statsMu sync.Mutex
 	stats   Stats
 }
+
+// defaultPlanCacheSize bounds the compiled-plan cache: the endpoint's
+// repeated thematic-query catalogue is far smaller than this.
+const defaultPlanCacheSize = 256
 
 type indexedGeom struct {
 	env    geom.Envelope
@@ -73,16 +88,40 @@ type Stats struct {
 	IndexHits     int
 }
 
-// New returns an empty store with the spatial index enabled.
+// New returns an empty store with the spatial index enabled and a
+// default-sized plan cache.
 func New() *Store {
 	return &Store{
 		triples:     rdf.NewStore(),
 		ns:          rdf.NewNamespaces(),
 		cache:       stsparql.NewCache(),
+		plans:       stsparql.NewPlanCache(defaultPlanCacheSize),
 		indexOn:     true,
 		index:       rtree.New(),
 		geomEntries: make(map[string]indexedGeom),
 	}
+}
+
+// SetPlanCacheSize replaces the compiled-plan cache with one holding at
+// most n entries; n <= 0 disables plan caching. Counters restart.
+func (s *Store) SetPlanCacheSize(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 {
+		s.plans = nil
+		return
+	}
+	s.plans = stsparql.NewPlanCache(n)
+}
+
+// PlanStats returns a snapshot of the plan cache counters.
+func (s *Store) PlanStats() stsparql.PlanCacheStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.plans == nil {
+		return stsparql.PlanCacheStats{}
+	}
+	return s.plans.Stats()
 }
 
 // NewWithCache returns an empty store sharing an externally-owned
@@ -130,11 +169,14 @@ func (s *Store) MatchTerms(sub, pred, obj rdf.Term, visit func(rdf.Triple) bool)
 	s.triples.MatchTerms(sub, pred, obj, visit)
 }
 
-// Add implements stsparql.UpdatableSource, maintaining the spatial index.
+// Add implements stsparql.UpdatableSource, maintaining the spatial
+// index and the plan-invalidating generation (it is only called with
+// the write lock held).
 func (s *Store) Add(t rdf.Triple) bool {
 	if !s.triples.Add(t) {
 		return false
 	}
+	s.gen++
 	if item, ok := s.geomItem(t); ok {
 		s.index.Insert(item.Box, item.Data)
 	}
@@ -162,6 +204,7 @@ func (s *Store) Remove(t rdf.Triple) bool {
 	if !s.triples.Remove(t) {
 		return false
 	}
+	s.gen++
 	if e, ok := s.geomEntries[t.String()]; ok {
 		s.index.Delete(e.env, t.String())
 		delete(s.geomEntries, t.String())
@@ -229,6 +272,9 @@ func (s *Store) InsertAll(groups ...[]rdf.Triple) []int {
 			}
 		}
 	}
+	if total > 0 {
+		s.gen++
+	}
 	s.index.InsertAll(items)
 	s.mu.Unlock()
 
@@ -247,35 +293,123 @@ func (s *Store) LoadTurtle(src string) (int, error) {
 	return s.LoadTriples(triples), nil
 }
 
-// Query parses and evaluates a SELECT or ASK request. ASK results are
-// returned as a single-row result with variable "ask". Queries run under
-// the read lock and may execute concurrently with each other.
-func (s *Store) Query(src string) (*stsparql.Result, error) {
-	q, err := stsparql.Parse(src, s.ns)
+// Cursor streams the solutions of one query. A SELECT cursor holds the
+// store's read lock from QueryStream until Close — close promptly; an
+// ASK cursor is pre-materialised and holds no lock. Rows yielded so far
+// are counted and reported at Close (Rows), the bookkeeping hook the
+// endpoint's streamed responses use.
+type Cursor struct {
+	inner  stsparql.Cursor
+	ask    bool
+	rows   int
+	unlock func() // releases the read lock; nil once released
+	closed bool
+}
+
+// Vars is the result header.
+func (c *Cursor) Vars() []string { return c.inner.Vars() }
+
+// IsAsk reports whether the cursor carries an ASK verdict (a single row
+// binding "ask").
+func (c *Cursor) IsAsk() bool { return c.ask }
+
+// Next yields the next solution; ok=false once exhausted or on error
+// (check Err).
+func (c *Cursor) Next() (stsparql.Binding, bool) {
+	if c.closed {
+		return nil, false
+	}
+	row, ok := c.inner.Next()
+	if ok {
+		c.rows++
+	}
+	return row, ok
+}
+
+// Err reports the first evaluation error, if any.
+func (c *Cursor) Err() error { return c.inner.Err() }
+
+// Rows reports how many solutions have been yielded so far.
+func (c *Cursor) Rows() int { return c.rows }
+
+// Close terminates the evaluation and releases the store read lock. It
+// is idempotent and returns Err().
+func (c *Cursor) Close() error {
+	if !c.closed {
+		c.closed = true
+		c.inner.Close()
+		if c.unlock != nil {
+			c.unlock()
+			c.unlock = nil
+		}
+	}
+	return c.inner.Err()
+}
+
+// QueryStream parses, plans and starts a SELECT or ASK request,
+// returning a streaming cursor over its solutions. Parsing and planning
+// consult the plan cache: a repeated query at an unchanged store
+// generation reuses its compiled plan. The returned cursor holds the
+// store read lock until Close (ASK verdicts are computed eagerly — the
+// pipeline stops at the first solution — and release the lock before
+// returning).
+func (s *Store) QueryStream(src string) (*Cursor, error) {
+	s.mu.RLock()
+	ev := stsparql.NewEvaluatorWithCache(s, s.cache)
+	c, err := ev.CompileCached(src, s.ns, s.plans, s.gen)
 	if err != nil {
+		s.mu.RUnlock()
 		return nil, err
 	}
+	// Counted after the parse, like the pre-cursor Query: malformed
+	// requests are not served queries.
 	s.statsMu.Lock()
 	s.stats.Queries++
 	s.statsMu.Unlock()
-
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ev := stsparql.NewEvaluatorWithCache(s, s.cache)
 	switch {
-	case q.Select != nil:
-		return ev.Select(q.Select)
-	case q.Ask != nil:
-		ok, err := ev.Ask(q.Ask)
+	case c.IsSelect():
+		cur, err := ev.RunCompiled(c)
+		if err != nil {
+			s.mu.RUnlock()
+			return nil, err
+		}
+		return &Cursor{inner: cur, unlock: s.mu.RUnlock}, nil
+	case c.IsAsk():
+		ok, err := ev.AskCompiled(c)
+		s.mu.RUnlock()
 		if err != nil {
 			return nil, err
 		}
-		res := &stsparql.Result{Vars: []string{"ask"}}
-		res.Rows = []stsparql.Binding{{"ask": rdf.NewBoolean(ok)}}
-		return res, nil
+		rows := []stsparql.Binding{{"ask": rdf.NewBoolean(ok)}}
+		return &Cursor{inner: stsparql.MaterialisedCursor([]string{"ask"}, rows), ask: true}, nil
 	default:
+		s.mu.RUnlock()
 		return nil, fmt.Errorf("strabon: Query wants SELECT or ASK; use Update for updates")
 	}
+}
+
+// Query parses and evaluates a SELECT or ASK request, materialising the
+// full result through the cursor path. ASK results are returned as a
+// single-row result with variable "ask". Queries run under the read
+// lock and may execute concurrently with each other.
+func (s *Store) Query(src string) (*stsparql.Result, error) {
+	cur, err := s.QueryStream(src)
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	res := &stsparql.Result{Vars: cur.Vars()}
+	for {
+		row, ok := cur.Next()
+		if !ok {
+			break
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if err := cur.Close(); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // Explain parses a request and renders the evaluation plan the engine
@@ -355,16 +489,13 @@ func (s *Store) TimedUpdate(src string) (stsparql.UpdateStats, time.Duration, er
 // TimedQuery evaluates a query and reports its wall-clock duration,
 // including a full iteration over the result rows (the paper's metric:
 // "elapsed time from query submission till a complete iteration over each
-// query's results").
+// query's results"). With the streaming cursor the iteration is the
+// evaluation: Query's drain loop pulls every row through the pipeline.
 func (s *Store) TimedQuery(src string) (*stsparql.Result, time.Duration, error) {
 	start := time.Now()
 	res, err := s.Query(src)
 	if err != nil {
 		return nil, 0, err
-	}
-	for range res.Rows {
-		// Results are already materialised; the loop mirrors the paper's
-		// complete-iteration protocol.
 	}
 	return res, time.Since(start), nil
 }

@@ -1,0 +1,202 @@
+package stsparql
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// countingSource wraps a Source and counts the triples its scans visit,
+// so tests can pin that pull-based early termination actually stops the
+// index scans (not just the row flow).
+type countingSource struct {
+	Source
+	visited int
+}
+
+func (c *countingSource) MatchTerms(s, p, o rdf.Term, visit func(rdf.Triple) bool) {
+	c.Source.MatchTerms(s, p, o, func(t rdf.Triple) bool {
+		c.visited++
+		return visit(t)
+	})
+}
+
+// wideStore builds a store with n triples under one predicate.
+func wideStore(n int) *rdf.Store {
+	s := rdf.NewStore()
+	p := rdf.NewIRI("http://e/p")
+	for i := 0; i < n; i++ {
+		s.Add(rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://e/s%d", i)),
+			P: p,
+			O: rdf.NewIRI(fmt.Sprintf("http://e/o%d", i)),
+		})
+	}
+	return s
+}
+
+// TestRunCursorMatchesSelect checks the streaming cursor yields exactly
+// the rows the materialising wrapper returns.
+func TestRunCursorMatchesSelect(t *testing.T) {
+	src := clcFixture()
+	q := mustParse(t, `SELECT ?h ?c WHERE { ?h a noa:Hotspot ; noa:hasConfidence ?c . }`)
+
+	want, err := NewEvaluator(src).Select(q.Select)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := NewEvaluator(src).Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if fmt.Sprint(cur.Vars()) != fmt.Sprint(want.Vars) {
+		t.Fatalf("vars = %v, want %v", cur.Vars(), want.Vars)
+	}
+	var got []Binding
+	for row, ok := cur.Next(); ok; row, ok = cur.Next() {
+		got = append(got, row)
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want.Rows) {
+		t.Fatalf("rows = %d, want %d", len(got), len(want.Rows))
+	}
+	seen := map[string]bool{}
+	for _, row := range want.Rows {
+		seen[row["h"].Value+"|"+row["c"].Value] = true
+	}
+	for _, row := range got {
+		if !seen[row["h"].Value+"|"+row["c"].Value] {
+			t.Fatalf("unexpected row %v", row)
+		}
+	}
+}
+
+// TestCursorLimitStopsScan pins LIMIT pushdown at the scan level: a
+// LIMIT 10 over a 10k-triple pattern must abandon the index scan after
+// a handful of visits instead of enumerating the store.
+func TestCursorLimitStopsScan(t *testing.T) {
+	const n = 10000
+	src := &countingSource{Source: wideStore(n)}
+	q := mustParse(t, `PREFIX e: <http://e/> SELECT ?s ?o WHERE { ?s e:p ?o } LIMIT 10`)
+	cur, err := NewEvaluator(src).Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	for _, ok := cur.Next(); ok; _, ok = cur.Next() {
+		rows++
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 10 {
+		t.Fatalf("rows = %d, want 10", rows)
+	}
+	if src.visited >= n/10 {
+		t.Fatalf("scan visited %d of %d triples; LIMIT pushdown should stop it near 10", src.visited, n)
+	}
+}
+
+// TestCursorEarlyCloseStopsScan pins that abandoning a cursor stops the
+// underlying scan (the streamed-client-went-away case).
+func TestCursorEarlyCloseStopsScan(t *testing.T) {
+	const n = 10000
+	src := &countingSource{Source: wideStore(n)}
+	q := mustParse(t, `PREFIX e: <http://e/> SELECT ?s ?o WHERE { ?s e:p ?o }`)
+	cur, err := NewEvaluator(src).Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, ok := cur.Next(); !ok {
+			t.Fatal("exhausted early")
+		}
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cur.Next(); ok {
+		t.Fatal("Next after Close yielded a row")
+	}
+	if src.visited >= n/10 {
+		t.Fatalf("scan visited %d of %d triples after early Close", src.visited, n)
+	}
+}
+
+// TestAskStopsAtFirstSolution pins that ASK terminates the scan at its
+// first solution instead of materialising the full pattern extent.
+func TestAskStopsAtFirstSolution(t *testing.T) {
+	const n = 10000
+	src := &countingSource{Source: wideStore(n)}
+	q := mustParse(t, `PREFIX e: <http://e/> ASK { ?s e:p ?o }`)
+	ok, err := NewEvaluator(src).Ask(q.Ask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("ask = false, want true")
+	}
+	if src.visited >= n/10 {
+		t.Fatalf("ask visited %d of %d triples; should stop at the first", src.visited, n)
+	}
+}
+
+// TestRunAskCursor checks the unified Run entry point wraps an ASK
+// verdict as a single-row cursor.
+func TestRunAskCursor(t *testing.T) {
+	src := clcFixture()
+	cur, err := NewEvaluator(src).Run(mustParse(t, `ASK { ?h a noa:Hotspot }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if fmt.Sprint(cur.Vars()) != "[ask]" {
+		t.Fatalf("vars = %v", cur.Vars())
+	}
+	row, ok := cur.Next()
+	if !ok || row["ask"].Value != "true" {
+		t.Fatalf("ask row = %v (ok=%v)", row, ok)
+	}
+	if _, ok := cur.Next(); ok {
+		t.Fatal("ask cursor yielded a second row")
+	}
+}
+
+// TestCompiledPlanReuse runs one compiled SELECT several times (and from
+// several evaluators) over the same source, as the plan cache does, and
+// checks the runs are independent and identical.
+func TestCompiledPlanReuse(t *testing.T) {
+	src := clcFixture()
+	q := mustParse(t, `SELECT ?h ?m WHERE {
+	  ?h a noa:Hotspot ; strdf:hasGeometry ?hGeo .
+	  ?m a gag:Municipality ; strdf:hasGeometry ?mGeo .
+	  FILTER( strdf:anyInteract(?hGeo, ?mGeo) ) .
+	}`)
+	c := NewEvaluator(src).Compile(q)
+	for i := 0; i < 3; i++ {
+		cur, err := NewEvaluator(src).RunCompiled(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := drainCursor(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 2 {
+			t.Fatalf("run %d: rows = %d, want 2", i, len(rows))
+		}
+	}
+}
+
+func drainCursor(cur Cursor) ([]Binding, error) {
+	defer cur.Close()
+	var rows []Binding
+	for row, ok := cur.Next(); ok; row, ok = cur.Next() {
+		rows = append(rows, row)
+	}
+	return rows, cur.Close()
+}

@@ -54,10 +54,68 @@ func (b Binding) clone() Binding {
 	return out
 }
 
-// Result is the outcome of a SELECT evaluation.
+// Result is the outcome of a materialised SELECT evaluation.
 type Result struct {
 	Vars []string
 	Rows []Binding
+}
+
+// Cursor is the pull side of a running query: Next yields solutions one
+// at a time, terminating the underlying scans early when the consumer
+// stops (LIMIT, ASK, an abandoned client). A cursor must be Closed —
+// Close releases the scans still in flight and reports any evaluation
+// error; callers embedding a cursor in a locked context (see
+// strabon.Store.QueryStream) additionally hold their lock until Close.
+// A cursor is single-goroutine, like the Evaluator that produced it.
+type Cursor interface {
+	// Vars is the result header: the projected variable list.
+	Vars() []string
+	// Next returns the next solution; ok=false once the result set is
+	// exhausted or evaluation failed (check Err).
+	Next() (Binding, bool)
+	// Err reports the first evaluation error, if any.
+	Err() error
+	// Close terminates the evaluation, releasing scans in flight. It is
+	// idempotent and returns Err().
+	Close() error
+}
+
+// planCursor adapts an opened pipeline to the public Cursor API.
+type planCursor struct {
+	it     rowIter
+	vars   []string
+	err    error
+	closed bool
+}
+
+func (c *planCursor) Vars() []string { return c.vars }
+
+func (c *planCursor) Next() (Binding, bool) {
+	if c.closed || c.err != nil {
+		return nil, false
+	}
+	row, ok, err := c.it.next()
+	if err != nil {
+		c.err = err
+		return nil, false
+	}
+	return row, ok
+}
+
+func (c *planCursor) Err() error { return c.err }
+
+func (c *planCursor) Close() error {
+	if !c.closed {
+		c.closed = true
+		c.it.close()
+	}
+	return c.err
+}
+
+// MaterialisedCursor returns a Cursor over pre-computed rows. Used for
+// results that are cheap to hold whole (ASK verdicts, test fixtures).
+func MaterialisedCursor(vars []string, rows []Binding) Cursor {
+	return &planCursor{it: &rowsIter{rows: rows}, vars: vars}
 }
 
 // UpdateStats reports the effect of an update request.
@@ -69,9 +127,11 @@ type UpdateStats struct {
 
 // Evaluator executes parsed queries against a source. Queries are
 // compiled into a plan of physical operators (see plan.go and ops.go)
-// and then run. The evaluator is not safe for concurrent use; create one
-// per goroutine (the geometry cache may be shared through
-// NewEvaluatorWithCache).
+// and run through pull-based cursors. The evaluator and its cursors are
+// not safe for concurrent use; create one per goroutine (the geometry
+// cache may be shared through NewEvaluatorWithCache, and a Compiled
+// plan may be run by several evaluators over the same unchanged
+// source — see plancache.go).
 type Evaluator struct {
 	src   Source
 	cache *geomCache
@@ -82,28 +142,54 @@ func NewEvaluator(src Source) *Evaluator {
 	return &Evaluator{src: src, cache: newGeomCache()}
 }
 
-// Select evaluates a SELECT query.
+// Run compiles a SELECT or ASK query and returns a streaming cursor
+// over its solutions (an ASK yields one row binding "ask" to a boolean,
+// computed at the first solution — it never enumerates the rest). The
+// cursor must be Closed. Select and Ask are materialising wrappers over
+// the same pipeline.
+func (e *Evaluator) Run(q *Query) (Cursor, error) {
+	c := e.Compile(q)
+	switch {
+	case c.IsSelect():
+		return e.RunCompiled(c)
+	case c.IsAsk():
+		ok, err := e.AskCompiled(c)
+		if err != nil {
+			return nil, err
+		}
+		rows := []Binding{{"ask": rdf.NewBoolean(ok)}}
+		return MaterialisedCursor([]string{"ask"}, rows), nil
+	default:
+		return nil, fmt.Errorf("stsparql: Run wants SELECT or ASK")
+	}
+}
+
+// Select evaluates a SELECT query, materialising the full result.
 func (e *Evaluator) Select(q *SelectQuery) (*Result, error) {
 	return e.evalSelect(q, []Binding{{}})
 }
 
-// Ask evaluates an ASK query.
+// Ask evaluates an ASK query; the pull pipeline stops at the first
+// solution.
 func (e *Evaluator) Ask(q *AskQuery) (bool, error) {
-	rows, err := e.evalWhere(q.Where)
-	if err != nil {
-		return false, err
-	}
-	return len(rows) > 0, nil
+	plan := e.newPlanner().planGroup(q.Where, map[string]bool{}, 1, false)
+	it := plan.open(e, &rowsIter{rows: []Binding{{}}})
+	defer it.close()
+	_, ok, err := it.next()
+	return ok, err
 }
 
 // evalSelect compiles and runs a SELECT.
 func (e *Evaluator) evalSelect(q *SelectQuery, seed []Binding) (*Result, error) {
-	return e.newPlanner().planSelect(q).run(e, seed)
+	return e.newPlanner().planSelect(q, false).run(e, seed)
 }
 
-// evalWhere compiles and runs a bare group graph pattern.
+// evalWhere compiles and runs an update's WHERE pattern. Update WHERE
+// clauses are always fully drained — no LIMIT, no early exit — so their
+// joins use buffered scans (streaming through a pull coroutine would
+// cost switches without ever terminating early).
 func (e *Evaluator) evalWhere(gp *GroupPattern) ([]Binding, error) {
-	plan := e.newPlanner().planGroup(gp, map[string]bool{}, 1)
+	plan := e.newPlanner().planGroup(gp, map[string]bool{}, 1, true)
 	return plan.run(e, []Binding{{}})
 }
 
@@ -245,10 +331,10 @@ func (e *Evaluator) projectionVars(q *SelectQuery, rows []Binding) []string {
 	return vars
 }
 
-// distinctRows deduplicates rows over the given variables. The key
-// buffer is reused across rows and terms are encoded without the quoting
-// cost of Term.String — this sits on the DISTINCT hot path of every
-// thematic query.
+// distinctRows deduplicates a materialised row slice over the given
+// variables — the same reused-key-buffer encoding the streaming
+// distinct operator (ops.go) applies row by row; kept as the reference
+// implementation its micro-benchmarks pin.
 func distinctRows(rows []Binding, vars []string) []Binding {
 	seen := make(map[string]bool, len(rows))
 	out := rows[:0]

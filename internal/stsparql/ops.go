@@ -2,28 +2,87 @@ package stsparql
 
 import (
 	"fmt"
+	"iter"
 	"strings"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/rdf"
 )
 
 // This file holds the physical operators of the stSPARQL engine. A
-// compiled plan (see plan.go) is a pipeline of operators, each
-// transforming a batch of binding rows into the next batch — the
-// materialised flavour of the iterator model, which matches the
-// evaluation semantics the original tree-walking evaluator pinned.
+// compiled plan (see plan.go) is a pipeline of operators in the Volcano
+// (open/next/close) iterator model: open wires an operator over its
+// input and returns a rowIter, and rows are pulled one at a time through
+// the pipeline. Streaming operators (joins, filters, optional, union,
+// sub-select join, project, distinct, slice) hold at most the matches of
+// one input row; blocking operators (order, aggregate, the SELECT *
+// projection) materialise their input internally before yielding.
 //
-// Operators are single-use: a plan is compiled per evaluation and may
-// carry per-execution state (a hash join caches its build side so that
-// per-row re-execution under OPTIONAL does not rebuild it).
+// Pulling instead of pushing is what makes early termination free: a
+// downstream LIMIT simply stops calling next, an ASK stops at the first
+// solution, and a cursor abandoned by a client stops the scans when it
+// is closed.
+//
+// Operator values themselves are immutable once planned — all
+// per-execution state lives in the iterators open returns — so a
+// compiled plan can be cached and run concurrently (see plancache.go).
+// The two operator-level caches, a hash join's build side and a
+// sub-select's solution set, are guarded by sync.Once: both are
+// deterministic functions of the source, which cannot change while a
+// plan is live (plans are invalidated when the store's generation
+// moves).
+
+// rowIter is the pull side of an opened operator pipeline: next yields
+// the next row (ok=false once exhausted or on error), close releases
+// any resources (scans in flight, sub-iterators) and must be idempotent.
+type rowIter interface {
+	next() (Binding, bool, error)
+	close()
+}
 
 // operator is one stage of a compiled query pipeline.
 type operator interface {
-	run(e *Evaluator, in []Binding) ([]Binding, error)
+	// open wires the operator over its input rows and returns the pull
+	// iterator of its output.
+	open(e *Evaluator, in rowIter) rowIter
 	// explain renders the operator (and any sub-plans) at the given
 	// indentation.
 	explain(b *strings.Builder, indent string)
+}
+
+// rowsIter yields a materialised row slice; it doubles as the seed
+// iterator of a pipeline.
+type rowsIter struct {
+	rows []Binding
+	pos  int
+}
+
+func (it *rowsIter) next() (Binding, bool, error) {
+	if it.pos >= len(it.rows) {
+		return nil, false, nil
+	}
+	r := it.rows[it.pos]
+	it.pos++
+	return r, true, nil
+}
+
+func (it *rowsIter) close() {}
+
+// drainIter pulls an iterator to exhaustion. Used by the materialising
+// wrappers and by the blocking operators.
+func drainIter(in rowIter) ([]Binding, error) {
+	var rows []Binding
+	for {
+		row, ok, err := in.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return rows, nil
+		}
+		rows = append(rows, row)
+	}
 }
 
 // Join strategies a joinOp can be planned with.
@@ -35,54 +94,156 @@ const (
 
 // joinOp extends each input row through one triple pattern. The planner
 // chooses the strategy; window falls back to bind per row when no filter
-// yields a candidate envelope, and hash falls back to bind for tiny
-// inputs (the build cost would dominate).
+// yields a candidate envelope, and hash falls back to bind for
+// single-row inputs (the build cost would dominate).
 type joinOp struct {
 	pat      TriplePattern
 	filters  []*FilterElement // group filters, for spatial-window detection
 	strategy string
 	shared   []string // pattern vars certainly bound by the input rows
 	est      float64  // estimated output rows (Explain annotation)
+	// buffered joins materialise each probe row's matches instead of
+	// streaming them through a pull coroutine: set for per-row
+	// re-executed sub-plans (OPTIONAL/UNION, where a coroutine per row
+	// would dominate) and for plans that are always fully drained
+	// (update WHERE clauses), where early termination cannot occur.
+	buffered bool
 
-	table map[string][]Binding // hash build side, cached per execution
+	// Hash build side, built at most once per plan lifetime: the table
+	// is a function of the source, which is pinned while the plan is
+	// live, so concurrent and repeated executions (OPTIONAL re-entry,
+	// cached plans) share it.
+	tableOnce sync.Once
+	table     map[string][]Binding
 }
 
-func (op *joinOp) run(e *Evaluator, in []Binding) ([]Binding, error) {
-	if op.strategy == joinHash && len(in) > 1 {
-		return op.hashRun(e, in), nil
-	}
-	var out []Binding
-	for _, row := range in {
-		e.scanPattern(op.pat, row, op.filters, func(extended Binding) {
-			out = append(out, extended)
-		})
-	}
-	return out, nil
+func (op *joinOp) open(e *Evaluator, in rowIter) rowIter {
+	return &joinIter{op: op, e: e, in: in}
 }
 
-// hashRun materialises the pattern's matches once, buckets them by the
-// shared variables, and probes with each input row. With no shared
-// variables the single bucket is a cross product — still a win over
-// rescanning the pattern per input row.
-func (op *joinOp) hashRun(e *Evaluator, in []Binding) []Binding {
-	if op.table == nil {
+func (op *joinOp) buildTable(e *Evaluator) {
+	op.tableOnce.Do(func() {
 		op.table = make(map[string][]Binding)
-		e.scanPattern(op.pat, Binding{}, nil, func(m Binding) {
+		e.scanPattern(op.pat, Binding{}, nil, func(m Binding) bool {
 			k := string(bindingKey(nil, m, op.shared))
 			op.table[k] = append(op.table[k], m)
+			return true
 		})
+	})
+}
+
+type joinIter struct {
+	op *joinOp
+	e  *Evaluator
+	in rowIter
+
+	buf []Binding // matches of the current probe row (buffered modes)
+	pos int
+
+	pull func() (Binding, bool) // streaming scan of the current row
+	stop func()
+
+	pending []Binding // lookahead rows the hash decision pulled early
+	hash    bool      // lookahead committed to the hash strategy
+	started bool
+	closed  bool
+	kb      []byte // reused probe key buffer
+}
+
+func (it *joinIter) next() (Binding, bool, error) {
+	for {
+		if it.pull != nil {
+			if b, ok := it.pull(); ok {
+				return b, true, nil
+			}
+			it.stop()
+			it.pull, it.stop = nil, nil
+		}
+		if it.pos < len(it.buf) {
+			b := it.buf[it.pos]
+			it.pos++
+			return b, true, nil
+		}
+		row, ok, err := it.nextProbe()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		it.startRow(row)
 	}
-	var out []Binding
-	var kb []byte
-	for _, row := range in {
-		kb = bindingKey(kb[:0], row, op.shared)
-		for _, cand := range op.table[string(kb)] {
+}
+
+// nextProbe returns the next input row to extend. The hash strategy
+// decides on first use whether to engage: a single input row sticks to a
+// bind scan (the build would dominate), two or more build the table.
+func (it *joinIter) nextProbe() (Binding, bool, error) {
+	if len(it.pending) > 0 {
+		row := it.pending[0]
+		it.pending = it.pending[:copy(it.pending, it.pending[1:])]
+		return row, true, nil
+	}
+	if it.op.strategy == joinHash && !it.started {
+		it.started = true
+		r1, ok, err := it.in.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		r2, ok2, err := it.in.next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok2 {
+			it.hash = true
+			it.pending = append(it.pending, r2)
+		}
+		return r1, true, nil
+	}
+	it.started = true
+	return it.in.next()
+}
+
+// startRow prepares the matches of one probe row: a hash probe, a
+// streamed scan (when the fan-out is unbounded), or a buffered scan.
+func (it *joinIter) startRow(row Binding) {
+	if it.hash {
+		it.op.buildTable(it.e)
+		it.kb = bindingKey(it.kb[:0], row, it.op.shared)
+		it.buf, it.pos = it.buf[:0], 0
+		for _, cand := range it.op.table[string(it.kb)] {
 			if merged, ok := mergeCompatible(row, cand); ok {
-				out = append(out, merged)
+				it.buf = append(it.buf, merged)
 			}
 		}
+		return
 	}
-	return out
+	if it.op.strategy == joinBind && len(it.op.shared) == 0 && !it.op.buffered {
+		// No input variable constrains the scan, so its fan-out is the
+		// whole pattern extent — the shape of a pipeline's first scan.
+		// Stream the matches through a pull coroutine instead of
+		// materialising them: a downstream LIMIT (or an abandoned
+		// cursor) then stops the index scan itself.
+		it.pull, it.stop = iter.Pull(func(yield func(Binding) bool) {
+			it.e.scanPattern(it.op.pat, row, it.op.filters, yield)
+		})
+		return
+	}
+	// Buffered scan: memory bounded by the matches of this one row.
+	it.buf, it.pos = it.buf[:0], 0
+	it.e.scanPattern(it.op.pat, row, it.op.filters, func(b Binding) bool {
+		it.buf = append(it.buf, b)
+		return true
+	})
+}
+
+func (it *joinIter) close() {
+	if it.closed {
+		return
+	}
+	it.closed = true
+	if it.stop != nil {
+		it.stop()
+		it.pull, it.stop = nil, nil
+	}
+	it.in.close()
 }
 
 func (op *joinOp) explain(b *strings.Builder, indent string) {
@@ -127,17 +288,30 @@ type filterOp struct {
 	eager bool // pushed into a BGP by the planner (Explain annotation)
 }
 
-func (op *filterOp) run(e *Evaluator, in []Binding) ([]Binding, error) {
-	out := in[:0]
-	for _, row := range in {
-		v := e.evalExpr(op.cond, row)
-		pass, err := v.effectiveBool()
-		if err == nil && pass {
-			out = append(out, row)
+func (op *filterOp) open(e *Evaluator, in rowIter) rowIter {
+	return &filterIter{op: op, e: e, in: in}
+}
+
+type filterIter struct {
+	op *filterOp
+	e  *Evaluator
+	in rowIter
+}
+
+func (it *filterIter) next() (Binding, bool, error) {
+	for {
+		row, ok, err := it.in.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		v := it.e.evalExpr(it.op.cond, row)
+		if pass, err := v.effectiveBool(); err == nil && pass {
+			return row, true, nil
 		}
 	}
-	return out, nil
 }
+
+func (it *filterIter) close() { it.in.close() }
 
 func (op *filterOp) explain(b *strings.Builder, indent string) {
 	label := "filter"
@@ -148,25 +322,58 @@ func (op *filterOp) explain(b *strings.Builder, indent string) {
 }
 
 // optionalOp left-joins each row against a sub-plan: rows with no
-// sub-solution pass through unextended.
+// sub-solution pass through unextended. The sub-plan is re-opened per
+// input row; its solutions stream through.
 type optionalOp struct {
 	sub *groupPlan
 }
 
-func (op *optionalOp) run(e *Evaluator, in []Binding) ([]Binding, error) {
-	var out []Binding
-	for _, row := range in {
-		sub, err := op.sub.run(e, []Binding{row})
-		if err != nil {
-			return nil, err
+func (op *optionalOp) open(e *Evaluator, in rowIter) rowIter {
+	return &optionalIter{op: op, e: e, in: in}
+}
+
+type optionalIter struct {
+	op *optionalOp
+	e  *Evaluator
+	in rowIter
+
+	row Binding
+	sub rowIter
+	any bool
+}
+
+func (it *optionalIter) next() (Binding, bool, error) {
+	for {
+		if it.sub != nil {
+			b, ok, err := it.sub.next()
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				it.any = true
+				return b, true, nil
+			}
+			it.sub.close()
+			it.sub = nil
+			if !it.any {
+				return it.row, true, nil
+			}
 		}
-		if len(sub) == 0 {
-			out = append(out, row)
-		} else {
-			out = append(out, sub...)
+		row, ok, err := it.in.next()
+		if err != nil || !ok {
+			return nil, false, err
 		}
+		it.row, it.any = row, false
+		it.sub = it.op.sub.open(it.e, &rowsIter{rows: []Binding{row}})
 	}
-	return out, nil
+}
+
+func (it *optionalIter) close() {
+	if it.sub != nil {
+		it.sub.close()
+		it.sub = nil
+	}
+	it.in.close()
 }
 
 func (op *optionalOp) explain(b *strings.Builder, indent string) {
@@ -179,18 +386,54 @@ type unionOp struct {
 	branches []*groupPlan
 }
 
-func (op *unionOp) run(e *Evaluator, in []Binding) ([]Binding, error) {
-	var out []Binding
-	for _, row := range in {
-		for _, br := range op.branches {
-			sub, err := br.run(e, []Binding{row})
+func (op *unionOp) open(e *Evaluator, in rowIter) rowIter {
+	return &unionIter{op: op, e: e, in: in}
+}
+
+type unionIter struct {
+	op *unionOp
+	e  *Evaluator
+	in rowIter
+
+	row    Binding
+	hasRow bool
+	branch int
+	sub    rowIter
+}
+
+func (it *unionIter) next() (Binding, bool, error) {
+	for {
+		if it.sub != nil {
+			b, ok, err := it.sub.next()
 			if err != nil {
-				return nil, err
+				return nil, false, err
 			}
-			out = append(out, sub...)
+			if ok {
+				return b, true, nil
+			}
+			it.sub.close()
+			it.sub = nil
 		}
+		if it.hasRow && it.branch < len(it.op.branches) {
+			it.sub = it.op.branches[it.branch].open(it.e, &rowsIter{rows: []Binding{it.row}})
+			it.branch++
+			continue
+		}
+		it.hasRow = false
+		row, ok, err := it.in.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		it.row, it.hasRow, it.branch = row, true, 0
 	}
-	return out, nil
+}
+
+func (it *unionIter) close() {
+	if it.sub != nil {
+		it.sub.close()
+		it.sub = nil
+	}
+	it.in.close()
 }
 
 func (op *unionOp) explain(b *strings.Builder, indent string) {
@@ -207,8 +450,8 @@ type nestedGroupOp struct {
 	sub *groupPlan
 }
 
-func (op *nestedGroupOp) run(e *Evaluator, in []Binding) ([]Binding, error) {
-	return op.sub.run(e, in)
+func (op *nestedGroupOp) open(e *Evaluator, in rowIter) rowIter {
+	return op.sub.open(e, in)
 }
 
 func (op *nestedGroupOp) explain(b *strings.Builder, indent string) {
@@ -217,26 +460,69 @@ func (op *nestedGroupOp) explain(b *strings.Builder, indent string) {
 }
 
 // subSelectOp evaluates a nested SELECT once and joins its solutions
-// with the input rows on their shared variables.
+// with the input rows on their shared variables. The sub-evaluation is
+// lazy (an empty input never runs it) and cached on the operator, so
+// OPTIONAL re-entry and cached plans reuse the solution set.
 type subSelectOp struct {
 	sub *selectPlan
+
+	once sync.Once
+	res  []Binding
+	err  error
 }
 
-func (op *subSelectOp) run(e *Evaluator, in []Binding) ([]Binding, error) {
-	res, err := op.sub.run(e, []Binding{{}})
-	if err != nil {
-		return nil, err
-	}
-	var out []Binding
-	for _, row := range in {
-		for _, sub := range res.Rows {
-			if merged, ok := mergeCompatible(row, sub); ok {
-				out = append(out, merged)
-			}
-		}
-	}
-	return out, nil
+func (op *subSelectOp) open(e *Evaluator, in rowIter) rowIter {
+	return &subSelectIter{op: op, e: e, in: in}
 }
+
+func (op *subSelectOp) solutions(e *Evaluator) ([]Binding, error) {
+	op.once.Do(func() {
+		res, err := op.sub.run(e, []Binding{{}})
+		if err != nil {
+			op.err = err
+			return
+		}
+		op.res = res.Rows
+	})
+	return op.res, op.err
+}
+
+type subSelectIter struct {
+	op *subSelectOp
+	e  *Evaluator
+	in rowIter
+
+	res    []Binding
+	row    Binding
+	hasRow bool
+	pos    int
+}
+
+func (it *subSelectIter) next() (Binding, bool, error) {
+	for {
+		if it.hasRow {
+			for it.pos < len(it.res) {
+				cand := it.res[it.pos]
+				it.pos++
+				if merged, ok := mergeCompatible(it.row, cand); ok {
+					return merged, true, nil
+				}
+			}
+			it.hasRow = false
+		}
+		row, ok, err := it.in.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		res, err := it.op.solutions(it.e)
+		if err != nil {
+			return nil, false, err
+		}
+		it.res, it.row, it.hasRow, it.pos = res, row, true, 0
+	}
+}
+
+func (it *subSelectIter) close() { it.in.close() }
 
 func (op *subSelectOp) explain(b *strings.Builder, indent string) {
 	fmt.Fprintf(b, "%ssub-select\n", indent)
@@ -244,14 +530,38 @@ func (op *subSelectOp) explain(b *strings.Builder, indent string) {
 }
 
 // aggregateOp groups rows and evaluates aggregate projections and HAVING
-// constraints.
+// constraints. Blocking: grouping needs the full input.
 type aggregateOp struct {
 	q *SelectQuery
 }
 
-func (op *aggregateOp) run(e *Evaluator, in []Binding) ([]Binding, error) {
-	return e.aggregate(op.q, in)
+func (op *aggregateOp) open(e *Evaluator, in rowIter) rowIter {
+	return &aggregateIter{op: op, e: e, in: in}
 }
+
+type aggregateIter struct {
+	op  *aggregateOp
+	e   *Evaluator
+	in  rowIter
+	out *rowsIter
+}
+
+func (it *aggregateIter) next() (Binding, bool, error) {
+	if it.out == nil {
+		rows, err := drainIter(it.in)
+		if err != nil {
+			return nil, false, err
+		}
+		grouped, err := it.e.aggregate(it.op.q, rows)
+		if err != nil {
+			return nil, false, err
+		}
+		it.out = &rowsIter{rows: grouped}
+	}
+	return it.out.next()
+}
+
+func (it *aggregateIter) close() { it.in.close() }
 
 func (op *aggregateOp) explain(b *strings.Builder, indent string) {
 	fmt.Fprintf(b, "%saggregate", indent)
@@ -268,41 +578,81 @@ func (op *aggregateOp) explain(b *strings.Builder, indent string) {
 	b.WriteByte('\n')
 }
 
-// projectOp applies the SELECT projection. It records the output
-// variable list (which for SELECT * depends on the rows) for the result
-// header and the distinct operator.
+// projectOp applies the SELECT projection. An explicit projection
+// streams (its output variables are static); SELECT * is the one
+// blocking modifier — the header depends on the rows, so it materialises
+// at open, which is what lets a cursor report Vars before iteration.
 type projectOp struct {
 	q       *SelectQuery
 	grouped bool
-	vars    []string // set during run
 }
 
-func (op *projectOp) run(e *Evaluator, in []Binding) ([]Binding, error) {
-	op.vars = e.projectionVars(op.q, in)
-	projected := make([]Binding, 0, len(in))
-	for _, row := range in {
-		out := make(Binding, len(op.vars))
-		for _, item := range op.q.Projection {
-			if item.Expr != nil && !op.grouped {
-				if t, ok := e.evalExpr(item.Expr, row).asTerm(); ok {
-					out[item.Var] = t
-				}
-				continue
-			}
-			// Plain variables, and grouped rows (which already carry the
-			// computed aggregate bindings), copy through.
-			if t, ok := row[item.Var]; ok {
+func (op *projectOp) open(e *Evaluator, in rowIter) rowIter {
+	it := &projectIter{op: op, e: e, in: in}
+	if op.q.Star {
+		rows, err := drainIter(in)
+		if err != nil {
+			it.err = err
+			return it
+		}
+		it.vars = e.projectionVars(op.q, rows)
+		out := make([]Binding, 0, len(rows))
+		for _, row := range rows {
+			out = append(out, op.projectRow(e, it.vars, row))
+		}
+		it.star = &rowsIter{rows: out}
+		return it
+	}
+	it.vars = e.projectionVars(op.q, nil)
+	return it
+}
+
+type projectIter struct {
+	op   *projectOp
+	e    *Evaluator
+	in   rowIter
+	vars []string
+	star *rowsIter // materialised output of a SELECT *
+	err  error
+}
+
+func (it *projectIter) next() (Binding, bool, error) {
+	if it.err != nil {
+		return nil, false, it.err
+	}
+	if it.star != nil {
+		return it.star.next()
+	}
+	row, ok, err := it.in.next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return it.op.projectRow(it.e, it.vars, row), true, nil
+}
+
+func (it *projectIter) close() { it.in.close() }
+
+func (op *projectOp) projectRow(e *Evaluator, vars []string, row Binding) Binding {
+	out := make(Binding, len(vars))
+	for _, item := range op.q.Projection {
+		if item.Expr != nil && !op.grouped {
+			if t, ok := e.evalExpr(item.Expr, row).asTerm(); ok {
 				out[item.Var] = t
 			}
+			continue
 		}
-		if op.q.Star {
-			for k, v := range row {
-				out[k] = v
-			}
+		// Plain variables, and grouped rows (which already carry the
+		// computed aggregate bindings), copy through.
+		if t, ok := row[item.Var]; ok {
+			out[item.Var] = t
 		}
-		projected = append(projected, out)
 	}
-	return projected, nil
+	if op.q.Star {
+		for k, v := range row {
+			out[k] = v
+		}
+	}
+	return out
 }
 
 func (op *projectOp) explain(b *strings.Builder, indent string) {
@@ -321,29 +671,85 @@ func (op *projectOp) explain(b *strings.Builder, indent string) {
 	fmt.Fprintf(b, "%sproject %s\n", indent, strings.Join(items, " "))
 }
 
-// distinctOp deduplicates rows over the projected variables.
+// distinctOp deduplicates rows over the projected variables, streaming:
+// each row's key is checked against the seen set as it is pulled, so
+// first occurrences flow through immediately (the same order
+// materialised deduplication produced).
 type distinctOp struct {
 	proj *projectOp
 }
 
-func (op *distinctOp) run(e *Evaluator, in []Binding) ([]Binding, error) {
-	return distinctRows(in, op.proj.vars), nil
+func (op *distinctOp) open(e *Evaluator, in rowIter) rowIter {
+	it := &distinctIter{in: in, seen: make(map[string]bool)}
+	// The planner places distinct directly after the projection, whose
+	// iterator carries the output variable list the keys range over; for
+	// an explicit projection the list is also derivable statically, so
+	// only SELECT DISTINCT * strictly depends on the adjacency.
+	if pi, ok := in.(*projectIter); ok {
+		it.vars = pi.vars
+	} else if !op.proj.q.Star {
+		it.vars = e.projectionVars(op.proj.q, nil)
+	}
+	return it
 }
+
+type distinctIter struct {
+	in   rowIter
+	vars []string
+	seen map[string]bool
+	kb   []byte
+}
+
+func (it *distinctIter) next() (Binding, bool, error) {
+	for {
+		row, ok, err := it.in.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		it.kb = bindingKey(it.kb[:0], row, it.vars)
+		if !it.seen[string(it.kb)] {
+			it.seen[string(it.kb)] = true
+			return row, true, nil
+		}
+	}
+}
+
+func (it *distinctIter) close() { it.in.close() }
 
 func (op *distinctOp) explain(b *strings.Builder, indent string) {
 	fmt.Fprintf(b, "%sdistinct\n", indent)
 }
 
 // orderOp sorts rows by the ORDER BY keys (stable; incomparable values
-// tie).
+// tie). Blocking: sorting needs the full input.
 type orderOp struct {
 	keys []OrderKey
 }
 
-func (op *orderOp) run(e *Evaluator, in []Binding) ([]Binding, error) {
-	e.orderRows(in, op.keys)
-	return in, nil
+func (op *orderOp) open(e *Evaluator, in rowIter) rowIter {
+	return &orderIter{op: op, e: e, in: in}
 }
+
+type orderIter struct {
+	op  *orderOp
+	e   *Evaluator
+	in  rowIter
+	out *rowsIter
+}
+
+func (it *orderIter) next() (Binding, bool, error) {
+	if it.out == nil {
+		rows, err := drainIter(it.in)
+		if err != nil {
+			return nil, false, err
+		}
+		it.e.orderRows(rows, it.op.keys)
+		it.out = &rowsIter{rows: rows}
+	}
+	return it.out.next()
+}
+
+func (it *orderIter) close() { it.in.close() }
 
 func (op *orderOp) explain(b *strings.Builder, indent string) {
 	keys := make([]string, len(op.keys))
@@ -356,36 +762,71 @@ func (op *orderOp) explain(b *strings.Builder, indent string) {
 	fmt.Fprintf(b, "%sorder %s\n", indent, strings.Join(keys, ", "))
 }
 
-// sliceOp applies OFFSET and LIMIT.
+// sliceOp applies OFFSET and LIMIT by counting pulled rows. Once the
+// limit is satisfied it closes its input, releasing any scans still in
+// flight — with a streaming upstream (pushed=true, see planSelect) this
+// stops the index scans themselves.
 type sliceOp struct {
 	offset, limit int
+	pushed        bool // order/aggregate/distinct-free: early exit reaches the scans
 }
 
-func (op *sliceOp) run(e *Evaluator, in []Binding) ([]Binding, error) {
-	if op.offset > 0 {
-		if op.offset >= len(in) {
-			return nil, nil
-		}
-		in = in[op.offset:]
-	}
-	if op.limit >= 0 && op.limit < len(in) {
-		in = in[:op.limit]
-	}
-	return in, nil
+func (op *sliceOp) open(e *Evaluator, in rowIter) rowIter {
+	return &sliceIter{op: op, in: in}
 }
+
+type sliceIter struct {
+	op      *sliceOp
+	in      rowIter
+	skipped int
+	emitted int
+	done    bool
+}
+
+func (it *sliceIter) next() (Binding, bool, error) {
+	if it.done {
+		return nil, false, nil
+	}
+	for it.skipped < it.op.offset {
+		_, ok, err := it.in.next()
+		if err != nil || !ok {
+			it.done = true
+			return nil, false, err
+		}
+		it.skipped++
+	}
+	if it.op.limit >= 0 && it.emitted >= it.op.limit {
+		it.done = true
+		it.in.close()
+		return nil, false, nil
+	}
+	row, ok, err := it.in.next()
+	if err != nil || !ok {
+		it.done = true
+		return nil, false, err
+	}
+	it.emitted++
+	return row, true, nil
+}
+
+func (it *sliceIter) close() { it.in.close() }
 
 func (op *sliceOp) explain(b *strings.Builder, indent string) {
-	fmt.Fprintf(b, "%sslice offset=%d limit=%d\n", indent, op.offset, op.limit)
+	label := "slice"
+	if op.pushed {
+		label = "slice[pushed]"
+	}
+	fmt.Fprintf(b, "%s%s offset=%d limit=%d\n", indent, label, op.offset, op.limit)
 }
 
 // --- pattern scanning (shared by bind joins and hash build sides) ---
 
 // scanPattern matches one triple pattern under a row, emitting extended
-// rows. When the pattern binds a fresh geometry variable that a pending
-// spatial filter constrains against an already-known geometry, and the
-// source has a spatial index, the scan is served by an R-tree window
-// query instead of a full predicate scan.
-func (e *Evaluator) scanPattern(pat TriplePattern, row Binding, filters []*FilterElement, emit func(Binding)) {
+// rows until emit returns false. When the pattern binds a fresh geometry
+// variable that a pending spatial filter constrains against an
+// already-known geometry, and the source has a spatial index, the scan
+// is served by an R-tree window query instead of a full predicate scan.
+func (e *Evaluator) scanPattern(pat TriplePattern, row Binding, filters []*FilterElement, emit func(Binding) bool) {
 	resolve := func(tv TermOrVar) rdf.Term {
 		if !tv.IsVar() {
 			return tv.Term
@@ -397,7 +838,8 @@ func (e *Evaluator) scanPattern(pat TriplePattern, row Binding, filters []*Filte
 	}
 	s, p, o := resolve(pat.S), resolve(pat.P), resolve(pat.O)
 
-	tryBind := func(t rdf.Triple) {
+	// tryBind reports whether the scan should continue.
+	tryBind := func(t rdf.Triple) bool {
 		out := row
 		cloned := false
 		bind := func(tv TermOrVar, val rdf.Term) bool {
@@ -415,12 +857,12 @@ func (e *Evaluator) scanPattern(pat TriplePattern, row Binding, filters []*Filte
 			return true
 		}
 		if !bind(pat.S, t.S) || !bind(pat.P, t.P) || !bind(pat.O, t.O) {
-			return
+			return true
 		}
 		if !cloned {
 			out = row.clone()
 		}
-		emit(out)
+		return emit(out)
 	}
 
 	// Spatial index fast path.
@@ -434,16 +876,14 @@ func (e *Evaluator) scanPattern(pat TriplePattern, row Binding, filters []*Filte
 				if !s.IsZero() && !t.S.Equal(s) {
 					return true
 				}
-				tryBind(t)
-				return true
+				return tryBind(t)
 			})
 			return
 		}
 	}
 
 	e.src.MatchTerms(s, p, o, func(t rdf.Triple) bool {
-		tryBind(t)
-		return true
+		return tryBind(t)
 	})
 }
 

@@ -75,26 +75,28 @@ func (e *Evaluator) newPlanner() *planner {
 
 // --- compiled plan containers ---
 
-// groupPlan is the pipeline of one group graph pattern. Its run
-// early-exits when the row set empties, mirroring the join semantics of
-// the group (no element can resurrect rows; sub-selects are skipped,
-// which matters for cost, not correctness).
+// groupPlan is the pipeline of one group graph pattern: open chains its
+// operators over the input iterator. The pull model gives the old
+// early-exit for free — an empty upstream means no downstream operator
+// ever does per-row work, and a sub-select is never evaluated when no
+// row reaches it (cost, not correctness).
 type groupPlan struct {
 	ops []operator
 }
 
-func (g *groupPlan) run(e *Evaluator, rows []Binding) ([]Binding, error) {
-	var err error
+func (g *groupPlan) open(e *Evaluator, in rowIter) rowIter {
+	cur := in
 	for _, op := range g.ops {
-		if len(rows) == 0 {
-			return rows, nil
-		}
-		rows, err = op.run(e, rows)
-		if err != nil {
-			return nil, err
-		}
+		cur = op.open(e, cur)
 	}
-	return rows, nil
+	return cur
+}
+
+// run is the materialising wrapper used by update planning and ASK.
+func (g *groupPlan) run(e *Evaluator, seed []Binding) ([]Binding, error) {
+	it := g.open(e, &rowsIter{rows: seed})
+	defer it.close()
+	return drainIter(it)
 }
 
 func (g *groupPlan) explain(b *strings.Builder, indent string) {
@@ -112,18 +114,30 @@ type selectPlan struct {
 	proj  *projectOp
 }
 
+// open wires the full pipeline over the seed rows and returns the output
+// iterator together with the projection's output variable list (the
+// result header), which is known once the projection has opened.
+func (p *selectPlan) open(e *Evaluator, seed []Binding) (rowIter, []string) {
+	cur := p.where.open(e, &rowsIter{rows: seed})
+	var vars []string
+	for _, op := range p.tail {
+		cur = op.open(e, cur)
+		if op == operator(p.proj) {
+			vars = cur.(*projectIter).vars
+		}
+	}
+	return cur, vars
+}
+
+// run is the materialising wrapper behind Evaluator.Select.
 func (p *selectPlan) run(e *Evaluator, seed []Binding) (*Result, error) {
-	rows, err := p.where.run(e, seed)
+	it, vars := p.open(e, seed)
+	defer it.close()
+	rows, err := drainIter(it)
 	if err != nil {
 		return nil, err
 	}
-	for _, op := range p.tail {
-		rows, err = op.run(e, rows)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return &Result{Vars: p.proj.vars, Rows: rows}, nil
+	return &Result{Vars: vars, Rows: rows}, nil
 }
 
 func (p *selectPlan) explain(b *strings.Builder, indent string) {
@@ -135,9 +149,14 @@ func (p *selectPlan) explain(b *strings.Builder, indent string) {
 
 // --- compilation ---
 
-func (p *planner) planSelect(q *SelectQuery) *selectPlan {
+// planSelect compiles a SELECT. buffered marks plans whose joins should
+// materialise scan matches per probe row instead of streaming them
+// through a pull coroutine: sub-plans a parent re-opens once per input
+// row (OPTIONAL and UNION), and plans that are always fully drained
+// (update WHERE clauses, see evalWhere).
+func (p *planner) planSelect(q *SelectQuery, buffered bool) *selectPlan {
 	bound := map[string]bool{}
-	where := p.planGroup(q.Where, bound, 1)
+	where := p.planGroup(q.Where, bound, 1, buffered)
 
 	grouped := len(q.GroupBy) > 0 || len(q.Having) > 0 || projectionHasAggregates(q)
 	proj := &projectOp{q: q, grouped: grouped}
@@ -153,7 +172,14 @@ func (p *planner) planSelect(q *SelectQuery) *selectPlan {
 		tail = append(tail, &orderOp{keys: q.OrderBy})
 	}
 	if q.Offset > 0 || q.Limit >= 0 {
-		tail = append(tail, &sliceOp{offset: q.Offset, limit: q.Limit})
+		// LIMIT/OFFSET pushdown: with no blocking or row-set modifier
+		// between the scans and the slice (no order, no aggregate, no
+		// distinct, no star projection), the slice's early exit
+		// propagates through the streaming pipeline to the index scans
+		// themselves — the plan stops pulling, and therefore scanning,
+		// once offset+limit rows have been produced.
+		pushed := !grouped && !q.Distinct && len(q.OrderBy) == 0 && !q.Star
+		tail = append(tail, &sliceOp{offset: q.Offset, limit: q.Limit, pushed: pushed})
 	}
 	return &selectPlan{where: where, tail: tail, proj: proj}
 }
@@ -161,8 +187,9 @@ func (p *planner) planSelect(q *SelectQuery) *selectPlan {
 // planGroup compiles a group graph pattern. bound is the set of
 // variables certainly bound when the group starts; it is extended with
 // the variables this group certainly binds (BGP patterns; for UNION, the
-// intersection across branches).
-func (p *planner) planGroup(gp *GroupPattern, bound map[string]bool, inEst float64) *groupPlan {
+// intersection across branches). buffered propagates the per-row
+// re-execution mark to the joins (see planSelect).
+func (p *planner) planGroup(gp *GroupPattern, bound map[string]bool, inEst float64, buffered bool) *groupPlan {
 	g := &groupPlan{}
 	if gp == nil {
 		return g
@@ -179,19 +206,19 @@ func (p *planner) planGroup(gp *GroupPattern, bound map[string]bool, inEst float
 		switch v := el.(type) {
 		case *BGPElement:
 			var ops []operator
-			ops, inEst = p.planBGP(v.Patterns, filters, applied, bound, inEst)
+			ops, inEst = p.planBGP(v.Patterns, filters, applied, bound, inEst, buffered)
 			g.ops = append(g.ops, ops...)
 		case *FilterElement:
 			// applied at group end (or pushed into a BGP)
 		case *OptionalElement:
-			sub := p.planGroup(v.Pattern, cloneBound(bound), 1)
+			sub := p.planGroup(v.Pattern, cloneBound(bound), 1, true)
 			g.ops = append(g.ops, &optionalOp{sub: sub})
 		case *UnionElement:
 			u := &unionOp{}
 			var branchBound []map[string]bool
 			for _, br := range v.Branches {
 				bb := cloneBound(bound)
-				u.branches = append(u.branches, p.planGroup(br, bb, 1))
+				u.branches = append(u.branches, p.planGroup(br, bb, 1, true))
 				branchBound = append(branchBound, bb)
 			}
 			g.ops = append(g.ops, u)
@@ -213,10 +240,13 @@ func (p *planner) planGroup(gp *GroupPattern, bound map[string]bool, inEst float
 			}
 			inEst *= float64(len(v.Branches))
 		case *GroupPattern:
-			sub := p.planGroup(v, bound, inEst)
+			sub := p.planGroup(v, bound, inEst, buffered)
 			g.ops = append(g.ops, &nestedGroupOp{sub: sub})
 		case *SubSelectElement:
-			sub := p.planSelect(v.Select)
+			// A sub-select evaluates once (its solutions are cached on
+			// the operator), so its own pipeline may stream even when
+			// the enclosing group is re-executed per row.
+			sub := p.planSelect(v.Select, false)
 			g.ops = append(g.ops, &subSelectOp{sub: sub})
 			// The sub-select's projected variables are NOT certainly bound:
 			// a projection can come from an OPTIONAL-only variable or an
@@ -241,7 +271,7 @@ func (p *planner) planGroup(gp *GroupPattern, bound map[string]bool, inEst float
 // planBGP orders a basic graph pattern's triples by cardinality
 // estimates and interleaves eagerly-applicable filters, returning the
 // operators and the updated cumulative row estimate.
-func (p *planner) planBGP(patterns []TriplePattern, filters []*FilterElement, applied map[*FilterElement]bool, bound map[string]bool, inEst float64) ([]operator, float64) {
+func (p *planner) planBGP(patterns []TriplePattern, filters []*FilterElement, applied map[*FilterElement]bool, bound map[string]bool, inEst float64, buffered bool) ([]operator, float64) {
 	remaining := append([]TriplePattern(nil), patterns...)
 	var ops []operator
 
@@ -285,7 +315,7 @@ func (p *planner) planBGP(patterns []TriplePattern, filters []*FilterElement, ap
 		pat := remaining[best]
 		remaining = append(remaining[:best], remaining[best+1:]...)
 
-		op := &joinOp{pat: pat, filters: filters, strategy: joinBind}
+		op := &joinOp{pat: pat, filters: filters, strategy: joinBind, buffered: buffered}
 		for _, tv := range []TermOrVar{pat.S, pat.P, pat.O} {
 			if tv.IsVar() && bound[tv.Var] && !containsVar(op.shared, tv.Var) {
 				op.shared = append(op.shared, tv.Var)
@@ -476,14 +506,14 @@ func (e *Evaluator) Explain(q *Query) (string, error) {
 	switch {
 	case q.Select != nil:
 		b.WriteString("select\n")
-		p.planSelect(q.Select).explain(&b, "  ")
+		p.planSelect(q.Select, false).explain(&b, "  ")
 	case q.Ask != nil:
 		b.WriteString("ask\n")
-		p.planGroup(q.Ask.Where, map[string]bool{}, 1).explain(&b, "  ")
+		p.planGroup(q.Ask.Where, map[string]bool{}, 1, false).explain(&b, "  ")
 	case q.Update != nil:
 		fmt.Fprintf(&b, "update delete=%d insert=%d\n", len(q.Update.Delete), len(q.Update.Insert))
 		if q.Update.Where != nil {
-			p.planGroup(q.Update.Where, map[string]bool{}, 1).explain(&b, "  ")
+			p.planGroup(q.Update.Where, map[string]bool{}, 1, false).explain(&b, "  ")
 		}
 	default:
 		return "", fmt.Errorf("stsparql: empty query")

@@ -115,6 +115,43 @@ SELECT ?sensor (COUNT(?h) AS ?n) WHERE {
 	}
 }
 
+// TestExplainSlicePushdownGolden pins the LIMIT/OFFSET pushdown
+// annotation: an order-free, aggregate-free, distinct-free plan marks
+// its slice pushed — the cursor's early exit reaches the index scans —
+// while the aggregate golden above keeps a plain slice.
+func TestExplainSlicePushdownGolden(t *testing.T) {
+	q := mustParse(t, `
+SELECT ?h ?c WHERE { ?h a noa:Hotspot ; noa:hasConfidence ?c . } LIMIT 5 OFFSET 2`)
+	got, err := NewEvaluator(clcFixture()).Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `select
+  join[bind] {?h <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#Hotspot>} est=3
+  join[bind] {?h <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#hasConfidence> ?c} on h est=3
+  project ?h ?c
+  slice[pushed] offset=2 limit=5
+`
+	if got != want {
+		t.Fatalf("explain mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// The blocking modifiers suppress the annotation.
+	for _, src := range []string{
+		`SELECT ?h WHERE { ?h a noa:Hotspot . } ORDER BY ?h LIMIT 5`,
+		`SELECT DISTINCT ?h WHERE { ?h a noa:Hotspot . } LIMIT 5`,
+		`SELECT * WHERE { ?h a noa:Hotspot . } LIMIT 5`,
+	} {
+		out, err := NewEvaluator(clcFixture()).Explain(mustParse(t, src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(out, "slice[pushed]") {
+			t.Errorf("slice wrongly marked pushed for %q:\n%s", src, out)
+		}
+	}
+}
+
 // TestExplainShapes spot-checks plan features that golden tests would
 // make brittle: optional/union sub-plans and the hash strategy for
 // disconnected patterns over large intermediates.
