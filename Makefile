@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-endpoint bench-stream lint fmt
+.PHONY: build test bench bench-endpoint bench-stream bench-shard lint fmt
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,7 @@ build:
 test:
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 -run 'TestEndpointConcurrent|TestConcurrentEndpointSmoke|TestEndpointStreamsDuringWrites' ./internal/strabon
+	$(GO) test -race -count=2 -run 'TestShardStreamsDuringWrites|TestShardedPipelineMatchesSingle' ./internal/shard
 
 # Full benchmark sweep; CI runs the 1x smoke variant of the end-to-end
 # and pipeline benchmarks plus the served-query and streamed-select
@@ -26,6 +27,12 @@ bench-endpoint:
 # pushdown over a 10k-row SELECT.
 bench-stream:
 	$(GO) test -run '^$$' -bench 'BenchmarkStreamedSelect' -benchmem ./internal/strabon
+
+# Sharded vs single-store throughput on the time-constrained workload
+# while a writer appends to the live slice. Like the pipeline bench, the
+# -cpu spread only shows on multicore hosts (dev container is 1-CPU).
+bench-shard:
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedQueries' -cpu 1,4 ./internal/shard
 
 lint:
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \

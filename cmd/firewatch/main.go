@@ -25,16 +25,19 @@ import (
 	"repro/internal/geom"
 	"repro/internal/mapgen"
 	"repro/internal/seviri"
+	"repro/internal/shard"
 	"repro/internal/strabon"
 )
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 42, "world/scenario seed")
-		sensor  = flag.String("sensor", "MSG1", "sensor stream: MSG1 (5 min) or MSG2 (15 min)")
-		window  = flag.Duration("window", time.Hour, "monitored span")
-		workers = flag.Int("workers", 0, "acquisition pipeline workers (0 = NumCPU)")
-		serve   = flag.String("serve", "", "optional HTTP listen address, e.g. :8080")
+		seed       = flag.Int64("seed", 42, "world/scenario seed")
+		sensor     = flag.String("sensor", "MSG1", "sensor stream: MSG1 (5 min) or MSG2 (15 min)")
+		window     = flag.Duration("window", time.Hour, "monitored span")
+		workers    = flag.Int("workers", 0, "acquisition pipeline workers (0 = NumCPU)")
+		serve      = flag.String("serve", "", "optional HTTP listen address, e.g. :8080")
+		shards     = flag.Int("shards", 1, "time-range store shards (1 = single store)")
+		shardWidth = flag.Duration("shard-width", time.Hour, "time span of one shard routing bucket")
 	)
 	flag.Parse()
 
@@ -43,7 +46,12 @@ func main() {
 		sens = seviri.MSG2
 	}
 	cfg := seviri.DefaultScenarioConfig()
-	svc, err := core.NewService(*seed, cfg)
+	var st strabon.API = strabon.New()
+	if *shards > 1 {
+		st = shard.New(shard.Config{Slices: *shards, Width: *shardWidth, Epoch: cfg.Start})
+		fmt.Printf("firewatch: sharded store: %d slices of %v\n", *shards, *shardWidth)
+	}
+	svc, err := core.NewServiceWithStore(*seed, cfg, st)
 	fail(err)
 	svc.Workers = *workers
 
@@ -119,10 +127,10 @@ func main() {
 		return
 	}
 	windowDone.Store(true)
-	st := svc.Strabon.Stats()
+	stStats := svc.Strabon.Stats()
 	ps := svc.Strabon.PlanStats()
 	fmt.Printf("firewatch: served %d queries during the window (plan cache: %d hits, %d misses, %d evictions)\n",
-		st.Queries, ps.Hits, ps.Misses, ps.Evictions)
+		stStats.Queries, ps.Hits, ps.Misses, ps.Evictions)
 	fmt.Println("firewatch: window complete, continuing to serve (interrupt to stop)")
 	select {}
 }

@@ -9,13 +9,22 @@
 //	stsparqld -addr :7575 -load extra.ttl
 //	stsparqld -addr :7575 -live -window 1h -workers 4
 //	stsparqld -addr :7575 -plan-cache 1024
+//	stsparqld -addr :7575 -live -shards 4 -shard-width 1h
+//
+// With -shards N the backend is the sharded store (internal/shard):
+// the acquisition history partitions into N time-range slices — each
+// with its own lock, R-tree and plan cache — behind the same endpoint;
+// time-constrained queries prune to the matching slices and fan out
+// concurrently, and live writes lock only the slice they land in.
+// /stats then reports per-shard cardinalities.
 //
 // Endpoints: /sparql (GET/POST query; JSON or format=tsv), /update
 // (POST), /explain, /stats. SELECT responses stream row by row with
 // X-Rows/X-Elapsed-Us trailers; repeated queries skip parse+plan
-// through the store's generation-invalidated plan cache, whose
-// hit/miss/eviction counters /stats reports (-plan-cache sizes it,
-// 0 disables).
+// through the generation-invalidated plan cache(s) (-plan-cache sizes
+// them, 0 disables). Queries run under the request context, optionally
+// capped by -query-timeout, so an abandoned or slow client cannot hold
+// store read locks indefinitely.
 package main
 
 import (
@@ -29,29 +38,43 @@ import (
 	"repro/internal/auxdata"
 	"repro/internal/core"
 	"repro/internal/seviri"
+	"repro/internal/shard"
 	"repro/internal/strabon"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":7575", "HTTP listen address")
-		seed      = flag.Int64("seed", 42, "synthetic world seed (0 disables world loading)")
-		load      = flag.String("load", "", "optional Turtle file to load")
-		live      = flag.Bool("live", false, "run the fire monitoring service against the served store")
-		sensor    = flag.String("sensor", "MSG1", "live mode sensor stream: MSG1 or MSG2")
-		window    = flag.Duration("window", time.Hour, "live mode monitored span")
-		workers   = flag.Int("workers", 0, "live mode pipeline workers (0 = NumCPU)")
-		planCache = flag.Int("plan-cache", 256, "compiled-plan cache entries (0 disables plan caching)")
+		addr       = flag.String("addr", ":7575", "HTTP listen address")
+		seed       = flag.Int64("seed", 42, "synthetic world seed (0 disables world loading)")
+		load       = flag.String("load", "", "optional Turtle file to load")
+		live       = flag.Bool("live", false, "run the fire monitoring service against the served store")
+		sensor     = flag.String("sensor", "MSG1", "live mode sensor stream: MSG1 or MSG2")
+		window     = flag.Duration("window", time.Hour, "live mode monitored span")
+		workers    = flag.Int("workers", 0, "live mode pipeline workers (0 = NumCPU)")
+		planCache  = flag.Int("plan-cache", 256, "compiled-plan cache entries (0 disables plan caching)")
+		shards     = flag.Int("shards", 1, "time-range shards (1 = single store)")
+		shardWidth = flag.Duration("shard-width", time.Hour, "time span of one shard routing bucket")
+		queryTO    = flag.Duration("query-timeout", 0, "per-query evaluation timeout (0 = none)")
 	)
 	flag.Parse()
 
-	var st *strabon.Store
+	cfg := seviri.DefaultScenarioConfig()
+	var st strabon.API
+	if *shards > 1 {
+		st = shard.New(shard.Config{
+			Slices: *shards,
+			Width:  *shardWidth,
+			Epoch:  cfg.Start,
+		})
+		fmt.Fprintf(os.Stderr, "stsparqld: sharded store: %d slices of %v\n", *shards, *shardWidth)
+	} else {
+		st = strabon.New()
+	}
+
 	if *live {
-		cfg := seviri.DefaultScenarioConfig()
-		svc, err := core.NewService(*seed, cfg)
+		svc, err := core.NewServiceWithStore(*seed, cfg, st)
 		fail(err)
 		svc.Workers = *workers
-		st = svc.Strabon
 		sens := seviri.MSG1
 		if *sensor == "MSG2" {
 			sens = seviri.MSG2
@@ -68,13 +91,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "stsparqld: live window done: %d acquisitions in %v\n",
 				len(svc.Reports), time.Since(start).Round(time.Millisecond))
 		}()
-	} else {
-		st = strabon.New()
-		if *seed != 0 {
-			world := auxdata.Generate(*seed)
-			n := st.LoadTriples(world.AllTriples())
-			fmt.Fprintf(os.Stderr, "stsparqld: loaded %d triples from synthetic world (seed %d)\n", n, *seed)
-		}
+	} else if *seed != 0 {
+		world := auxdata.Generate(*seed)
+		n := st.LoadTriples(world.AllTriples())
+		fmt.Fprintf(os.Stderr, "stsparqld: loaded %d triples from synthetic world (seed %d)\n", n, *seed)
 	}
 	if *load != "" {
 		src, err := os.ReadFile(*load)
@@ -86,11 +106,13 @@ func main() {
 
 	st.SetPlanCacheSize(*planCache)
 
+	ep := strabon.NewEndpoint(st)
+	ep.QueryTimeout = *queryTO
 	ln, err := net.Listen("tcp", *addr)
 	fail(err)
 	fmt.Fprintf(os.Stderr, "stsparqld: serving stSPARQL on %s (/sparql, /update, /explain, /stats; plan cache %d entries)\n",
 		*addr, *planCache)
-	fail(http.Serve(ln, strabon.NewEndpoint(st)))
+	fail(http.Serve(ln, ep))
 }
 
 func fail(err error) {

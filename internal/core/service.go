@@ -33,7 +33,7 @@ type Service struct {
 	Sim     *seviri.Simulator
 	Vault   *vault.Vault
 	Chain   Chain
-	Strabon *strabon.Store
+	Strabon strabon.API
 	Refiner *refine.Runner
 
 	// NewChain builds a processing chain private to one pipeline worker;
@@ -64,6 +64,14 @@ type Service struct {
 // geography, fire scenario, simulator, vault, SciQL chain, and a Strabon
 // store pre-loaded with every auxiliary dataset.
 func NewService(seed int64, cfg seviri.ScenarioConfig) (*Service, error) {
+	return NewServiceWithStore(seed, cfg, strabon.New())
+}
+
+// NewServiceWithStore assembles the stack over a caller-provided Strabon
+// backend — the hook the serving binaries use to run the service over a
+// sharded store (-shards N). The auxiliary world datasets are loaded
+// into st.
+func NewServiceWithStore(seed int64, cfg seviri.ScenarioConfig, st strabon.API) (*Service, error) {
 	world := auxdata.Generate(seed)
 	scenario := seviri.GenerateScenario(world, seed+1, cfg)
 	sim := seviri.NewSimulator(scenario)
@@ -73,7 +81,6 @@ func NewService(seed int64, cfg seviri.ScenarioConfig) (*Service, error) {
 	v := vault.New(max(8, 4*runtime.NumCPU()))
 	chain := NewSciQLChain(v, sim.Transform())
 
-	st := strabon.New()
 	st.LoadTriples(world.AllTriples())
 
 	return &Service{

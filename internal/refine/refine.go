@@ -48,9 +48,10 @@ type Timing struct {
 	Affected int
 }
 
-// Runner executes the refinement sequence against a Strabon store.
+// Runner executes the refinement sequence against a Strabon store —
+// the single strabon.Store or the sharded store, through strabon.API.
 type Runner struct {
-	Store *strabon.Store
+	Store strabon.API
 	// PersistenceWindow is the look-back of the Time Persistence
 	// heuristic (the paper: "during the last hour(s)").
 	PersistenceWindow time.Duration
@@ -60,7 +61,7 @@ type Runner struct {
 }
 
 // NewRunner returns a Runner with the paper's defaults.
-func NewRunner(s *strabon.Store) *Runner {
+func NewRunner(s strabon.API) *Runner {
 	return &Runner{Store: s, PersistenceWindow: time.Hour, PersistenceMin: 2}
 }
 

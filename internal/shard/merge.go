@@ -1,0 +1,477 @@
+package shard
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"repro/internal/rdf"
+	"repro/internal/strabon"
+	"repro/internal/stsparql"
+)
+
+// Fan-out execution: one worker goroutine per relevant shard pulls that
+// shard's cursor and feeds a buffered channel; the merge cursor combines
+// the streams per the query shape. The caller (fanoutStream) acquires
+// the read locks before the workers start and the merge cursor releases
+// them at shutdown — after every worker has exited, since workers scan
+// the locked stores.
+
+// fanMode selects the merge strategy.
+type fanMode int
+
+const (
+	fanConcat  fanMode = iota // plain SELECT: streaming concatenation
+	fanOrdered                // ORDER BY: k-way merge of pre-sorted streams
+	fanAgg                    // grouped: partial-aggregate recombination
+)
+
+func (m fanMode) String() string {
+	switch m {
+	case fanOrdered:
+		return "ordered"
+	case fanAgg:
+		return "partial-aggregate"
+	default:
+		return "concat"
+	}
+}
+
+// fanPlan is the merge-side plan of one fanned-out SELECT.
+type fanPlan struct {
+	mode   fanMode
+	shardQ *stsparql.Query // per-shard AST (possibly rewritten)
+	key    string          // plan-cache key (distinct per rewrite)
+	agg    *stsparql.AggMerge
+	cmp    func(a, b stsparql.Binding) int
+
+	distinct      bool     // re-deduplicate at the merger
+	offset, limit int      // merger-side slice; limit -1 = none
+	vars          []string // static header (nil for SELECT *)
+}
+
+// planFanout derives the per-shard query and merge strategy for a
+// SELECT. ok=false means the query is grouped in a way partial
+// aggregation cannot recombine — the caller falls back to the union
+// view.
+func planFanout(src string, q *stsparql.Query) (*fanPlan, bool) {
+	sel := q.Select
+	if stsparql.IsGrouped(sel) {
+		am, ok := stsparql.PlanAggMerge(sel)
+		if !ok {
+			return nil, false
+		}
+		return &fanPlan{
+			mode: fanAgg, shardQ: am.Partial(), key: src + "\x00agg",
+			agg: am, limit: -1, vars: am.Vars(),
+		}, true
+	}
+	fp := &fanPlan{mode: fanConcat, distinct: sel.Distinct, offset: sel.Offset, limit: sel.Limit}
+	if len(sel.OrderBy) > 0 {
+		fp.mode = fanOrdered
+		fp.cmp = stsparql.NewOrderComparator(sel.OrderBy)
+	}
+	if sel.Offset > 0 || sel.Limit >= 0 {
+		// Per-shard rewrite: each shard computes the first OFFSET+LIMIT
+		// rows of its own stream (under ORDER BY that engages the
+		// engine's top-k heap); the true OFFSET/LIMIT re-applies at the
+		// merger over the combined stream.
+		cp := *sel
+		cp.Offset = 0
+		if sel.Limit >= 0 {
+			cp.Limit = sel.Offset + sel.Limit
+		}
+		fp.shardQ = &stsparql.Query{Select: &cp}
+		fp.key = src + "\x00shard"
+	} else {
+		fp.shardQ = q
+		fp.key = src
+	}
+	if !sel.Star {
+		for _, item := range sel.Projection {
+			fp.vars = append(fp.vars, item.Var)
+		}
+	}
+	return fp, true
+}
+
+// listCursor is a materialised QueryCursor (ASK verdicts, recombined
+// aggregates, empty prunes).
+type listCursor struct {
+	vars    []string
+	rows    []stsparql.Binding
+	pos     int
+	yielded int
+	ask     bool
+	err     error
+}
+
+func (c *listCursor) Vars() []string { return c.vars }
+func (c *listCursor) IsAsk() bool    { return c.ask }
+func (c *listCursor) Err() error     { return c.err }
+func (c *listCursor) Rows() int      { return c.yielded }
+
+func (c *listCursor) Next() (stsparql.Binding, bool) {
+	if c.pos >= len(c.rows) {
+		return nil, false
+	}
+	r := c.rows[c.pos]
+	c.pos++
+	c.yielded++
+	return r, true
+}
+
+func (c *listCursor) Close() error {
+	c.pos = len(c.rows)
+	return c.err
+}
+
+func askResult(ok bool) *listCursor {
+	return &listCursor{
+		vars: []string{"ask"},
+		rows: []stsparql.Binding{{"ask": rdf.NewBoolean(ok)}},
+		ask:  true,
+	}
+}
+
+// shardStream is one worker's output.
+type shardStream struct {
+	ch      chan stsparql.Binding
+	ready   chan struct{} // closed once vars (or an open error) are set
+	vars    []string
+	err     error // valid once ch is closed
+	head    stsparql.Binding
+	hasHead bool
+	drained bool
+}
+
+// mergeCursor combines the shard streams into one QueryCursor.
+type mergeCursor struct {
+	plan    *fanPlan
+	ctx     context.Context
+	stop    chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+	release func()
+
+	streams []*shardStream
+	vars    []string
+
+	cur int         // concat: current stream
+	agg *listCursor // fanAgg: recombined output
+
+	seen             map[string]bool
+	kb               []byte
+	skipped, emitted int
+	yielded          int
+
+	err    error
+	done   bool
+	closed bool
+}
+
+// startMerge launches one worker per compiled shard plan and returns the
+// merge cursor. The caller holds the read locks release will free.
+func startMerge(ctx context.Context, fp *fanPlan, evs []*stsparql.Evaluator, cs []*stsparql.Compiled, release func()) *mergeCursor {
+	m := &mergeCursor{plan: fp, ctx: ctx, stop: make(chan struct{}), release: release}
+	for range cs {
+		m.streams = append(m.streams, &shardStream{
+			ch:    make(chan stsparql.Binding, 64),
+			ready: make(chan struct{}),
+		})
+	}
+	m.wg.Add(len(cs))
+	for i := range cs {
+		go m.run(evs[i], cs[i], m.streams[i])
+	}
+	if fp.vars != nil {
+		m.vars = fp.vars
+	} else {
+		// SELECT *: the merged header is the sorted union of the shard
+		// headers (a shard's vars are known as soon as its plan opens).
+		set := make(map[string]bool)
+		for _, st := range m.streams {
+			<-st.ready
+			for _, v := range st.vars {
+				set[v] = true
+			}
+		}
+		for v := range set {
+			m.vars = append(m.vars, v)
+		}
+		sort.Strings(m.vars)
+	}
+	return m
+}
+
+func (m *mergeCursor) run(ev *stsparql.Evaluator, c *stsparql.Compiled, st *shardStream) {
+	defer m.wg.Done()
+	defer close(st.ch)
+	cur, err := ev.RunCompiled(c)
+	if err != nil {
+		st.err = err
+		close(st.ready)
+		return
+	}
+	st.vars = cur.Vars()
+	close(st.ready)
+	defer cur.Close()
+	for {
+		row, ok := cur.Next()
+		if !ok {
+			st.err = cur.Err()
+			return
+		}
+		select {
+		case st.ch <- row:
+		case <-m.stop:
+			return
+		}
+	}
+}
+
+func (m *mergeCursor) Vars() []string { return m.vars }
+func (m *mergeCursor) IsAsk() bool    { return false }
+func (m *mergeCursor) Err() error     { return m.err }
+func (m *mergeCursor) Rows() int      { return m.yielded }
+
+func (m *mergeCursor) Next() (stsparql.Binding, bool) {
+	if m.closed || m.done || m.err != nil {
+		return nil, false
+	}
+	if err := m.ctx.Err(); err != nil {
+		m.fail(err)
+		return nil, false
+	}
+	if m.plan.mode == fanAgg {
+		if m.agg == nil && !m.finalizeAgg() {
+			return nil, false
+		}
+		row, ok := m.agg.Next()
+		if ok {
+			m.yielded++
+		}
+		return row, ok
+	}
+	for {
+		if m.plan.limit >= 0 && m.emitted >= m.plan.limit {
+			m.done = true
+			m.shutdown()
+			return nil, false
+		}
+		var row stsparql.Binding
+		var ok bool
+		if m.plan.mode == fanOrdered {
+			row, ok = m.pullOrdered()
+		} else {
+			row, ok = m.pullConcat()
+		}
+		if !ok {
+			if m.err == nil {
+				m.done = true
+			}
+			m.shutdown() // exhausted (or failed): release locks now
+			return nil, false
+		}
+		if m.plan.distinct {
+			if m.seen == nil {
+				m.seen = make(map[string]bool)
+			}
+			m.kb = stsparql.RowKey(m.kb[:0], row, m.vars)
+			if m.seen[string(m.kb)] {
+				continue
+			}
+			m.seen[string(m.kb)] = true
+		}
+		if m.skipped < m.plan.offset {
+			m.skipped++
+			continue
+		}
+		m.emitted++
+		m.yielded++
+		return row, true
+	}
+}
+
+// pullConcat streams the shards one after another — shard order, with
+// every worker prefetching into its buffer concurrently.
+func (m *mergeCursor) pullConcat() (stsparql.Binding, bool) {
+	for m.cur < len(m.streams) {
+		st := m.streams[m.cur]
+		select {
+		case row, ok := <-st.ch:
+			if !ok {
+				if st.err != nil {
+					m.fail(st.err)
+					return nil, false
+				}
+				m.cur++
+				continue
+			}
+			return row, true
+		case <-m.ctx.Done():
+			m.fail(m.ctx.Err())
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+// pullOrdered k-way merges the pre-sorted shard streams: one lookahead
+// row per stream, emitting the smallest under the ORDER BY comparator
+// (ties to the lower shard, keeping the merge deterministic).
+func (m *mergeCursor) pullOrdered() (stsparql.Binding, bool) {
+	for _, st := range m.streams {
+		if st.drained || st.hasHead {
+			continue
+		}
+		select {
+		case row, ok := <-st.ch:
+			if !ok {
+				if st.err != nil {
+					m.fail(st.err)
+					return nil, false
+				}
+				st.drained = true
+				continue
+			}
+			st.head, st.hasHead = row, true
+		case <-m.ctx.Done():
+			m.fail(m.ctx.Err())
+			return nil, false
+		}
+	}
+	best := -1
+	for i, st := range m.streams {
+		if !st.hasHead {
+			continue
+		}
+		if best < 0 || m.plan.cmp(st.head, m.streams[best].head) < 0 {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, false
+	}
+	row := m.streams[best].head
+	m.streams[best].head, m.streams[best].hasHead = nil, false
+	return row, true
+}
+
+// finalizeAgg is the barrier of the aggregate merge: every shard's
+// partial rows are drained, the read locks released, and the groups
+// recombined into the final materialised result.
+func (m *mergeCursor) finalizeAgg() bool {
+	var rows []stsparql.Binding
+	for _, st := range m.streams {
+		for {
+			var row stsparql.Binding
+			var ok bool
+			select {
+			case row, ok = <-st.ch:
+			case <-m.ctx.Done():
+				m.fail(m.ctx.Err())
+				return false
+			}
+			if !ok {
+				if st.err != nil {
+					m.fail(st.err)
+					return false
+				}
+				break
+			}
+			rows = append(rows, row)
+		}
+	}
+	m.shutdown() // partials shipped: recombination needs no locks
+	res, err := m.plan.agg.Finalize(rows)
+	if err != nil {
+		m.err = err
+		return false
+	}
+	m.vars = res.Vars
+	m.agg = &listCursor{vars: res.Vars, rows: res.Rows}
+	return true
+}
+
+func (m *mergeCursor) fail(err error) {
+	m.err = err
+	m.shutdown()
+}
+
+// shutdown stops the workers, waits for them to exit (they scan the
+// locked stores), then releases the read locks. Idempotent.
+func (m *mergeCursor) shutdown() {
+	m.once.Do(func() {
+		close(m.stop)
+		m.wg.Wait()
+		if m.release != nil {
+			m.release()
+		}
+	})
+}
+
+// Close terminates the fan-out, releasing every shard read lock.
+func (m *mergeCursor) Close() error {
+	m.closed = true
+	m.shutdown()
+	return m.err
+}
+
+// unionCursor wraps a single union-view evaluation, holding every
+// member read lock until Close.
+type unionCursor struct {
+	inner   stsparql.Cursor
+	ctx     context.Context
+	release func()
+	yielded int
+	err     error
+	closed  bool
+}
+
+var _ strabon.QueryCursor = (*unionCursor)(nil)
+var _ strabon.QueryCursor = (*mergeCursor)(nil)
+var _ strabon.QueryCursor = (*listCursor)(nil)
+
+func (c *unionCursor) Vars() []string { return c.inner.Vars() }
+func (c *unionCursor) IsAsk() bool    { return false }
+func (c *unionCursor) Rows() int      { return c.yielded }
+
+func (c *unionCursor) Next() (stsparql.Binding, bool) {
+	if c.closed || c.err != nil {
+		return nil, false
+	}
+	if err := c.ctx.Err(); err != nil {
+		c.err = err
+		c.releaseNow()
+		return nil, false
+	}
+	row, ok := c.inner.Next()
+	if ok {
+		c.yielded++
+	}
+	return row, ok
+}
+
+func (c *unionCursor) Err() error {
+	if c.err != nil {
+		return c.err
+	}
+	return c.inner.Err()
+}
+
+func (c *unionCursor) releaseNow() {
+	c.inner.Close()
+	if c.release != nil {
+		c.release()
+		c.release = nil
+	}
+}
+
+func (c *unionCursor) Close() error {
+	if !c.closed {
+		c.closed = true
+		c.releaseNow()
+	}
+	return c.Err()
+}

@@ -1,0 +1,176 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/products"
+	"repro/internal/seviri"
+	"repro/internal/strabon"
+)
+
+// TestShardStreamsDuringWrites races streaming fan-out queries,
+// recombined aggregates and union-view scans against a writer appending
+// acquisitions to the live slice — the shard-local lock discipline
+// under -race (the CI race step runs this package).
+func TestShardStreamsDuringWrites(t *testing.T) {
+	sh := newSharded(4)
+	loadFixture(sh)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writer: new products marching forward in time (always landing in
+	// the "live" bucket of the moment).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			at := day.Add(14*time.Hour + time.Duration(i)*5*time.Minute)
+			p := &products.Product{Sensor: "MSG1", Chain: "race", AcquiredAt: at}
+			p.Hotspots = append(p.Hotspots, products.Hotspot{
+				ID: fmt.Sprintf("race_%d", i), Geometry: geom.NewSquare(2, 5, 0.5),
+				Confidence: 1.0, AcquiredAt: at, Sensor: "MSG1", Chain: "race", Producer: "noa",
+			})
+			sh.InsertAll(p.Triples())
+		}
+	}()
+
+	queries := []string{
+		// Historical window: prunes away from the live slice.
+		`SELECT ?h ?g WHERE { ?h a noa:Hotspot ; noa:hasAcquisitionDateTime ?at ; strdf:hasGeometry ?g .
+  FILTER( str(?at) >= "2007-08-25T10:00:00" ) FILTER( str(?at) <= "2007-08-25T10:45:00" ) }`,
+		// All-shard aggregate with recombination.
+		`SELECT ?s (COUNT(?h) AS ?n) WHERE { ?h a noa:Hotspot ; noa:isDerivedFromSensor ?s ;
+  noa:hasAcquisitionDateTime ?at . } GROUP BY ?s`,
+		// Union-view fallback.
+		`SELECT ?m WHERE { ?m a gag:Municipality . }`,
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				q := queries[(r+i)%len(queries)]
+				cur, err := sh.QueryStreamCtx(context.Background(), q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for {
+					if _, ok := cur.Next(); !ok {
+						break
+					}
+				}
+				if err := cur.Close(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	// Scoped-update thread: shard-local plan+apply racing the readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			_, err := sh.UpdateScoped(`INSERT { ?h noa:isInMunicipality ?m }
+WHERE {
+  ?h a noa:Hotspot ; noa:hasAcquisitionDateTime ?at ; strdf:hasGeometry ?hg .
+  ?m a gag:Municipality ; strdf:hasGeometry ?mg .
+  FILTER( str(?at) >= "2007-08-25T11:00:00" ) FILTER( str(?at) <= "2007-08-25T12:00:00" )
+  FILTER( strdf:anyInteract(?hg, ?mg) )
+}`)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("shard race test deadlocked")
+	}
+}
+
+// TestShardedPipelineMatchesSingle runs the full acquisition pipeline —
+// batched writes, scoped refinement, time persistence — over a single
+// store and over a sharded store whose slices are narrower than the
+// persistence window, and requires identical refined output.
+func TestShardedPipelineMatchesSingle(t *testing.T) {
+	cfg := seviri.DefaultScenarioConfig()
+	run := func(st strabon.API) *core.Service {
+		svc, err := core.NewServiceWithStore(42, cfg, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc.Workers = 4
+		from := cfg.Start.Add(11 * time.Hour)
+		if err := svc.RunWindow(seviri.MSG1, from, 30*time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		return svc
+	}
+	single := run(strabon.New())
+	sharded := run(New(Config{Slices: 3, Width: 10 * time.Minute, Epoch: cfg.Start}))
+
+	if len(single.Reports) != len(sharded.Reports) {
+		t.Fatalf("report counts differ: %d vs %d", len(single.Reports), len(sharded.Reports))
+	}
+	for i := range single.Reports {
+		if single.Reports[i].Refined != sharded.Reports[i].Refined {
+			t.Fatalf("acquisition %d refined count: single=%d sharded=%d",
+				i, single.Reports[i].Refined, sharded.Reports[i].Refined)
+		}
+	}
+	rp1, err := single.RefinedProducts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp2, err := sharded.RefinedProducts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := core.SortedHotspotKeys(rp1)
+	k2 := core.SortedHotspotKeys(rp2)
+	if len(k1) != len(k2) {
+		t.Fatalf("refined hotspot counts differ: %d vs %d", len(k1), len(k2))
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("refined hotspot %d differs:\nsingle:  %s\nsharded: %s", i, k1[i], k2[i])
+		}
+	}
+	if single.Strabon.Len() != sharded.Strabon.Len() {
+		t.Fatalf("store sizes differ: single=%d sharded=%d", single.Strabon.Len(), sharded.Strabon.Len())
+	}
+
+	// The pipeline's write patterns (batched product inserts, scoped
+	// refinement, persistence updates) must never trip the co-location
+	// safety latch — fan-out has to survive real operation.
+	out, err := sharded.Strabon.(*Store).Explain(
+		`SELECT ?h WHERE { ?h a noa:Hotspot ; noa:hasAcquisitionDateTime ?at . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "shard fan-out") {
+		t.Fatalf("pipeline writes tripped the split latch; queries degraded to union-only:\n%s", out)
+	}
+}

@@ -1,0 +1,525 @@
+package shard
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/rdf"
+	"repro/internal/stsparql"
+)
+
+// This file is the fan-out analysis: it decides, per query, whether
+// per-shard evaluation plus cursor merging is provably equivalent to a
+// single-store evaluation, and which slices a time-constrained query
+// can prune to.
+//
+// Fan-out over the slice views (static + one slice each) is exact iff
+// every solution row is produced by exactly one view. Two failure modes
+// must be excluded: a row derivable from static data alone would be
+// produced by EVERY view (duplicates), and a row needing partitioned
+// triples from two different slices would be produced by NO view
+// (missed). The analysis therefore requires:
+//
+//  1. at least one conjunctive (non-OPTIONAL, non-UNION-branch) pattern
+//     that can only match slice-routed triples — so every solution
+//     touches partitioned data;
+//  2. no pattern of unknown provenance (a predicate stored on both
+//     sides with an untyped subject, or a variable predicate on an
+//     untyped subject) — so nothing silently spans the partition;
+//  3. all slice-classed patterns sharing one SUBJECT variable — the
+//     "anchor" entity of every solution. Routing co-locates one
+//     subject's triples (a whole acquisition group lands in one
+//     slice), so same-subject patterns provably read one slice;
+//     joining two slice subjects through a shared object value
+//     (?h1 sensor ?s . ?h2 sensor ?s) proves nothing about
+//     co-location and must fall back to the union view;
+//  4. any grouped sub-select over slice data keyed (at least partly)
+//     by the anchor variable, so no group spans slices.
+//
+// Pattern provenance comes from routing knowledge tracked at insert
+// time: which predicates — and which rdf:type objects — have gone to
+// slices vs the static store. A pattern whose predicate lives on both
+// sides (strdf:hasGeometry, rdf:type) is resolved through its subject's
+// rdf:type constraint when the query states one (`?m a gag:Municipality`
+// pins ?m's triples static). Queries failing any test evaluate exactly
+// once over the union view instead — correct, just not fanned out.
+
+type cls int
+
+const (
+	clStatic  cls = iota // only matches static-store triples
+	clSlice              // only matches slice-routed triples
+	clUnknown            // could match either side
+)
+
+// decision is the routing verdict for one WHERE clause.
+type decision struct {
+	fanout bool
+	shards []int // relevant slice indices, ascending (fanout only)
+	pruned bool  // len(shards) < len(slices)
+}
+
+type patCtx struct {
+	pat      stsparql.TriplePattern
+	required bool
+	class    cls
+}
+
+type subselInfo struct {
+	sel      *stsparql.SelectQuery
+	from, to int // index range of its patterns in walker.pats
+	scope    *scopeInfo
+}
+
+// scopeInfo is one variable scope of the WHERE clause — the outer group
+// or one sub-select body. Sub-selects export only their projected
+// variables, so filters and acquisition-time patterns must be matched
+// within scopes: an inner variable that merely shares an outer time
+// variable's name must not contribute to window pruning.
+type scopeInfo struct {
+	filters  []stsparql.Expr // conjunctive filters of this scope
+	timeVars map[string]bool // time-pattern object vars bound in this scope
+	children []subselInfo
+}
+
+func newScope() *scopeInfo { return &scopeInfo{timeVars: make(map[string]bool)} }
+
+type walker struct {
+	timePred string
+	pats     []*patCtx
+	root     *scopeInfo
+	bad      bool
+}
+
+func (w *walker) walk(gp *stsparql.GroupPattern, sc *scopeInfo, required bool) {
+	if gp == nil {
+		return
+	}
+	for _, el := range gp.Elements {
+		switch v := el.(type) {
+		case *stsparql.BGPElement:
+			for _, p := range v.Patterns {
+				w.pats = append(w.pats, &patCtx{pat: p, required: required})
+				if !p.P.IsVar() && p.P.Term.Value == w.timePred && p.O.IsVar() {
+					sc.timeVars[p.O.Var] = true
+				}
+			}
+		case *stsparql.FilterElement:
+			if required {
+				sc.filters = append(sc.filters, v.Cond)
+			}
+		case *stsparql.OptionalElement:
+			w.walk(v.Pattern, sc, false)
+		case *stsparql.UnionElement:
+			for _, br := range v.Branches {
+				w.walk(br, sc, false)
+			}
+		case *stsparql.GroupPattern:
+			w.walk(v, sc, required)
+		case *stsparql.SubSelectElement:
+			// A per-shard LIMIT/OFFSET inside a sub-select would slice
+			// each shard's solutions instead of the global set.
+			if v.Select.Limit >= 0 || v.Select.Offset > 0 {
+				w.bad = true
+				return
+			}
+			child := newScope()
+			from := len(w.pats)
+			w.walk(v.Select.Where, child, required)
+			info := subselInfo{sel: v.Select, from: from, to: len(w.pats), scope: child}
+			sc.children = append(sc.children, info)
+		default:
+			w.bad = true
+			return
+		}
+	}
+}
+
+// subsels flattens the scope tree's sub-selects.
+func collectSubsels(sc *scopeInfo, out []subselInfo) []subselInfo {
+	for _, ch := range sc.children {
+		out = append(out, ch)
+		out = collectSubsels(ch.scope, out)
+	}
+	return out
+}
+
+// scopeWindows extracts the per-variable windows of one scope and its
+// descendants. A filter only sees the time variables bound in its own
+// scope, plus those a child sub-select actually EXPORTS (projects) —
+// an unprojected inner time variable is invisible outside, and an
+// inner filter on a name that only an outer pattern binds constrains a
+// fresh local variable, not the outer one.
+func scopeWindows(sc *scopeInfo) (wins []windowBounds, visible map[string]bool) {
+	visible = make(map[string]bool, len(sc.timeVars))
+	for v := range sc.timeVars {
+		visible[v] = true
+	}
+	for _, ch := range sc.children {
+		chWins, chVis := scopeWindows(ch.scope)
+		wins = append(wins, chWins...)
+		for v := range chVis {
+			if subselProjects(ch.sel, v) {
+				visible[v] = true
+			}
+		}
+	}
+	for _, w := range extractWindows(sc.filters, visible) {
+		wins = append(wins, *w)
+	}
+	return wins, visible
+}
+
+// analyzeGroup routes one WHERE clause. A nil group (INSERT DATA forms)
+// routes as not-fanout; the caller applies it through the routed write
+// path anyway.
+func (s *Store) analyzeGroup(gp *stsparql.GroupPattern) decision {
+	union := decision{fanout: false}
+	if gp == nil {
+		return union
+	}
+	// A write has split some subject across stores: co-location no
+	// longer holds, so every query takes the exact union view.
+	if s.split.Load() {
+		return union
+	}
+	w := &walker{timePred: s.cfg.TimePredicate, root: newScope()}
+	w.walk(gp, w.root, true)
+	if w.bad || len(w.pats) == 0 {
+		return union
+	}
+
+	s.routeMu.RLock()
+	typed := s.typeClasses(w.pats)
+	requiredSlice := false
+	for _, pc := range w.pats {
+		pc.class = s.classify(pc.pat, typed)
+		if pc.class == clUnknown {
+			s.routeMu.RUnlock()
+			return union
+		}
+		if pc.class == clSlice && pc.required {
+			requiredSlice = true
+		}
+	}
+	s.routeMu.RUnlock()
+	if !requiredSlice {
+		return union
+	}
+
+	// Anchor: every slice-classed pattern must have the SAME subject
+	// variable. Subject co-location is the only guarantee routing
+	// provides; equal object values do not place two subjects in one
+	// slice, and a constant subject proves nothing at analysis time.
+	anchor := ""
+	for _, pc := range w.pats {
+		if pc.class != clSlice {
+			continue
+		}
+		if !pc.pat.S.IsVar() {
+			return union
+		}
+		if anchor == "" {
+			anchor = pc.pat.S.Var
+		} else if pc.pat.S.Var != anchor {
+			return union
+		}
+	}
+
+	// Sub-selects over slice data: the flattened analysis identifies
+	// the inner and outer anchor by NAME, but at runtime a sub-select
+	// only exports the variables it projects — an unprojected inner
+	// anchor is a fresh variable whose solutions cross-join with the
+	// outer rows, pairing entities across slices. So a slice-bearing
+	// sub-select must project the anchor (making the name identity
+	// real), and if grouped, must also group by it (so no group spans
+	// slices).
+	for _, ss := range collectSubsels(w.root, nil) {
+		hasSlice := false
+		for _, pc := range w.pats[ss.from:ss.to] {
+			if pc.class == clSlice {
+				hasSlice = true
+				break
+			}
+		}
+		if !hasSlice {
+			continue
+		}
+		if !subselProjects(ss.sel, anchor) {
+			return union
+		}
+		if !stsparql.IsGrouped(ss.sel) {
+			continue
+		}
+		keyed := false
+		for _, g := range ss.sel.GroupBy {
+			if ve, ok := g.(*stsparql.VarExpr); ok && ve.Name == anchor {
+				keyed = true
+				break
+			}
+		}
+		if !keyed {
+			return union
+		}
+	}
+
+	// Time-window pruning: constraints on variables bound by the
+	// anchor's acquisition-time triples narrow the slice set. Windows
+	// are extracted scope by scope (filters only see their own scope's
+	// time variables plus projected child ones) and every window's
+	// shard set is intersected — each solution needs the anchor's
+	// (single, group-routing) time value inside all of them.
+	wins, _ := scopeWindows(w.root)
+	shards := s.shardSetFor(wins)
+	return decision{fanout: true, shards: shards, pruned: len(shards) < len(s.slices)}
+}
+
+// typeClasses maps variables to a provenance class derived from their
+// rdf:type constraints. Caller holds routeMu read lock.
+func (s *Store) typeClasses(pats []*patCtx) map[string]cls {
+	typed := make(map[string]cls)
+	for _, pc := range pats {
+		p := pc.pat
+		if p.P.IsVar() || p.P.Term.Value != rdf.RDFType || !p.S.IsVar() || p.O.IsVar() || !p.O.Term.IsIRI() {
+			continue
+		}
+		inSlice, inStatic := s.sliceTypes[p.O.Term.Value], s.staticTypes[p.O.Term.Value]
+		var c cls
+		switch {
+		case inSlice && inStatic:
+			continue // ambiguous type: no subject information
+		case inSlice:
+			c = clSlice
+		default:
+			// Static, or a type never inserted (matches nothing
+			// anywhere, so either side's view agrees).
+			c = clStatic
+		}
+		if prev, ok := typed[p.S.Var]; ok && prev != c {
+			typed[p.S.Var] = clUnknown
+			continue
+		}
+		typed[p.S.Var] = c
+	}
+	return typed
+}
+
+// classify determines which side of the partition one triple pattern
+// can match. Caller holds routeMu read lock.
+func (s *Store) classify(p stsparql.TriplePattern, typed map[string]cls) cls {
+	bySubject := func() (cls, bool) {
+		if !p.S.IsVar() {
+			return 0, false
+		}
+		c, ok := typed[p.S.Var]
+		if !ok || c == clUnknown {
+			return 0, false
+		}
+		return c, true
+	}
+	resolve := func(inSlice, inStatic bool) cls {
+		switch {
+		case inSlice && inStatic:
+			if c, ok := bySubject(); ok {
+				return c
+			}
+			return clUnknown
+		case inSlice:
+			return clSlice
+		default:
+			return clStatic // static, or never inserted (matches nothing)
+		}
+	}
+	if p.P.IsVar() {
+		if c, ok := bySubject(); ok {
+			return c
+		}
+		return clUnknown
+	}
+	pred := p.P.Term.Value
+	// Note: the acquisition-time predicate is NOT special-cased to
+	// clSlice — a group whose time literal fails to parse routes to the
+	// static store, and the tracked predicate sets then correctly
+	// classify time patterns as ambiguous (union fallback) instead of
+	// fanning out over data that partly lives outside the slices.
+	if pred == rdf.RDFType && !p.O.IsVar() && p.O.Term.IsIRI() {
+		return resolve(s.sliceTypes[p.O.Term.Value], s.staticTypes[p.O.Term.Value])
+	}
+	return resolve(s.slicePreds[pred], s.staticPreds[pred])
+}
+
+// subselProjects reports whether the sub-select exports v as the plain
+// variable (SELECT * exports everything; an expression aliased AS ?v
+// binds the name to something else).
+func subselProjects(sel *stsparql.SelectQuery, v string) bool {
+	if sel.Star {
+		return true
+	}
+	for _, item := range sel.Projection {
+		if item.Expr == nil && item.Var == v {
+			return true
+		}
+	}
+	return false
+}
+
+// --- window extraction ---
+
+type windowBounds struct {
+	lo, hi       time.Time
+	hasLo, hasHi bool
+}
+
+// extractWindows folds conjunctive filter constraints into one [lo, hi]
+// window PER acquisition-time variable (constraints on different
+// variables must not be conflated into one window — their shard sets
+// intersect instead). Strict bounds relax to inclusive ones (pruning
+// one slice too few is sound; one too many is not). The datasets
+// compare str(?at) against ISO strings, whose lexicographic order is
+// chronological — both the str() form and direct comparisons are
+// recognised.
+func extractWindows(filters []stsparql.Expr, timeVars map[string]bool) map[string]*windowBounds {
+	wins := make(map[string]*windowBounds)
+	for _, f := range filters {
+		collectBounds(f, timeVars, wins)
+	}
+	return wins
+}
+
+func collectBounds(e stsparql.Expr, timeVars map[string]bool, wins map[string]*windowBounds) {
+	b, ok := e.(*stsparql.BinaryExpr)
+	if !ok {
+		return
+	}
+	if b.Op == "&&" {
+		collectBounds(b.L, timeVars, wins)
+		collectBounds(b.R, timeVars, wins)
+		return
+	}
+	op := b.Op
+	name, lOK := timeVarOf(b.L, timeVars)
+	t, tOK := timeConstOf(b.R)
+	if !lOK || !tOK {
+		// Mirror: constant OP var.
+		var rOK bool
+		name, rOK = timeVarOf(b.R, timeVars)
+		if !rOK {
+			return
+		}
+		t, tOK = timeConstOf(b.L)
+		if !tOK {
+			return
+		}
+		switch op {
+		case ">=", ">":
+			op = "<="
+		case "<=", "<":
+			op = ">="
+		}
+	}
+	w := wins[name]
+	if w == nil {
+		w = &windowBounds{}
+		wins[name] = w
+	}
+	switch op {
+	case ">=", ">":
+		if !w.hasLo || t.After(w.lo) {
+			w.lo, w.hasLo = t, true
+		}
+	case "<=", "<":
+		if !w.hasHi || t.Before(w.hi) {
+			w.hi, w.hasHi = t, true
+		}
+	case "=":
+		if !w.hasLo || t.After(w.lo) {
+			w.lo, w.hasLo = t, true
+		}
+		if !w.hasHi || t.Before(w.hi) {
+			w.hi, w.hasHi = t, true
+		}
+	}
+}
+
+// timeVarOf recognises ?t and str(?t) for a tracked time variable.
+func timeVarOf(e stsparql.Expr, timeVars map[string]bool) (string, bool) {
+	switch v := e.(type) {
+	case *stsparql.VarExpr:
+		if timeVars[v.Name] {
+			return v.Name, true
+		}
+	case *stsparql.CallExpr:
+		if v.Name == "str" && len(v.Args) == 1 {
+			if ve, ok := v.Args[0].(*stsparql.VarExpr); ok && timeVars[ve.Name] {
+				return ve.Name, true
+			}
+		}
+	}
+	return "", false
+}
+
+func timeConstOf(e stsparql.Expr) (time.Time, bool) {
+	c, ok := e.(*stsparql.ConstExpr)
+	if !ok {
+		return time.Time{}, false
+	}
+	return stsparql.ParseDateTime(c.Term.Value)
+}
+
+// shardSetFor intersects the windows' slice sets: a solution's owning
+// slice must satisfy every extracted window.
+func (s *Store) shardSetFor(wins []windowBounds) []int {
+	keep := make(map[int]bool, len(s.slices))
+	for i := range s.slices {
+		keep[i] = true
+	}
+	for _, w := range wins {
+		in := make(map[int]bool)
+		for _, idx := range s.shardsFor(w) {
+			in[idx] = true
+		}
+		for idx := range keep {
+			if !in[idx] {
+				delete(keep, idx)
+			}
+		}
+	}
+	out := make([]int, 0, len(keep))
+	for idx := range keep {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// shardsFor maps one window to the slice indices whose buckets
+// intersect it. An unbounded side touches every slice (buckets are
+// round-robin over the slices); an empty window touches none.
+func (s *Store) shardsFor(w windowBounds) []int {
+	all := make([]int, len(s.slices))
+	for i := range all {
+		all[i] = i
+	}
+	if !w.hasLo || !w.hasHi {
+		return all
+	}
+	if w.hi.Before(w.lo) {
+		return nil
+	}
+	b1, b2 := s.bucket(w.lo), s.bucket(w.hi)
+	if b2-b1+1 >= int64(len(s.slices)) {
+		return all
+	}
+	seen := make(map[int]bool)
+	var out []int
+	for b := b1; b <= b2; b++ {
+		n := int64(len(s.slices))
+		idx := int(((b % n) + n) % n)
+		if !seen[idx] {
+			seen[idx] = true
+			out = append(out, idx)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,842 @@
+// Package shard implements the sharded Strabon store of the scaling
+// roadmap: the accumulated acquisition history is partitioned into N
+// time-range slices — each its own strabon.Store with its own RWMutex,
+// R-tree and compiled-plan cache — plus a catch-all store for the
+// static/georeference datasets (municipalities, coastline, land cover),
+// all behind the same strabon.API the endpoint and the serving binaries
+// already consume.
+//
+// # Partitioning
+//
+// Writes route by acquisition timestamp: a triple group carrying a
+// noa:hasAcquisitionDateTime literal goes to the slice owning that
+// timestamp's time bucket (bucket = (t-epoch)/width, assigned to slices
+// round-robin), and everything else goes to the static store. Data is
+// partitioned, never replicated — the union of the member stores is
+// exactly the dataset a single store would hold.
+//
+// # Evaluation
+//
+// A query is first analysed (route.go): if every solution provably
+// derives from the triples of one slice plus the static data — the
+// dominant workload shape, "hotspots in acquisition window X" joined
+// against reference datasets — the compiled plan fans out to the
+// relevant slices concurrently, each evaluated over a composite view
+// (static + that slice), and the per-shard cursors merge (merge.go):
+// streaming concatenation for plain SELECTs, k-way ordered merge for
+// ORDER BY (each shard pre-truncated to its top-k by the engine's
+// bounded-heap order operator), and partial-aggregate recombination
+// (COUNT/SUM/MIN/MAX, AVG as SUM+COUNT) for grouped queries, with
+// DISTINCT and OFFSET/LIMIT re-applied at the merger. Time-constrained
+// queries prune the fan-out to the slices intersecting their window.
+//
+// Queries the analysis cannot prove decomposable evaluate exactly once
+// over the union view of every member store — always correct, just not
+// parallel. Either way results are row-for-row identical to a single
+// store's (up to ORDER-BY-mandated order), the property the equivalence
+// suite pins.
+//
+// # Locking
+//
+// Locks are shard-local: a write to the live slice takes only that
+// slice's write lock, so queries over historical slices (and their
+// static join partners) proceed untouched — the conversion of the
+// store-global write bottleneck into a shard-local one. A fan-out
+// cursor holds read locks on the static store and the relevant slices
+// (acquired in fixed order: static, then slices ascending) until Close;
+// a union-view cursor holds all of them. Cross-store write locks are
+// only ever taken by atomic Update, in the same fixed order.
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+	"repro/internal/strabon"
+	"repro/internal/stsparql"
+)
+
+// Config sizes a sharded store.
+type Config struct {
+	// Slices is the number of time-range shards (at least 1).
+	Slices int
+	// Width is the time span of one routing bucket (default 1h).
+	// Buckets are assigned to slices round-robin, so any query window
+	// narrower than Width*Slices prunes to fewer than Slices shards.
+	Width time.Duration
+	// Epoch aligns bucket boundaries (default 2000-01-01T00:00:00Z).
+	Epoch time.Time
+	// TimePredicate is the acquisition-timestamp predicate routing
+	// triple groups (default noa:hasAcquisitionDateTime).
+	TimePredicate string
+	// PlanCacheSize bounds each per-shard compiled-plan cache
+	// (default 256; <0 disables).
+	PlanCacheSize int
+}
+
+// Store is the sharded Strabon store. It implements strabon.API.
+type Store struct {
+	cfg    Config
+	width  int64 // bucket width, seconds
+	epoch  int64 // bucket origin, unix seconds
+	static *strabon.Store
+	slices []*strabon.Store
+	ns     *rdf.Namespaces
+	cache  *stsparql.Cache // shared geometry-parse cache
+
+	// Compiled-plan caches: one per slice view plus one for the union
+	// view. Guarded by planMu only for replacement (SetPlanCacheSize);
+	// the caches themselves are concurrency-safe.
+	planMu  sync.RWMutex
+	caches  []*stsparql.PlanCache
+	unionPC *stsparql.PlanCache
+
+	// Routing knowledge, updated at insert time and read by the query
+	// analysis: which predicates (and rdf:type objects) have ever been
+	// routed to slices vs the static store, and the observed
+	// acquisition-time range per slice. Guarded by routeMu.
+	routeMu     sync.RWMutex
+	slicePreds  map[string]bool
+	staticPreds map[string]bool
+	sliceTypes  map[string]bool
+	staticTypes map[string]bool
+	sliceMin    []time.Time
+	sliceMax    []time.Time
+
+	// writeMu serialises the write paths: routing is check-then-act
+	// (probe a subject's home, then insert), so concurrent writers
+	// could otherwise split one subject across slices without the
+	// latch below noticing. Readers never take it — the shard-local
+	// claim (writes don't block reads on other shards) is about
+	// queries, and those only take member read locks.
+	writeMu sync.Mutex
+
+	// split latches when a write is observed to violate co-location —
+	// a subject landing away from its existing home, or one group
+	// carrying acquisition times in different buckets — the invariants
+	// the fan-out analysis needs. Once set, every query takes the
+	// exact union view: correctness is preserved under arbitrary API
+	// use, and only fan-out parallelism is lost (the well-formed
+	// producers never trigger it).
+	split atomic.Bool
+
+	statsMu sync.Mutex
+	queries int
+	updates int
+}
+
+var _ strabon.API = (*Store)(nil)
+var _ strabon.ShardStatser = (*Store)(nil)
+
+// New returns an empty sharded store.
+func New(cfg Config) *Store {
+	if cfg.Slices < 1 {
+		cfg.Slices = 1
+	}
+	if cfg.Width <= 0 {
+		cfg.Width = time.Hour
+	}
+	if cfg.Epoch.IsZero() {
+		cfg.Epoch = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if cfg.TimePredicate == "" {
+		cfg.TimePredicate = ontology.PropAcquisitionDateTime
+	}
+	if cfg.PlanCacheSize == 0 {
+		cfg.PlanCacheSize = 256
+	}
+	s := &Store{
+		cfg:         cfg,
+		width:       int64(cfg.Width / time.Second),
+		epoch:       cfg.Epoch.Unix(),
+		cache:       stsparql.NewCache(),
+		slicePreds:  make(map[string]bool),
+		staticPreds: make(map[string]bool),
+		sliceTypes:  make(map[string]bool),
+		staticTypes: make(map[string]bool),
+		sliceMin:    make([]time.Time, cfg.Slices),
+		sliceMax:    make([]time.Time, cfg.Slices),
+	}
+	if s.width < 1 {
+		s.width = 1
+	}
+	s.static = strabon.NewWithCache(s.cache)
+	s.ns = s.static.Namespaces()
+	for i := 0; i < cfg.Slices; i++ {
+		s.slices = append(s.slices, strabon.NewWithCache(s.cache))
+	}
+	s.resetPlanCaches(cfg.PlanCacheSize)
+	return s
+}
+
+func (s *Store) resetPlanCaches(n int) {
+	s.planMu.Lock()
+	defer s.planMu.Unlock()
+	if n <= 0 {
+		s.caches = make([]*stsparql.PlanCache, len(s.slices))
+		s.unionPC = nil
+		return
+	}
+	s.caches = make([]*stsparql.PlanCache, len(s.slices))
+	for i := range s.caches {
+		s.caches[i] = stsparql.NewPlanCache(n)
+	}
+	s.unionPC = stsparql.NewPlanCache(n)
+}
+
+// SetPlanCacheSize replaces every per-shard plan cache; n <= 0 disables
+// plan caching. Counters restart.
+func (s *Store) SetPlanCacheSize(n int) { s.resetPlanCaches(n) }
+
+// PlanStats sums the per-shard plan cache counters.
+func (s *Store) PlanStats() stsparql.PlanCacheStats {
+	s.planMu.RLock()
+	defer s.planMu.RUnlock()
+	var out stsparql.PlanCacheStats
+	add := func(pc *stsparql.PlanCache) {
+		if pc == nil {
+			return
+		}
+		st := pc.Stats()
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Evictions += st.Evictions
+		out.Entries += st.Entries
+	}
+	for _, pc := range s.caches {
+		add(pc)
+	}
+	add(s.unionPC)
+	return out
+}
+
+func (s *Store) sliceCache(i int) *stsparql.PlanCache {
+	s.planMu.RLock()
+	defer s.planMu.RUnlock()
+	return s.caches[i]
+}
+
+func (s *Store) unionCache() *stsparql.PlanCache {
+	s.planMu.RLock()
+	defer s.planMu.RUnlock()
+	return s.unionPC
+}
+
+// Namespaces exposes the shared prefix table.
+func (s *Store) Namespaces() *rdf.Namespaces { return s.ns }
+
+// Len reports the total number of triples across every shard.
+func (s *Store) Len() int {
+	n := s.static.Len()
+	for _, sl := range s.slices {
+		n += sl.Len()
+	}
+	return n
+}
+
+// Slices reports the configured slice count.
+func (s *Store) Slices() int { return len(s.slices) }
+
+// Stats sums the member stores' endpoint statistics plus the sharded
+// store's own query/update counters (member Queries/Updates stay zero:
+// the sharded store evaluates through composite views, not the member
+// endpoints).
+func (s *Store) Stats() strabon.Stats {
+	var out strabon.Stats
+	add := func(st strabon.Stats) {
+		out.Queries += st.Queries
+		out.Updates += st.Updates
+		out.TriplesLoaded += st.TriplesLoaded
+		out.IndexHits += st.IndexHits
+	}
+	add(s.static.Stats())
+	for _, sl := range s.slices {
+		add(sl.Stats())
+	}
+	s.statsMu.Lock()
+	out.Queries += s.queries
+	out.Updates += s.updates
+	s.statsMu.Unlock()
+	return out
+}
+
+// ShardStats reports per-shard cardinalities for /stats.
+func (s *Store) ShardStats() []strabon.ShardStat {
+	out := []strabon.ShardStat{{Name: "static", Triples: s.static.Len()}}
+	s.routeMu.RLock()
+	defer s.routeMu.RUnlock()
+	for i, sl := range s.slices {
+		st := strabon.ShardStat{Name: fmt.Sprintf("s%d", i), Triples: sl.Len()}
+		if !s.sliceMin[i].IsZero() {
+			st.Range = s.sliceMin[i].UTC().Format("2006-01-02T15:04:05") +
+				"/" + s.sliceMax[i].UTC().Format("2006-01-02T15:04:05")
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// --- routing ---
+
+// bucket maps a timestamp to its time bucket index.
+func (s *Store) bucket(t time.Time) int64 {
+	d := t.Unix() - s.epoch
+	b := d / s.width
+	if d%s.width < 0 {
+		b--
+	}
+	return b
+}
+
+// sliceFor maps a timestamp to its owning slice (buckets round-robin
+// over the slices).
+func (s *Store) sliceFor(t time.Time) int {
+	n := int64(len(s.slices))
+	return int(((s.bucket(t) % n) + n) % n)
+}
+
+// groupTime finds the routing timestamp of a triple group: the object of
+// its first acquisition-time triple. Routing is group-atomic — every
+// triple of one acquisition's product lands in the same slice — which is
+// what keeps subject-connected data co-located (the assumption the
+// fan-out analysis leans on).
+func (s *Store) groupTime(group []rdf.Triple) (time.Time, bool) {
+	for _, t := range group {
+		if t.P.Value == s.cfg.TimePredicate {
+			if at, ok := stsparql.ParseDateTime(t.O.Value); ok {
+				return at, true
+			}
+		}
+	}
+	return time.Time{}, false
+}
+
+// track records routing knowledge for inserted groups: predicate and
+// rdf:type-object membership per side, and the observed time range per
+// slice. targets[i] is the slice index of groups[i], or -1 for static.
+// Deletions never untrack — the sets are conservative supersets, which
+// only costs fan-out opportunities, never correctness.
+func (s *Store) track(groups [][]rdf.Triple, targets []int, times []time.Time) {
+	s.routeMu.Lock()
+	defer s.routeMu.Unlock()
+	for gi, group := range groups {
+		preds, types := s.slicePreds, s.sliceTypes
+		if targets[gi] < 0 {
+			preds, types = s.staticPreds, s.staticTypes
+		} else if at := times[gi]; !at.IsZero() {
+			i := targets[gi]
+			if s.sliceMin[i].IsZero() || at.Before(s.sliceMin[i]) {
+				s.sliceMin[i] = at
+			}
+			if at.After(s.sliceMax[i]) {
+				s.sliceMax[i] = at
+			}
+		}
+		for _, t := range group {
+			preds[t.P.Value] = true
+			if t.P.Value == rdf.RDFType && t.O.IsIRI() {
+				types[t.O.Value] = true
+			}
+		}
+	}
+}
+
+// groupSplits reports whether inserting the group into target (slice
+// index, or -1 for static) would place a subject's triples outside the
+// store where that subject already lives. locked=true when the caller
+// already holds every member's lock; otherwise members are briefly
+// read-locked one at a time (safe in any caller context: at most one
+// lock is held at a time).
+func (s *Store) groupSplits(group []rdf.Triple, target int, locked bool) bool {
+	seen := make(map[string]bool)
+	var subjects []rdf.Term
+	for _, t := range group {
+		if k := t.S.String(); !seen[k] {
+			seen[k] = true
+			subjects = append(subjects, t.S)
+		}
+	}
+	var zero rdf.Term
+	targetStore := s.static
+	if target >= 0 {
+		targetStore = s.slices[target]
+	}
+	for _, m := range s.members() {
+		if m == targetStore {
+			continue
+		}
+		if !locked {
+			m.RLock()
+		}
+		found := false
+		for _, sub := range subjects {
+			if m.CountPattern(sub, zero, zero) > 0 {
+				found = true
+				break
+			}
+		}
+		if !locked {
+			m.RUnlock()
+		}
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// noteTimeConflict latches the split flag when one group carries
+// acquisition-time values in different routing buckets: the whole
+// group lands in at's slice, so window pruning for the other value
+// would look in the wrong slice.
+func (s *Store) noteTimeConflict(group []rdf.Triple, at time.Time) {
+	if s.split.Load() {
+		return
+	}
+	want := s.bucket(at)
+	for _, t := range group {
+		if t.P.Value != s.cfg.TimePredicate {
+			continue
+		}
+		if other, ok := stsparql.ParseDateTime(t.O.Value); !ok || s.bucket(other) != want {
+			s.split.Store(true)
+			return
+		}
+	}
+}
+
+// noteSplits latches the split flag if any group lands away from its
+// subjects' existing home.
+func (s *Store) noteSplits(groups [][]rdf.Triple, targets []int, locked bool) {
+	if s.split.Load() {
+		return
+	}
+	for gi, g := range groups {
+		if s.groupSplits(g, targets[gi], locked) {
+			s.split.Store(true)
+			return
+		}
+	}
+}
+
+// findOwner locates the slice already holding a subject's triples
+// (locked=true when the caller already holds every member's lock).
+// Returns -1 when no slice knows the subject.
+func (s *Store) findOwner(sub rdf.Term, locked bool) int {
+	var zero rdf.Term
+	for i, sl := range s.slices {
+		if !locked {
+			sl.RLock()
+		}
+		n := sl.CountPattern(sub, zero, zero)
+		if !locked {
+			sl.RUnlock()
+		}
+		if n > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// --- write paths ---
+
+// InsertAll bulk-inserts triple groups, routing each group by its
+// acquisition timestamp (groups without one go to the static store) and
+// batching one member InsertAll per target store. The write lock taken
+// is the target slice's own — inserts into the live slice leave every
+// other shard readable.
+func (s *Store) InsertAll(groups ...[]rdf.Triple) []int {
+	return s.insertRouted(groups, false)
+}
+
+func (s *Store) insertRouted(groups [][]rdf.Triple, probeOwner bool) []int {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	targets := make([]int, len(groups))
+	times := make([]time.Time, len(groups))
+	for gi, g := range groups {
+		targets[gi] = -1
+		if at, ok := s.groupTime(g); ok {
+			targets[gi] = s.sliceFor(at)
+			times[gi] = at
+			s.noteTimeConflict(g, at)
+		} else if probeOwner && len(g) > 0 {
+			targets[gi] = s.findOwner(g[0].S, false)
+		}
+	}
+	s.noteSplits(groups, targets, false)
+	s.track(groups, targets, times)
+
+	counts := make([]int, len(groups))
+	apply := func(target int, st *strabon.Store) {
+		var idxs []int
+		for gi, tg := range targets {
+			if tg == target {
+				idxs = append(idxs, gi)
+			}
+		}
+		if len(idxs) == 0 {
+			return
+		}
+		batch := make([][]rdf.Triple, len(idxs))
+		for i, gi := range idxs {
+			batch[i] = groups[gi]
+		}
+		res := st.InsertAll(batch...)
+		for i, gi := range idxs {
+			counts[gi] = res[i]
+		}
+	}
+	apply(-1, s.static)
+	for i, sl := range s.slices {
+		apply(i, sl)
+	}
+	return counts
+}
+
+// groupBySubject splits triples into per-subject groups, preserving
+// first-seen subject order — the grouping unit of routed loads and
+// routed update-plan application.
+func groupBySubject(triples []rdf.Triple) [][]rdf.Triple {
+	var order []string
+	bySubj := make(map[string][]rdf.Triple)
+	for _, t := range triples {
+		k := t.S.String()
+		if _, ok := bySubj[k]; !ok {
+			order = append(order, k)
+		}
+		bySubj[k] = append(bySubj[k], t)
+	}
+	groups := make([][]rdf.Triple, len(order))
+	for i, k := range order {
+		groups[i] = bySubj[k]
+	}
+	return groups
+}
+
+// LoadTriples bulk-inserts a mixed triple set: triples are grouped by
+// subject and each subject group routes like an InsertAll group, with a
+// subject-ownership probe for groups carrying no timestamp (so later
+// additions to an already-stored acquisition follow it to its slice).
+func (s *Store) LoadTriples(triples []rdf.Triple) int {
+	total := 0
+	for _, n := range s.insertRouted(groupBySubject(triples), true) {
+		total += n
+	}
+	return total
+}
+
+// LoadTurtle parses and loads a Turtle document.
+func (s *Store) LoadTurtle(src string) (int, error) {
+	triples, err := rdf.ParseTurtle(src, s.ns)
+	if err != nil {
+		return 0, err
+	}
+	return s.LoadTriples(triples), nil
+}
+
+func (s *Store) countUpdate() {
+	s.statsMu.Lock()
+	s.updates++
+	s.statsMu.Unlock()
+}
+
+func (s *Store) countQuery() {
+	s.statsMu.Lock()
+	s.queries++
+	s.statsMu.Unlock()
+}
+
+// parseUpdate parses an update request.
+func (s *Store) parseUpdate(src string) (*stsparql.Query, error) {
+	q, err := stsparql.Parse(src, s.ns)
+	if err != nil {
+		return nil, err
+	}
+	if q.Update == nil {
+		return nil, fmt.Errorf("shard: Update wants DELETE/INSERT")
+	}
+	return q, nil
+}
+
+// Update executes a DELETE/INSERT request atomically across shards:
+// match and application both run under every member's write lock (taken
+// in fixed order), with deletes applied wherever the triple lives and
+// inserts routed like loads.
+func (s *Store) Update(src string) (stsparql.UpdateStats, error) {
+	q, err := s.parseUpdate(src)
+	if err != nil {
+		return stsparql.UpdateStats{}, err
+	}
+	s.countUpdate()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	unlock := s.lockAllWrite()
+	defer unlock()
+	ev := stsparql.NewEvaluatorWithCache(s.viewAll(), s.cache)
+	plan, err := ev.PlanUpdate(q.Update)
+	if err != nil {
+		return stsparql.UpdateStats{}, err
+	}
+	return s.applyRouted(plan), nil
+}
+
+// applyRouted applies a computed update plan with every member write
+// lock held: deletes try each store (the partition means exactly one can
+// hold the triple), inserts group by subject and route by timestamp,
+// then owning slice, then static.
+func (s *Store) applyRouted(plan *stsparql.UpdatePlan) stsparql.UpdateStats {
+	stats := stsparql.UpdateStats{Matched: plan.Matched}
+	for _, t := range plan.Deletes {
+		removed := false
+		for _, sl := range s.slices {
+			if sl.Remove(t) {
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			removed = s.static.Remove(t)
+		}
+		if removed {
+			stats.Deleted++
+		}
+	}
+
+	groups := groupBySubject(plan.Inserts)
+	targets := make([]int, len(groups))
+	times := make([]time.Time, len(groups))
+	for i := range groups {
+		targets[i] = -1
+		if at, ok := s.groupTime(groups[i]); ok {
+			targets[i] = s.sliceFor(at)
+			times[i] = at
+		} else if idx := s.findOwner(groups[i][0].S, true); idx >= 0 {
+			targets[i] = idx
+		}
+		if targets[i] >= 0 && !times[i].IsZero() {
+			s.noteTimeConflict(groups[i], times[i])
+		}
+		if !s.split.Load() && s.groupSplits(groups[i], targets[i], true) {
+			s.split.Store(true)
+		}
+		st := s.static
+		if targets[i] >= 0 {
+			st = s.slices[targets[i]]
+		}
+		for _, t := range groups[i] {
+			if st.Add(t) {
+				stats.Inserted++
+			}
+		}
+	}
+	s.track(groups, targets, times)
+	return stats
+}
+
+// UpdateScoped executes a DELETE/INSERT with relaxed atomicity, like
+// strabon.Store.UpdateScoped. When the WHERE clause is provably
+// shard-decomposable (the refinement updates are: every pattern anchors
+// on one acquisition-scoped subject), it is planned and applied
+// shard-by-shard — the WHERE phase under that slice's read lock, the
+// application under its write lock — so scoped updates for different
+// acquisition ranges run concurrently and never block other shards.
+// Otherwise the WHERE phase runs once over the union view under every
+// read lock and applies under every write lock.
+func (s *Store) UpdateScoped(src string) (stsparql.UpdateStats, error) {
+	q, err := s.parseUpdate(src)
+	if err != nil {
+		return stsparql.UpdateStats{}, err
+	}
+	s.countUpdate()
+	dec := s.analyzeGroup(q.Update.Where)
+	if !dec.fanout {
+		return s.updateScopedGlobal(q)
+	}
+
+	var total stsparql.UpdateStats
+	for _, idx := range dec.shards {
+		sl := s.slices[idx]
+		s.static.RLock()
+		sl.RLock()
+		// Re-validate the routing decision under the read locks: a
+		// concurrent write may have latched the split flag or grown
+		// routing knowledge since the unlocked analysis. Knowledge
+		// only moves toward the union fallback, so on mismatch the
+		// whole update re-plans globally (scoped refinement updates
+		// are idempotent per row, so re-touching already-processed
+		// shards is harmless).
+		if !s.recheckFanout(q.Update.Where, dec) {
+			sl.RUnlock()
+			s.static.RUnlock()
+			st, err := s.updateScopedGlobal(q)
+			st.Matched += total.Matched
+			st.Deleted += total.Deleted
+			st.Inserted += total.Inserted
+			return st, err
+		}
+		ev := stsparql.NewEvaluatorWithCache(s.view(idx), s.cache)
+		plan, err := ev.PlanUpdate(q.Update)
+		sl.RUnlock()
+		s.static.RUnlock()
+		if err != nil {
+			return total, err
+		}
+		total.Matched += plan.Matched
+
+		// Shard-local application: the plan's rows anchor on this
+		// slice's subjects, so inserts land here. A delete the slice
+		// does not hold — a template can name a static or other-slice
+		// triple through an object variable — is retried against every
+		// other member store, each under its own lock.
+		s.writeMu.Lock()
+		if len(plan.Inserts) > 0 {
+			// BEFORE the inserts become visible: register routing
+			// knowledge (e.g. noa:isInMunicipality on the first
+			// Municipalities run) and latch the co-location flag if a
+			// template writes onto a subject living outside this slice
+			// — no concurrent analysis may see the data under a
+			// pre-write classification.
+			s.track([][]rdf.Triple{plan.Inserts}, []int{idx}, []time.Time{{}})
+			groups := groupBySubject(plan.Inserts)
+			targets := make([]int, len(groups))
+			for i := range targets {
+				targets[i] = idx
+			}
+			s.noteSplits(groups, targets, false)
+		}
+		var leftovers []rdf.Triple
+		sl.Lock()
+		for _, t := range plan.Deletes {
+			if sl.Remove(t) {
+				total.Deleted++
+			} else {
+				leftovers = append(leftovers, t)
+			}
+		}
+		for _, t := range plan.Inserts {
+			if sl.Add(t) {
+				total.Inserted++
+			}
+		}
+		sl.Unlock()
+		for _, m := range s.members() {
+			if len(leftovers) == 0 {
+				break
+			}
+			if m == sl {
+				continue
+			}
+			remaining := leftovers[:0]
+			m.Lock()
+			for _, t := range leftovers {
+				if m.Remove(t) {
+					total.Deleted++
+				} else {
+					remaining = append(remaining, t)
+				}
+			}
+			m.Unlock()
+			leftovers = remaining
+		}
+		s.writeMu.Unlock()
+	}
+	return total, nil
+}
+
+// updateScopedGlobal is UpdateScoped's union-view path: the WHERE
+// phase plans once over every member under read locks, application
+// runs under every write lock with routed inserts.
+func (s *Store) updateScopedGlobal(q *stsparql.Query) (stsparql.UpdateStats, error) {
+	runlock := s.lockAllRead()
+	ev := stsparql.NewEvaluatorWithCache(s.viewAll(), s.cache)
+	plan, err := ev.PlanUpdate(q.Update)
+	runlock()
+	if err != nil {
+		return stsparql.UpdateStats{}, err
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	unlock := s.lockAllWrite()
+	defer unlock()
+	return s.applyRouted(plan), nil
+}
+
+// --- lock helpers ---
+
+// lockAllRead read-locks every member store in fixed order (static,
+// then slices ascending) and returns the matching unlock.
+func (s *Store) lockAllRead() func() {
+	s.static.RLock()
+	for _, sl := range s.slices {
+		sl.RLock()
+	}
+	return func() {
+		for i := len(s.slices) - 1; i >= 0; i-- {
+			s.slices[i].RUnlock()
+		}
+		s.static.RUnlock()
+	}
+}
+
+// lockRead read-locks the static store plus the given slices (ascending
+// indices) and returns the matching unlock.
+func (s *Store) lockRead(idxs []int) func() {
+	s.static.RLock()
+	for _, i := range idxs {
+		s.slices[i].RLock()
+	}
+	return func() {
+		for j := len(idxs) - 1; j >= 0; j-- {
+			s.slices[idxs[j]].RUnlock()
+		}
+		s.static.RUnlock()
+	}
+}
+
+// lockAllWrite write-locks every member store in fixed order.
+func (s *Store) lockAllWrite() func() {
+	s.static.Lock()
+	for _, sl := range s.slices {
+		sl.Lock()
+	}
+	return func() {
+		for i := len(s.slices) - 1; i >= 0; i-- {
+			s.slices[i].Unlock()
+		}
+		s.static.Unlock()
+	}
+}
+
+// genFor composes the plan-invalidation generation of one slice view.
+// Generations only grow, so the sum moves whenever any member mutates.
+// Caller must hold the member locks.
+func (s *Store) genFor(idx int) uint64 {
+	return s.static.Generation() + s.slices[idx].Generation()
+}
+
+// genAll composes the union view's generation. Caller must hold every
+// member lock.
+func (s *Store) genAll() uint64 {
+	g := s.static.Generation()
+	for _, sl := range s.slices {
+		g += sl.Generation()
+	}
+	return g
+}
+
+// TimedQuery evaluates a query and reports its wall-clock duration,
+// including a full iteration over the result rows.
+func (s *Store) TimedQuery(src string) (*stsparql.Result, time.Duration, error) {
+	start := time.Now()
+	res, err := s.Query(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, time.Since(start), nil
+}

@@ -1,0 +1,119 @@
+package shard
+
+import (
+	"repro/internal/geom"
+	"repro/internal/rdf"
+	"repro/internal/strabon"
+	"repro/internal/stsparql"
+)
+
+// view is the composite triple source one shard evaluation runs over:
+// the static store plus zero or more slices, presented to the engine as
+// a single stsparql Source/StatSource/SpatialSource. The members
+// partition the data (nothing is replicated), so concatenating their
+// scans and summing their statistics is exact. The caller holds every
+// member's lock for the lifetime of the evaluation — the view itself
+// calls only the unlocked stsparql interface methods.
+type view struct {
+	members []*strabon.Store
+}
+
+var _ stsparql.StatSource = view{}
+var _ stsparql.SpatialSource = view{}
+
+// view returns the composite source of one slice evaluation.
+func (s *Store) view(idx int) view {
+	return view{members: []*strabon.Store{s.static, s.slices[idx]}}
+}
+
+// members enumerates every member store, static first then slices
+// ascending — the canonical order of lock acquisition and routed
+// application.
+func (s *Store) members() []*strabon.Store {
+	out := make([]*strabon.Store, 0, len(s.slices)+1)
+	out = append(out, s.static)
+	return append(out, s.slices...)
+}
+
+// viewAll returns the union view over every member store.
+func (s *Store) viewAll() view {
+	return view{members: s.members()}
+}
+
+// MatchTerms implements stsparql.Source: member scans concatenate, with
+// the visitor's early stop propagating across members.
+func (v view) MatchTerms(sub, pred, obj rdf.Term, visit func(rdf.Triple) bool) {
+	cont := true
+	wrapped := func(t rdf.Triple) bool {
+		cont = visit(t)
+		return cont
+	}
+	for _, m := range v.members {
+		if !cont {
+			return
+		}
+		m.MatchTerms(sub, pred, obj, wrapped)
+	}
+}
+
+// CountPattern implements stsparql.StatSource (exact: members are
+// disjoint).
+func (v view) CountPattern(sub, pred, obj rdf.Term) int {
+	n := 0
+	for _, m := range v.members {
+		n += m.CountPattern(sub, pred, obj)
+	}
+	return n
+}
+
+// PredicateCard implements stsparql.StatSource. The distinct counts sum
+// member-wise — an overestimate when a subject or object spans members,
+// which only skews estimates, never results.
+func (v view) PredicateCard(pred rdf.Term) (triples, distinctS, distinctO int) {
+	for _, m := range v.members {
+		t, ds, do := m.PredicateCard(pred)
+		triples += t
+		distinctS += ds
+		distinctO += do
+	}
+	return
+}
+
+// StoreCard implements stsparql.StatSource.
+func (v view) StoreCard() (triples, subjects, predicates, objects int) {
+	for _, m := range v.members {
+		t, s2, p2, o2 := m.StoreCard()
+		triples += t
+		subjects += s2
+		predicates += p2
+		objects += o2
+	}
+	return
+}
+
+// SpatialIndexEnabled implements stsparql.SpatialSource: the window
+// path is available only when every member can serve it.
+func (v view) SpatialIndexEnabled() bool {
+	for _, m := range v.members {
+		if !m.SpatialIndexEnabled() {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchGeometryWindow implements stsparql.SpatialSource: every member's
+// R-tree is searched, with early stop propagating.
+func (v view) MatchGeometryWindow(env geom.Envelope, visit func(rdf.Triple) bool) {
+	cont := true
+	wrapped := func(t rdf.Triple) bool {
+		cont = visit(t)
+		return cont
+	}
+	for _, m := range v.members {
+		if !cont {
+			return
+		}
+		m.MatchGeometryWindow(env, wrapped)
+	}
+}

@@ -1,0 +1,144 @@
+package strabon
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/rdf"
+	"repro/internal/stsparql"
+)
+
+// API is the endpoint surface a Strabon-shaped store presents: the
+// methods the HTTP endpoint, the acquisition pipeline's batched writer,
+// the refinement loop and the serving binaries consume. Both the single
+// *Store and the sharded store (internal/shard) implement it, which is
+// what lets `-shards N` swap the backend without touching any consumer.
+type API interface {
+	Namespaces() *rdf.Namespaces
+	Len() int
+	Stats() Stats
+	PlanStats() stsparql.PlanCacheStats
+	SetPlanCacheSize(n int)
+
+	LoadTriples(triples []rdf.Triple) int
+	LoadTurtle(src string) (int, error)
+	InsertAll(groups ...[]rdf.Triple) []int
+
+	Query(src string) (*stsparql.Result, error)
+	TimedQuery(src string) (*stsparql.Result, time.Duration, error)
+	QueryStreamCtx(ctx context.Context, src string) (QueryCursor, error)
+	Explain(src string) (string, error)
+
+	Update(src string) (stsparql.UpdateStats, error)
+	UpdateScoped(src string) (stsparql.UpdateStats, error)
+}
+
+// QueryCursor is the streaming result surface shared by single-store
+// and sharded cursors. A cursor holds its backing read lock(s) from
+// creation until Close — close promptly. See Store.QueryStream for the
+// single-store semantics.
+type QueryCursor interface {
+	Vars() []string
+	IsAsk() bool
+	Next() (stsparql.Binding, bool)
+	Err() error
+	Rows() int
+	Close() error
+}
+
+// ShardStat describes one shard of a sharded backend for /stats.
+type ShardStat struct {
+	Name    string `json:"name"`
+	Range   string `json:"range,omitempty"`
+	Triples int    `json:"triples"`
+}
+
+// ShardStatser is implemented by backends that partition their data;
+// the endpoint's /stats reports the per-shard cardinalities when the
+// backend offers them.
+type ShardStatser interface {
+	ShardStats() []ShardStat
+}
+
+// QueryStreamCtx is QueryStream bound to a context: once ctx is
+// cancelled (client gone, deadline hit) the cursor stops yielding rows,
+// reports the context error, and — because every consumer closes a
+// drained cursor — the store read lock is released at the next pull
+// instead of whenever the abandoned client would have finished.
+func (s *Store) QueryStreamCtx(ctx context.Context, src string) (QueryCursor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cur, err := s.QueryStream(src)
+	if err != nil {
+		return nil, err
+	}
+	if ctx.Done() == nil {
+		return cur, nil
+	}
+	return &ctxCursor{cur: cur, ctx: ctx}, nil
+}
+
+// ctxCursor wraps a cursor with per-pull context checks.
+type ctxCursor struct {
+	cur *Cursor
+	ctx context.Context
+	err error
+}
+
+func (c *ctxCursor) Vars() []string { return c.cur.Vars() }
+func (c *ctxCursor) IsAsk() bool    { return c.cur.IsAsk() }
+func (c *ctxCursor) Rows() int      { return c.cur.Rows() }
+
+func (c *ctxCursor) Next() (stsparql.Binding, bool) {
+	if c.err != nil {
+		return nil, false
+	}
+	if err := c.ctx.Err(); err != nil {
+		c.err = err
+		c.cur.Close() // release the read lock immediately
+		return nil, false
+	}
+	return c.cur.Next()
+}
+
+func (c *ctxCursor) Err() error {
+	if c.err != nil {
+		return c.err
+	}
+	return c.cur.Err()
+}
+
+func (c *ctxCursor) Close() error {
+	c.cur.Close()
+	return c.Err()
+}
+
+// --- composite-store hooks ---
+//
+// The sharded store (internal/shard) evaluates one query across several
+// member stores: it holds each member's lock itself and calls the
+// unlocked stsparql interface methods (MatchTerms, CountPattern,
+// MatchGeometryWindow, Add, Remove) directly. These exports hand it the
+// lock and the plan-invalidation generation; ordinary clients should
+// use the endpoint API and never touch them.
+
+// RLock takes the store's read lock (composite-store use only).
+func (s *Store) RLock() { s.mu.RLock() }
+
+// RUnlock releases the store's read lock.
+func (s *Store) RUnlock() { s.mu.RUnlock() }
+
+// Lock takes the store's write lock (composite-store use only).
+func (s *Store) Lock() { s.mu.Lock() }
+
+// Unlock releases the store's write lock.
+func (s *Store) Unlock() { s.mu.Unlock() }
+
+// Generation reports the mutation generation compiled plans are pinned
+// to. The caller must hold the store's lock (read or write).
+func (s *Store) Generation() uint64 { return s.gen }
+
+// GeomCache exposes the store's shared geometry-parse cache so a
+// composite store's evaluators reuse the same parsed WKT.
+func (s *Store) GeomCache() *stsparql.Cache { return s.cache }

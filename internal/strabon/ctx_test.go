@@ -1,0 +1,126 @@
+package strabon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"repro/internal/rdf"
+)
+
+// Tests for the context-bound cursor surface: a cancelled (or timed
+// out) context stops a streaming cursor at the next pull and releases
+// the store read lock, so an abandoned client cannot block writers.
+
+func ctxFixture(t *testing.T, rows int) *Store {
+	t.Helper()
+	s := New()
+	var triples []rdf.Triple
+	for i := 0; i < rows; i++ {
+		subj := rdf.NewIRI(fmt.Sprintf("http://example.org/h%04d", i))
+		triples = append(triples,
+			rdf.Triple{S: subj, P: rdf.NewIRI(rdf.RDFType),
+				O: rdf.NewIRI("http://teleios.di.uoa.gr/ontologies/noaOntology.owl#Hotspot")},
+			rdf.Triple{S: subj,
+				P: rdf.NewIRI("http://teleios.di.uoa.gr/ontologies/noaOntology.owl#hasConfidence"),
+				O: rdf.NewFloat(0.5)})
+	}
+	s.LoadTriples(triples)
+	return s
+}
+
+func TestQueryStreamCtxCancelReleasesLock(t *testing.T) {
+	s := ctxFixture(t, 500)
+	ctx, cancel := context.WithCancel(context.Background())
+	cur, err := s.QueryStreamCtx(ctx, `SELECT ?h WHERE { ?h a noa:Hotspot . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cur.Next(); !ok {
+		t.Fatal("no first row")
+	}
+	cancel()
+	if _, ok := cur.Next(); ok {
+		t.Fatal("Next yielded a row after cancellation")
+	}
+	if err := cur.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", err)
+	}
+	// The cancelled cursor must have released the read lock even before
+	// Close: a writer may proceed immediately.
+	done := make(chan struct{})
+	go func() {
+		s.LoadTriples([]rdf.Triple{{
+			S: rdf.NewIRI("http://example.org/late"),
+			P: rdf.NewIRI(rdf.RDFType),
+			O: rdf.NewIRI("http://teleios.di.uoa.gr/ontologies/noaOntology.owl#Hotspot"),
+		}})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("write blocked after context cancellation: read lock leaked")
+	}
+	if err := cur.Close(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Close = %v, want context.Canceled", err)
+	}
+}
+
+func TestQueryStreamCtxPreCancelled(t *testing.T) {
+	s := ctxFixture(t, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.QueryStreamCtx(ctx, `SELECT ?h WHERE { ?h a noa:Hotspot . }`); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestEndpointQueryTimeout pins the endpoint-side cap: a query under a
+// tiny QueryTimeout terminates with the timeout recorded in the X-Error
+// trailer instead of holding the read lock forever.
+func TestEndpointQueryTimeout(t *testing.T) {
+	s := ctxFixture(t, 2000)
+	ep := NewEndpoint(s)
+	ep.QueryTimeout = time.Nanosecond // expires before the first pull
+
+	srv := httptest.NewServer(ep)
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/sparql?query=" +
+		url.QueryEscape(`SELECT ?h WHERE { ?h a noa:Hotspot . }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Either the pre-evaluation check rejects it (400) or the stream
+	// aborts with the deadline in the trailer; both release the lock.
+	if resp.StatusCode == 200 {
+		buf := make([]byte, 1<<16)
+		for {
+			if _, err := resp.Body.Read(buf); err != nil {
+				break
+			}
+		}
+		if got := resp.Trailer.Get("X-Error"); got == "" {
+			t.Fatalf("timed-out stream carried no X-Error trailer")
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		s.LoadTriples([]rdf.Triple{{
+			S: rdf.NewIRI("http://example.org/after-timeout"),
+			P: rdf.NewIRI(rdf.RDFType),
+			O: rdf.NewIRI("http://teleios.di.uoa.gr/ontologies/noaOntology.owl#Hotspot"),
+		}})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("write blocked after query timeout")
+	}
+}

@@ -1,6 +1,7 @@
 package strabon
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -40,9 +41,20 @@ import (
 // lets any number of /sparql and /explain requests run concurrently with
 // each other and with the planning phases of scoped updates. A streamed
 // response holds the store read lock for as long as the client keeps
-// reading (until the cursor closes).
+// reading (until the cursor closes) — bounded by the request context:
+// queries run under r.Context(), optionally capped by QueryTimeout, so
+// a gone or stalled client releases the lock at the next row pull.
+//
+// The endpoint serves any API backend: the single Store or the sharded
+// store (internal/shard), whose per-shard cardinalities /stats includes
+// when available.
 type Endpoint struct {
-	store *Store
+	store API
+
+	// QueryTimeout, when positive, caps how long one /sparql evaluation
+	// may hold store read locks; 0 means no cap beyond the client's own
+	// context.
+	QueryTimeout time.Duration
 
 	mu    sync.Mutex
 	stats EndpointStats
@@ -55,8 +67,9 @@ type EndpointStats struct {
 	Rows     int // result rows served by queries
 }
 
-// NewEndpoint returns an endpoint over the store.
-func NewEndpoint(s *Store) *Endpoint { return &Endpoint{store: s} }
+// NewEndpoint returns an endpoint over a store backend (the single
+// Store, or internal/shard's sharded store).
+func NewEndpoint(s API) *Endpoint { return &Endpoint{store: s} }
 
 // Stats returns a snapshot of the endpoint counters.
 func (ep *Endpoint) Stats() EndpointStats {
@@ -134,8 +147,14 @@ func (ep *Endpoint) serveQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing query", http.StatusBadRequest)
 		return
 	}
+	ctx := r.Context()
+	if ep.QueryTimeout > 0 {
+		var cancel func()
+		ctx, cancel = context.WithTimeout(ctx, ep.QueryTimeout)
+		defer cancel()
+	}
 	start := time.Now()
-	cur, err := ep.store.QueryStream(q)
+	cur, err := ep.store.QueryStreamCtx(ctx, q)
 	if err != nil {
 		ep.count(0, true)
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -259,11 +278,15 @@ func (ep *Endpoint) serveStats(w http.ResponseWriter, r *http.Request) {
 		Store     Stats                   `json:"store"`
 		Endpoint  EndpointStats           `json:"endpoint"`
 		PlanCache stsparql.PlanCacheStats `json:"plan_cache"`
+		Shards    []ShardStat             `json:"shards,omitempty"`
 	}{
 		Triples:   ep.store.Len(),
 		Store:     ep.store.Stats(),
 		Endpoint:  ep.Stats(),
 		PlanCache: ep.store.PlanStats(),
+	}
+	if ss, ok := ep.store.(ShardStatser); ok {
+		doc.Shards = ss.ShardStats()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(doc)

@@ -351,22 +351,27 @@ func distinctRows(rows []Binding, vars []string) []Binding {
 
 func (e *Evaluator) orderRows(rows []Binding, keys []OrderKey) {
 	sort.SliceStable(rows, func(i, j int) bool {
-		for _, k := range keys {
-			vi := e.evalExpr(k.Expr, rows[i])
-			vj := e.evalExpr(k.Expr, rows[j])
-			c, err := vi.compare(vj)
-			if err != nil {
-				continue
-			}
-			if c != 0 {
-				if k.Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-		}
-		return false
+		return e.compareOrderKeys(rows[i], rows[j], keys) < 0
 	})
+}
+
+// compareOrderKeys compares two rows under the ORDER BY keys: negative
+// when a sorts before b, zero when the keys tie (incomparable values
+// tie, like orderRows always did).
+func (e *Evaluator) compareOrderKeys(a, b Binding, keys []OrderKey) int {
+	for _, k := range keys {
+		va := e.evalExpr(k.Expr, a)
+		vb := e.evalExpr(k.Expr, b)
+		c, err := va.compare(vb)
+		if err != nil || c == 0 {
+			continue
+		}
+		if k.Desc {
+			return -c
+		}
+		return c
+	}
+	return 0
 }
 
 // --- grouping & aggregates ---
@@ -509,6 +514,16 @@ func (e *Evaluator) evalAggregateCall(c *CallExpr, rows []Binding) Value {
 			return numValue(float64(len(rows)))
 		}
 		return numValue(float64(len(collect())))
+	case "#numcount":
+		// Internal: the count of numeric values — AVG's denominator,
+		// shipped as a partial by distributed aggregation.
+		n := 0
+		for _, v := range collect() {
+			if v.Kind == VNum {
+				n++
+			}
+		}
+		return numValue(float64(n))
 	case "sum", "avg":
 		vals := collect()
 		var sum float64

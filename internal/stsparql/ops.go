@@ -3,6 +3,7 @@ package stsparql
 import (
 	"fmt"
 	"iter"
+	"sort"
 	"strings"
 	"sync"
 
@@ -721,9 +722,16 @@ func (op *distinctOp) explain(b *strings.Builder, indent string) {
 }
 
 // orderOp sorts rows by the ORDER BY keys (stable; incomparable values
-// tie). Blocking: sorting needs the full input.
+// tie). Blocking: sorting needs the full input — but when a downstream
+// LIMIT bounds how many sorted rows can ever be consumed (topK > 0), the
+// operator keeps only the top K rows in a bounded heap instead of
+// materialising and sorting the whole input.
 type orderOp struct {
 	keys []OrderKey
+	// topK > 0 bounds how many rows of the sorted output are reachable
+	// (OFFSET+LIMIT). The input is still fully drained, but memory stays
+	// O(topK) and the final sort is over topK rows, not the input.
+	topK int
 }
 
 func (op *orderOp) open(e *Evaluator, in rowIter) rowIter {
@@ -739,14 +747,98 @@ type orderIter struct {
 
 func (it *orderIter) next() (Binding, bool, error) {
 	if it.out == nil {
-		rows, err := drainIter(it.in)
+		var rows []Binding
+		var err error
+		if it.op.topK > 0 {
+			rows, err = it.drainTopK(it.op.topK)
+		} else {
+			rows, err = drainIter(it.in)
+			if err == nil {
+				it.e.orderRows(rows, it.op.keys)
+			}
+		}
 		if err != nil {
 			return nil, false, err
 		}
-		it.e.orderRows(rows, it.op.keys)
 		it.out = &rowsIter{rows: rows}
 	}
 	return it.out.next()
+}
+
+// seqRow tags a row with its arrival sequence so the bounded heap can
+// reproduce the stable sort exactly: among equal keys the earliest
+// arrivals win, and the final order breaks key ties by arrival.
+type seqRow struct {
+	row Binding
+	seq int
+}
+
+// drainTopK pulls the input to exhaustion keeping only the k first rows
+// of the stable sort order in a max-heap: the root is the worst kept row
+// (by key, later arrival losing ties), so each new row either replaces
+// it or is dropped. O(n log k) comparisons, O(k) memory — also the
+// per-shard pre-merge truncation of the sharded store's ordered merge.
+func (it *orderIter) drainTopK(k int) ([]Binding, error) {
+	// after reports whether a sorts strictly after b in the final order.
+	after := func(a, b seqRow) bool {
+		if c := it.e.compareOrderKeys(a.row, b.row, it.op.keys); c != 0 {
+			return c > 0
+		}
+		return a.seq > b.seq
+	}
+	var heap []seqRow // max-heap under after(): root = worst kept row
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			worst := i
+			if l < len(heap) && after(heap[l], heap[worst]) {
+				worst = l
+			}
+			if r < len(heap) && after(heap[r], heap[worst]) {
+				worst = r
+			}
+			if worst == i {
+				return
+			}
+			heap[i], heap[worst] = heap[worst], heap[i]
+			i = worst
+		}
+	}
+	seq := 0
+	for {
+		row, ok, err := it.in.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		e := seqRow{row: row, seq: seq}
+		seq++
+		if len(heap) < k {
+			heap = append(heap, e)
+			for i := len(heap) - 1; i > 0; { // sift up
+				p := (i - 1) / 2
+				if !after(heap[i], heap[p]) {
+					break
+				}
+				heap[i], heap[p] = heap[p], heap[i]
+				i = p
+			}
+			continue
+		}
+		if after(e, heap[0]) {
+			continue // sorts after the worst kept row: unreachable
+		}
+		heap[0] = e
+		siftDown(0)
+	}
+	sort.Slice(heap, func(i, j int) bool { return after(heap[j], heap[i]) })
+	rows := make([]Binding, len(heap))
+	for i, e := range heap {
+		rows[i] = e.row
+	}
+	return rows, nil
 }
 
 func (it *orderIter) close() { it.in.close() }
@@ -759,7 +851,11 @@ func (op *orderOp) explain(b *strings.Builder, indent string) {
 			keys[i] += " desc"
 		}
 	}
-	fmt.Fprintf(b, "%sorder %s\n", indent, strings.Join(keys, ", "))
+	fmt.Fprintf(b, "%sorder %s", indent, strings.Join(keys, ", "))
+	if op.topK > 0 {
+		fmt.Fprintf(b, " top=%d", op.topK)
+	}
+	b.WriteByte('\n')
 }
 
 // sliceOp applies OFFSET and LIMIT by counting pulled rows. Once the

@@ -169,7 +169,14 @@ func (p *planner) planSelect(q *SelectQuery, buffered bool) *selectPlan {
 		tail = append(tail, &distinctOp{proj: proj})
 	}
 	if len(q.OrderBy) > 0 {
-		tail = append(tail, &orderOp{keys: q.OrderBy})
+		// Top-k: a LIMIT bounds how many sorted rows are reachable, so the
+		// order operator can keep OFFSET+LIMIT rows in a bounded heap
+		// instead of sorting the full input.
+		topK := 0
+		if q.Limit >= 0 {
+			topK = q.Offset + q.Limit
+		}
+		tail = append(tail, &orderOp{keys: q.OrderBy, topK: topK})
 	}
 	if q.Offset > 0 || q.Limit >= 0 {
 		// LIMIT/OFFSET pushdown: with no blocking or row-set modifier

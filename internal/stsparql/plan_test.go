@@ -107,7 +107,7 @@ SELECT ?sensor (COUNT(?h) AS ?n) WHERE {
   join[bind] {?h <http://teleios.di.uoa.gr/ontologies/noaOntology.owl#isDerivedFromSensor> ?sensor} on h est=3
   aggregate group=?sensor having=1
   project ?sensor (count(?h) AS ?n)
-  order ?sensor
+  order ?sensor top=5
   slice offset=0 limit=5
 `
 	if got != want {
