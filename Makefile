@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-endpoint bench-stream bench-shard lint fmt
+.PHONY: build test bench bench-endpoint bench-stream bench-shard bench-batch alloc-gate lint fmt
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,18 @@ bench-stream:
 # -cpu spread only shows on multicore hosts (dev container is 1-CPU).
 bench-shard:
 	$(GO) test -run '^$$' -bench 'BenchmarkShardedQueries' -cpu 1,4 ./internal/shard
+
+# Batch-engine allocation behaviour: the fully-drained streamed SELECT
+# and the windowed shard join, with -benchmem — the two workloads the
+# columnar pipeline is measured on.
+bench-batch:
+	$(GO) test -run '^$$' -bench 'BenchmarkStreamedSelect' -benchmem ./internal/strabon
+	$(GO) test -run '^$$' -bench 'BenchmarkShardedQueries' -benchmem ./internal/shard
+
+# Fails if full/streamed allocs/op regresses 1.5x above the committed
+# baseline (what CI runs).
+alloc-gate:
+	./scripts/check_streamed_allocs.sh
 
 lint:
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \

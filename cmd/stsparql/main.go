@@ -18,6 +18,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -109,7 +110,7 @@ func main() {
 	for i := 0; i < *repeat; i++ {
 		last := i == *repeat-1
 		start := time.Now()
-		cur, err := st.QueryStream(q)
+		cur, err := st.QueryStreamCtx(context.Background(), q)
 		fail(err)
 		if last {
 			fail(render(cur, *format))
@@ -125,7 +126,7 @@ func main() {
 }
 
 // render streams the cursor's rows to stdout in the requested format.
-func render(cur *strabon.Cursor, format string) error {
+func render(cur strabon.QueryCursor, format string) error {
 	switch format {
 	case "json":
 		return renderRows(cur, strabon.NewJSONRowWriter(os.Stdout, cur.Vars()))
@@ -140,7 +141,7 @@ func render(cur *strabon.Cursor, format string) error {
 	}
 }
 
-func renderRows(cur *strabon.Cursor, rw strabon.RowWriter) error {
+func renderRows(cur strabon.QueryCursor, rw strabon.RowWriter) error {
 	for row, ok := cur.Next(); ok; row, ok = cur.Next() {
 		if err := rw.Row(row); err != nil {
 			return err
@@ -152,7 +153,7 @@ func renderRows(cur *strabon.Cursor, rw strabon.RowWriter) error {
 // renderTable prints the fixed-width table incrementally: rows go to a
 // buffered writer flushed every tableFlushRows rows, never holding more
 // than one flush interval in memory.
-func renderTable(cur *strabon.Cursor) error {
+func renderTable(cur strabon.QueryCursor) error {
 	w := bufio.NewWriter(os.Stdout)
 	for _, v := range cur.Vars() {
 		fmt.Fprintf(w, "%-40s", "?"+v)

@@ -34,9 +34,12 @@ func (d *Dictionary) Encode(t Term) ID {
 }
 
 // Lookup returns the ID for a term without interning; ok is false when the
-// term has never been seen.
+// term has never been seen. The probe key is built in a stack buffer —
+// bind joins call Lookup per probe row, so this path must not allocate
+// for ordinary-sized terms.
 func (d *Dictionary) Lookup(t Term) (ID, bool) {
-	id, ok := d.byKey[t.key()]
+	var arr [128]byte
+	id, ok := d.byKey[string(t.appendKey(arr[:0]))]
 	return id, ok
 }
 

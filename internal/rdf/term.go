@@ -138,13 +138,27 @@ func (t Term) Bool() (bool, bool) {
 
 // key returns a unique string encoding of the term for dictionary lookup.
 func (t Term) key() string {
+	return string(t.appendKey(nil))
+}
+
+// appendKey appends the term's dictionary key to b. Callers probing a
+// map can pass a stack buffer and index with string(b) — the compiler
+// elides the string copy, so the lookup does not allocate.
+func (t Term) appendKey(b []byte) []byte {
 	switch t.Kind {
 	case TermIRI:
-		return "I" + t.Value
+		b = append(b, 'I')
+		return append(b, t.Value...)
 	case TermBlank:
-		return "B" + t.Value
+		b = append(b, 'B')
+		return append(b, t.Value...)
 	default:
-		return "L" + t.Datatype + "\x00" + t.Lang + "\x00" + t.Value
+		b = append(b, 'L')
+		b = append(b, t.Datatype...)
+		b = append(b, 0)
+		b = append(b, t.Lang...)
+		b = append(b, 0)
+		return append(b, t.Value...)
 	}
 }
 

@@ -6,6 +6,7 @@
 package refine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -312,7 +313,7 @@ WHERE  { <%[1]s> noa:hasConfidence ?c ; noa:hasConfirmation ?cf . }`, uri))
 	}
 
 	// Effect 2: reinstate persistent locations absent from this product.
-	res, err := r.Store.Query(fmt.Sprintf(`
+	res, err := strabon.MaterialiseQuery(context.Background(), r.Store, fmt.Sprintf(`
 SELECT DISTINCT ?hGeo (COUNT(?h) AS ?n)
 WHERE {
   ?h a noa:Hotspot ;
@@ -361,7 +362,7 @@ INSERT DATA {
 // sightings counts prior hotspots interacting with h's pixel within the
 // window.
 func (r *Runner) sightings(h products.Hotspot, since, until time.Time) (int, error) {
-	res, err := r.Store.Query(fmt.Sprintf(`
+	res, err := strabon.MaterialiseQuery(context.Background(), r.Store, fmt.Sprintf(`
 SELECT ?h WHERE {
   ?h a noa:Hotspot ;
      noa:hasAcquisitionDateTime ?at ;
@@ -386,7 +387,7 @@ func geomKey(t rdf.Term) string { return t.Value }
 // CurrentHotspots lists the hotspot URIs and geometries present in the
 // store for one acquisition (post-refinement product extraction).
 func (r *Runner) CurrentHotspots(at time.Time) (*stsparql.Result, error) {
-	return r.Store.Query(fmt.Sprintf(`
+	return strabon.MaterialiseQuery(context.Background(), r.Store, fmt.Sprintf(`
 SELECT ?h ?g ?conf WHERE {
   ?h a noa:Hotspot ;
      noa:hasAcquisitionDateTime ?at ;

@@ -134,12 +134,19 @@ func askResult(ok bool) *listCursor {
 	}
 }
 
+// chunkRows is the worker-to-merger transfer unit: rows are cloned out
+// of the engine's reused cursor view and shipped in chunks, amortising
+// the channel synchronisation over many rows.
+const chunkRows = 128
+
 // shardStream is one worker's output.
 type shardStream struct {
-	ch      chan stsparql.Binding
+	ch      chan []stsparql.Binding
 	ready   chan struct{} // closed once vars (or an open error) are set
 	vars    []string
 	err     error // valid once ch is closed
+	buf     []stsparql.Binding
+	pos     int
 	head    stsparql.Binding
 	hasHead bool
 	drained bool
@@ -176,7 +183,7 @@ func startMerge(ctx context.Context, fp *fanPlan, evs []*stsparql.Evaluator, cs 
 	m := &mergeCursor{plan: fp, ctx: ctx, stop: make(chan struct{}), release: release}
 	for range cs {
 		m.streams = append(m.streams, &shardStream{
-			ch:    make(chan stsparql.Binding, 64),
+			ch:    make(chan []stsparql.Binding, 4),
 			ready: make(chan struct{}),
 		})
 	}
@@ -216,16 +223,55 @@ func (m *mergeCursor) run(ev *stsparql.Evaluator, c *stsparql.Compiled, st *shar
 	st.vars = cur.Vars()
 	close(st.ready)
 	defer cur.Close()
+	chunk := make([]stsparql.Binding, 0, chunkRows)
 	for {
 		row, ok := cur.Next()
 		if !ok {
 			st.err = cur.Err()
+			if len(chunk) > 0 && st.err == nil {
+				select {
+				case st.ch <- chunk:
+				case <-m.stop:
+				}
+			}
 			return
 		}
+		// The cursor's row is a view reused on the next Next; it crosses
+		// a goroutine boundary here, so it must be cloned out.
+		chunk = append(chunk, row.Clone())
+		if len(chunk) == chunkRows {
+			select {
+			case st.ch <- chunk:
+			case <-m.stop:
+				return
+			}
+			chunk = make([]stsparql.Binding, 0, chunkRows)
+		}
+	}
+}
+
+// nextRow returns one stream's next row, pulling a fresh chunk when the
+// buffered one is spent. ok=false means the stream is exhausted, its
+// worker failed, or the context fired — the latter two set m.err.
+func (m *mergeCursor) nextRow(st *shardStream) (stsparql.Binding, bool) {
+	for {
+		if st.pos < len(st.buf) {
+			row := st.buf[st.pos]
+			st.pos++
+			return row, true
+		}
 		select {
-		case st.ch <- row:
-		case <-m.stop:
-			return
+		case chunk, ok := <-st.ch:
+			if !ok {
+				if st.err != nil {
+					m.fail(st.err)
+				}
+				return nil, false
+			}
+			st.buf, st.pos = chunk, 0
+		case <-m.ctx.Done():
+			m.fail(m.ctx.Err())
+			return nil, false
 		}
 	}
 }
@@ -297,22 +343,15 @@ func (m *mergeCursor) Next() (stsparql.Binding, bool) {
 // every worker prefetching into its buffer concurrently.
 func (m *mergeCursor) pullConcat() (stsparql.Binding, bool) {
 	for m.cur < len(m.streams) {
-		st := m.streams[m.cur]
-		select {
-		case row, ok := <-st.ch:
-			if !ok {
-				if st.err != nil {
-					m.fail(st.err)
-					return nil, false
-				}
-				m.cur++
-				continue
+		row, ok := m.nextRow(m.streams[m.cur])
+		if !ok {
+			if m.err != nil {
+				return nil, false
 			}
-			return row, true
-		case <-m.ctx.Done():
-			m.fail(m.ctx.Err())
-			return nil, false
+			m.cur++
+			continue
 		}
+		return row, true
 	}
 	return nil, false
 }
@@ -325,21 +364,15 @@ func (m *mergeCursor) pullOrdered() (stsparql.Binding, bool) {
 		if st.drained || st.hasHead {
 			continue
 		}
-		select {
-		case row, ok := <-st.ch:
-			if !ok {
-				if st.err != nil {
-					m.fail(st.err)
-					return nil, false
-				}
-				st.drained = true
-				continue
+		row, ok := m.nextRow(st)
+		if !ok {
+			if m.err != nil {
+				return nil, false
 			}
-			st.head, st.hasHead = row, true
-		case <-m.ctx.Done():
-			m.fail(m.ctx.Err())
-			return nil, false
+			st.drained = true
+			continue
 		}
+		st.head, st.hasHead = row, true
 	}
 	best := -1
 	for i, st := range m.streams {
@@ -365,17 +398,9 @@ func (m *mergeCursor) finalizeAgg() bool {
 	var rows []stsparql.Binding
 	for _, st := range m.streams {
 		for {
-			var row stsparql.Binding
-			var ok bool
-			select {
-			case row, ok = <-st.ch:
-			case <-m.ctx.Done():
-				m.fail(m.ctx.Err())
-				return false
-			}
+			row, ok := m.nextRow(st)
 			if !ok {
-				if st.err != nil {
-					m.fail(st.err)
+				if m.err != nil {
 					return false
 				}
 				break

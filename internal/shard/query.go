@@ -48,28 +48,12 @@ func (s *Store) QueryStreamCtx(ctx context.Context, src string) (strabon.QueryCu
 	}
 }
 
-// Query materialises a SELECT or ASK through the streaming path.
+// Query materialises a SELECT or ASK through the canonical streaming
+// path (strabon.MaterialiseQuery), which re-reads the header after the
+// drain — SELECT * and merged-aggregate headers are only final once the
+// rows are known.
 func (s *Store) Query(src string) (*stsparql.Result, error) {
-	cur, err := s.QueryStream(src)
-	if err != nil {
-		return nil, err
-	}
-	defer cur.Close()
-	res := &stsparql.Result{Vars: cur.Vars()}
-	for {
-		row, ok := cur.Next()
-		if !ok {
-			break
-		}
-		res.Rows = append(res.Rows, row)
-	}
-	if err := cur.Close(); err != nil {
-		return nil, err
-	}
-	// SELECT * headers are only final once the rows are known (the
-	// aggregate merge also refines its header at the barrier).
-	res.Vars = cur.Vars()
-	return res, nil
+	return strabon.MaterialiseQuery(context.Background(), s, src)
 }
 
 // unionStream evaluates once over the union view of every member store

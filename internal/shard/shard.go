@@ -830,13 +830,8 @@ func (s *Store) genAll() uint64 {
 	return g
 }
 
-// TimedQuery evaluates a query and reports its wall-clock duration,
-// including a full iteration over the result rows.
+// TimedQuery evaluates a query and reports its wall-clock duration
+// through the shared wrapper (see strabon.TimedQuery).
 func (s *Store) TimedQuery(src string) (*stsparql.Result, time.Duration, error) {
-	start := time.Now()
-	res, err := s.Query(src)
-	if err != nil {
-		return nil, 0, err
-	}
-	return res, time.Since(start), nil
+	return strabon.TimedQuery(s, src)
 }

@@ -37,6 +37,11 @@ type API interface {
 // and sharded cursors. A cursor holds its backing read lock(s) from
 // creation until Close — close promptly. See Store.QueryStream for the
 // single-store semantics.
+//
+// The Binding a streaming cursor yields is a view into the engine's
+// current batch, reused on the next Next: it is only valid until the
+// next call to Next (or Close). Callers that retain rows past that —
+// materialising wrappers, fan-out workers — must Clone them.
 type QueryCursor interface {
 	Vars() []string
 	IsAsk() bool
@@ -44,6 +49,55 @@ type QueryCursor interface {
 	Err() error
 	Rows() int
 	Close() error
+}
+
+// Streamer is the canonical query surface: one context-first streaming
+// entrypoint. Query, TimedQuery and QueryStream on both the single and
+// the sharded store are thin wrappers over it, shared through the
+// package-level helpers below — the streaming call is the only place a
+// query is actually executed.
+type Streamer interface {
+	QueryStreamCtx(ctx context.Context, src string) (QueryCursor, error)
+}
+
+// MaterialiseQuery drains one streaming evaluation into an owned
+// Result — the single materialising wrapper behind every Query method.
+// Cursor rows are batch views reused on the next pull, so each is
+// cloned out. The header is re-read after the drain: SELECT * and
+// merged-aggregate headers are only final once the rows are known.
+func MaterialiseQuery(ctx context.Context, s Streamer, src string) (*stsparql.Result, error) {
+	cur, err := s.QueryStreamCtx(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	res := &stsparql.Result{Vars: cur.Vars()}
+	for {
+		row, ok := cur.Next()
+		if !ok {
+			break
+		}
+		res.Rows = append(res.Rows, row.Clone())
+	}
+	if err := cur.Close(); err != nil {
+		return nil, err
+	}
+	res.Vars = cur.Vars()
+	return res, nil
+}
+
+// TimedQuery materialises a query and reports its wall-clock duration,
+// including a full iteration over the result rows (the paper's metric:
+// "elapsed time from query submission till a complete iteration over
+// each query's results"). With the streaming cursor the iteration is
+// the evaluation itself.
+func TimedQuery(s Streamer, src string) (*stsparql.Result, time.Duration, error) {
+	start := time.Now()
+	res, err := MaterialiseQuery(context.Background(), s, src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, time.Since(start), nil
 }
 
 // ShardStat describes one shard of a sharded backend for /stats.

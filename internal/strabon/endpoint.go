@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -25,9 +26,12 @@ import (
 //	GET  /explain?query=...         render the evaluation plan
 //	GET  /stats                     store + endpoint statistics
 //
-// Result format negotiation: "format=tsv" (or an Accept header naming
-// text/tab-separated-values) selects TSV; the default is SPARQL results
-// JSON.
+// Result format negotiation: an explicit format=json|tsv parameter
+// wins; otherwise the Accept header is matched (q-values and wildcards
+// honoured) against application/sparql-results+json and
+// text/tab-separated-values. No Accept, or */*, means SPARQL results
+// JSON; an Accept naming only unsupported types is answered 406 with
+// the supported list.
 //
 // SELECT responses stream: rows are encoded from the store cursor as
 // they are produced and flushed in chunks, so the first byte goes out
@@ -147,6 +151,14 @@ func (ep *Endpoint) serveQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing query", http.StatusBadRequest)
 		return
 	}
+	media, acceptable := negotiateFormat(r)
+	if !acceptable {
+		ep.count(0, true)
+		http.Error(w, "not acceptable: supported result formats are "+
+			strings.Join(resultMediaTypes, ", ")+" (or format=json|tsv)",
+			http.StatusNotAcceptable)
+		return
+	}
 	ctx := r.Context()
 	if ep.QueryTimeout > 0 {
 		var cancel func()
@@ -182,11 +194,11 @@ func (ep *Endpoint) serveQuery(w http.ResponseWriter, r *http.Request) {
 		cur.Close()
 		w.Header().Set("X-Rows", fmt.Sprint(len(res.Rows)))
 		w.Header().Set("X-Elapsed-Us", fmt.Sprint(time.Since(start).Microseconds()))
-		if wantsTSV(r) {
-			w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+		if media == mediaTSV {
+			w.Header().Set("Content-Type", mediaTSV+"; charset=utf-8")
 			_ = WriteResultTSV(w, res)
 		} else {
-			w.Header().Set("Content-Type", "application/sparql-results+json")
+			w.Header().Set("Content-Type", mediaJSON)
 			_ = WriteResultJSON(w, res)
 		}
 		ep.count(len(res.Rows), false)
@@ -197,11 +209,11 @@ func (ep *Endpoint) serveQuery(w http.ResponseWriter, r *http.Request) {
 	// cursor, flushing every streamFlushRows rows.
 	w.Header().Set("Trailer", "X-Rows, X-Elapsed-Us, X-Error")
 	var enc RowWriter
-	if wantsTSV(r) {
-		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+	if media == mediaTSV {
+		w.Header().Set("Content-Type", mediaTSV+"; charset=utf-8")
 		enc = NewTSVRowWriter(w, cur.Vars())
 	} else {
-		w.Header().Set("Content-Type", "application/sparql-results+json")
+		w.Header().Set("Content-Type", mediaJSON)
 		enc = NewJSONRowWriter(w, cur.Vars())
 	}
 	flusher, _ := w.(http.Flusher)
@@ -292,9 +304,80 @@ func (ep *Endpoint) serveStats(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(doc)
 }
 
-func wantsTSV(r *http.Request) bool {
-	if r.Form.Get("format") == "tsv" || r.URL.Query().Get("format") == "tsv" {
-		return true
+// Media types the endpoint can render a result set in, in preference
+// order (the first is the default for absent or fully-wildcard Accept).
+const (
+	mediaJSON = "application/sparql-results+json"
+	mediaTSV  = "text/tab-separated-values"
+)
+
+var resultMediaTypes = []string{mediaJSON, mediaTSV}
+
+// negotiateFormat resolves the result media type for a query request.
+// An explicit format= parameter (json or tsv) overrides everything;
+// otherwise the Accept header is parsed with q-values and matched
+// against the supported set, wildcards honoured and specificity
+// breaking q ties (an exact type beats text/* beats */*). An absent
+// Accept header means JSON. ok is false when the client asked only for
+// types the endpoint cannot produce — the caller answers 406 listing
+// the supported set.
+func negotiateFormat(r *http.Request) (media string, ok bool) {
+	f := r.Form.Get("format")
+	if f == "" {
+		f = r.URL.Query().Get("format")
 	}
-	return strings.Contains(r.Header.Get("Accept"), "text/tab-separated-values")
+	switch f {
+	case "tsv":
+		return mediaTSV, true
+	case "json":
+		return mediaJSON, true
+	case "":
+	default:
+		return "", false
+	}
+	accept := strings.TrimSpace(r.Header.Get("Accept"))
+	if accept == "" {
+		return mediaJSON, true
+	}
+	best, bestQ, bestSpec := "", -1.0, -1
+	for _, part := range strings.Split(accept, ",") {
+		fields := strings.Split(part, ";")
+		pat := strings.ToLower(strings.TrimSpace(fields[0]))
+		if pat == "" {
+			continue
+		}
+		q := 1.0
+		for _, p := range fields[1:] {
+			if v, isQ := strings.CutPrefix(strings.TrimSpace(p), "q="); isQ {
+				if parsed, err := strconv.ParseFloat(v, 64); err == nil {
+					q = parsed
+				}
+			}
+		}
+		if q <= 0 {
+			continue
+		}
+		for _, m := range resultMediaTypes {
+			spec, match := mediaMatch(pat, m)
+			if match && (q > bestQ || (q == bestQ && spec > bestSpec)) {
+				best, bestQ, bestSpec = m, q, spec
+			}
+		}
+	}
+	return best, best != ""
+}
+
+// mediaMatch reports whether the Accept pattern covers the concrete
+// media type, and how specifically (2 exact, 1 subtype wildcard, 0
+// full wildcard).
+func mediaMatch(pat, media string) (spec int, ok bool) {
+	switch {
+	case pat == media:
+		return 2, true
+	case pat == "*/*":
+		return 0, true
+	case strings.HasSuffix(pat, "/*"):
+		return 1, strings.HasPrefix(media, pat[:len(pat)-1])
+	}
+	return 0, false
 }

@@ -249,3 +249,59 @@ SELECT ?h WHERE {
 	})
 	b.ReportMetric(float64(ep.Stats().Rows)/float64(b.N), "rows/req")
 }
+
+func TestEndpointAcceptNegotiation(t *testing.T) {
+	_, ep := endpointFixture(t)
+	query := "/sparql?query=" + url.QueryEscape(`SELECT ?h WHERE { ?h a noa:Hotspot . }`)
+
+	do := func(accept, format string) *httptest.ResponseRecorder {
+		t.Helper()
+		target := query
+		if format != "" {
+			target += "&format=" + format
+		}
+		w := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodGet, target, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		ep.ServeHTTP(w, req)
+		return w
+	}
+
+	cases := []struct {
+		name, accept, format string
+		code                 int
+		contentType          string // prefix match
+	}{
+		{"default is JSON", "", "", http.StatusOK, mediaJSON},
+		{"exact TSV", mediaTSV, "", http.StatusOK, mediaTSV},
+		{"exact JSON", mediaJSON, "", http.StatusOK, mediaJSON},
+		{"full wildcard is JSON", "*/*", "", http.StatusOK, mediaJSON},
+		{"text wildcard is TSV", "text/*", "", http.StatusOK, mediaTSV},
+		{"q-values rank", mediaJSON + ";q=0.3, " + mediaTSV + ";q=0.9", "", http.StatusOK, mediaTSV},
+		{"specific beats wildcard at same q", "*/*, " + mediaTSV, "", http.StatusOK, mediaTSV},
+		{"q=0 excludes", mediaTSV + ";q=0, */*", "", http.StatusOK, mediaJSON},
+		{"browser-style falls through to JSON", "text/html;q=0.9, */*;q=0.8", "", http.StatusOK, mediaJSON},
+		{"format param overrides Accept", mediaJSON, "tsv", http.StatusOK, mediaTSV},
+		{"unsupported only is 406", "application/xml", "", http.StatusNotAcceptable, ""},
+		{"unknown format param is 406", "", "csv", http.StatusNotAcceptable, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := do(tc.accept, tc.format)
+			if w.Code != tc.code {
+				t.Fatalf("status %d, want %d: %s", w.Code, tc.code, w.Body)
+			}
+			if tc.code == http.StatusNotAcceptable {
+				if !strings.Contains(w.Body.String(), mediaJSON) || !strings.Contains(w.Body.String(), mediaTSV) {
+					t.Fatalf("406 body should list supported types: %s", w.Body)
+				}
+				return
+			}
+			if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, tc.contentType) {
+				t.Fatalf("content type %q, want prefix %q", ct, tc.contentType)
+			}
+		})
+	}
+}

@@ -37,6 +37,7 @@
 package strabon
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -389,27 +390,12 @@ func (s *Store) QueryStream(src string) (*Cursor, error) {
 }
 
 // Query parses and evaluates a SELECT or ASK request, materialising the
-// full result through the cursor path. ASK results are returned as a
-// single-row result with variable "ask". Queries run under the read
-// lock and may execute concurrently with each other.
+// full result through the canonical streaming path (MaterialiseQuery).
+// ASK results are returned as a single-row result with variable "ask".
+// Queries run under the read lock and may execute concurrently with
+// each other.
 func (s *Store) Query(src string) (*stsparql.Result, error) {
-	cur, err := s.QueryStream(src)
-	if err != nil {
-		return nil, err
-	}
-	defer cur.Close()
-	res := &stsparql.Result{Vars: cur.Vars()}
-	for {
-		row, ok := cur.Next()
-		if !ok {
-			break
-		}
-		res.Rows = append(res.Rows, row)
-	}
-	if err := cur.Close(); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return MaterialiseQuery(context.Background(), s, src)
 }
 
 // Explain parses a request and renders the evaluation plan the engine
@@ -486,16 +472,8 @@ func (s *Store) TimedUpdate(src string) (stsparql.UpdateStats, time.Duration, er
 	return st, time.Since(start), err
 }
 
-// TimedQuery evaluates a query and reports its wall-clock duration,
-// including a full iteration over the result rows (the paper's metric:
-// "elapsed time from query submission till a complete iteration over each
-// query's results"). With the streaming cursor the iteration is the
-// evaluation: Query's drain loop pulls every row through the pipeline.
+// TimedQuery evaluates a query and reports its wall-clock duration
+// through the shared wrapper (see TimedQuery in api.go).
 func (s *Store) TimedQuery(src string) (*stsparql.Result, time.Duration, error) {
-	start := time.Now()
-	res, err := s.Query(src)
-	if err != nil {
-		return nil, 0, err
-	}
-	return res, time.Since(start), nil
+	return TimedQuery(s, src)
 }

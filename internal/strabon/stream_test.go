@@ -1,6 +1,7 @@
 package strabon
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -307,4 +308,106 @@ func BenchmarkStreamedSelect(b *testing.B) {
 	}
 	b.Run("full/streamed", func(b *testing.B) { stream(b, full, hotspots) })
 	b.Run("limit10/streamed", func(b *testing.B) { stream(b, limited, 10) })
+}
+
+// TestCursorRowViewLifetime enforces the QueryCursor contract: a
+// streamed Binding is a view into the engine's current batch, valid
+// only until the next Next. A retained view row is allowed to change
+// out from under the caller; Clone is the escape hatch that owns the
+// values.
+func TestCursorRowViewLifetime(t *testing.T) {
+	s := New()
+	for i := 0; i < 300; i++ { // several batches' worth of rows
+		s.InsertAll(hotspotGroup(i, float64(i%50)))
+	}
+	cur, err := s.QueryStreamCtx(context.Background(), `SELECT ?h ?g WHERE { ?h a noa:Hotspot ; strdf:hasGeometry ?g . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+
+	first, ok := cur.Next()
+	if !ok {
+		t.Fatal("no rows")
+	}
+	clone := first.Clone()
+	firstH := first["h"].Value
+
+	// Drain the rest through the same view.
+	mutated := false
+	for row, more := cur.Next(); more; row, more = cur.Next() {
+		if row["h"].Value != firstH {
+			mutated = true
+		}
+	}
+	if !mutated {
+		t.Fatal("every streamed row carried the first row's value — the view was never advanced")
+	}
+	// The retained view now shows some later row, not the first one...
+	if first["h"].Value == firstH {
+		t.Fatalf("retained view row still reads %q after further Next calls; the reuse contract is not exercised", firstH)
+	}
+	// ...while the clone still owns the first row's values.
+	if clone["h"].Value != firstH {
+		t.Fatalf("clone = %q, want %q", clone["h"].Value, firstH)
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamedSelectDuringWrites drives the batch cursor directly (no
+// endpoint) while concurrent writers insert — the raw QueryStreamCtx
+// shape of the flush loop. Each cursor must see a consistent snapshot
+// under the store's lock discipline. Run under -race in CI.
+func TestStreamedSelectDuringWrites(t *testing.T) {
+	s := New()
+	for i := 0; i < 200; i++ {
+		s.InsertAll(hotspotGroup(i, float64(i%50)))
+	}
+	query := `SELECT ?h ?g WHERE { ?h a noa:Hotspot ; strdf:hasGeometry ?g . }`
+
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 200; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.InsertAll(hotspotGroup(i, float64(i%50)))
+		}
+	}()
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 20; i++ {
+				cur, err := s.QueryStreamCtx(context.Background(), query)
+				if err != nil {
+					t.Errorf("open: %v", err)
+					return
+				}
+				rows := 0
+				for _, ok := cur.Next(); ok; _, ok = cur.Next() {
+					rows++
+				}
+				if err := cur.Close(); err != nil {
+					t.Errorf("close: %v", err)
+					return
+				}
+				if rows < 200 {
+					t.Errorf("rows = %d, want >= 200", rows)
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writer.Wait()
 }

@@ -1,0 +1,286 @@
+package stsparql
+
+import (
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// Columnar batches: the unit of exchange between physical operators.
+// Instead of pulling one map-backed Binding at a time, operators pull
+// *Batch slabs of up to batchSizeMax rows in a columnar layout — one
+// []rdf.Term column per variable of the plan segment's schema, with a
+// selection vector so filters and slices mark rows dead without moving
+// or copying them. The zero Term encodes "unbound", exactly as absence
+// did in the map representation (the engine never binds zero terms).
+//
+// Scans start small (batchSizeMin) and grow their slabs geometrically,
+// so early-terminating consumers — LIMIT pushdown, ASK, an abandoned
+// cursor — stop the index scans after a few dozen visits rather than a
+// full first slab.
+
+const (
+	batchSizeMin    = 64
+	batchSizeMax    = 1024
+	batchSizeGrowth = 4
+)
+
+// varSchema is the ordered variable layout of a plan segment, fixed at
+// plan (or open) time: every batch flowing through the segment uses the
+// same column order, so probe rows copy column-to-column.
+type varSchema struct {
+	names []string
+	index map[string]int
+}
+
+func newSchema(names []string) *varSchema {
+	s := &varSchema{names: names, index: make(map[string]int, len(names))}
+	for i, n := range names {
+		s.index[n] = i
+	}
+	return s
+}
+
+// schemaOf builds a schema over the sorted, deduplicated variable set.
+func schemaOf(set map[string]bool) *varSchema {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return newSchema(names)
+}
+
+func (s *varSchema) col(name string) (int, bool) {
+	c, ok := s.index[name]
+	return c, ok
+}
+
+// Batch is a columnar slab of bindings. Rows [0,n) are physical; sel,
+// when non-nil, lists the live physical rows in order (nil = all live).
+// The columns share one backing slab, allocated per batch.
+type Batch struct {
+	schema *varSchema
+	cols   [][]rdf.Term
+	n      int
+	cap    int
+	sel    []int32
+}
+
+func newBatch(schema *varSchema, capacity int) *Batch {
+	if capacity < 1 {
+		capacity = 1
+	}
+	b := &Batch{schema: schema, cap: capacity}
+	nv := len(schema.names)
+	if nv > 0 {
+		slab := make([]rdf.Term, nv*capacity)
+		b.cols = make([][]rdf.Term, nv)
+		for i := range b.cols {
+			b.cols[i] = slab[i*capacity : (i+1)*capacity : (i+1)*capacity]
+		}
+	}
+	return b
+}
+
+// live returns the number of live rows.
+func (b *Batch) live() int {
+	if b.sel != nil {
+		return len(b.sel)
+	}
+	return b.n
+}
+
+// row maps a live ordinal to its physical row index.
+func (b *Batch) row(ord int) int {
+	if b.sel != nil {
+		return int(b.sel[ord])
+	}
+	return ord
+}
+
+// grow doubles the slab capacity, preserving rows. Needed when a single
+// probe row's fan-out overshoots the soft batch cap.
+func (b *Batch) grow() {
+	ncap := b.cap * 2
+	nv := len(b.schema.names)
+	if nv > 0 {
+		slab := make([]rdf.Term, nv*ncap)
+		for i := range b.cols {
+			col := slab[i*ncap : (i+1)*ncap : (i+1)*ncap]
+			copy(col, b.cols[i][:b.n])
+			b.cols[i] = col
+		}
+	}
+	b.cap = ncap
+}
+
+// beginRow stages a new physical row initialised from probe (zeroed
+// where probe is unbound) and returns its index; commitRow makes it
+// live. A staged row that is never committed is simply overwritten by
+// the next beginRow.
+func (b *Batch) beginRow(probe rowRef) int {
+	if b.n == b.cap {
+		b.grow()
+	}
+	r := b.n
+	if probe.b != nil && probe.b.schema == b.schema {
+		for c := range b.cols {
+			b.cols[c][r] = probe.b.cols[c][probe.i]
+		}
+		return r
+	}
+	for c, name := range b.schema.names {
+		if t, ok := probe.lookup(name); ok {
+			b.cols[c][r] = t
+		} else {
+			b.cols[c][r] = rdf.Term{}
+		}
+	}
+	return r
+}
+
+func (b *Batch) commitRow() { b.n++ }
+
+// reset empties the batch for reuse (seed batches of per-row sub-plans).
+func (b *Batch) reset() {
+	b.n = 0
+	b.sel = nil
+}
+
+// dropFirst removes the first k live rows from the selection.
+func (b *Batch) dropFirst(k int) {
+	b.materialiseSel()
+	b.sel = b.sel[k:]
+}
+
+// truncLive keeps only the first k live rows.
+func (b *Batch) truncLive(k int) {
+	b.materialiseSel()
+	b.sel = b.sel[:k]
+}
+
+func (b *Batch) materialiseSel() {
+	if b.sel != nil {
+		return
+	}
+	sel := make([]int32, b.n)
+	for i := range sel {
+		sel[i] = int32(i)
+	}
+	b.sel = sel
+}
+
+// binding copies physical row i into a fresh Binding, skipping unbound
+// columns — the materialisation used by blocking operators and the
+// result-owning wrappers.
+func (b *Batch) binding(i int) Binding {
+	row := make(Binding, len(b.schema.names))
+	for c, name := range b.schema.names {
+		if t := b.cols[c][i]; !t.IsZero() {
+			row[name] = t
+		}
+	}
+	return row
+}
+
+// rowRef is a view of one row for expression evaluation: either a
+// map-backed Binding (m != nil) or a physical row of a batch.
+type rowRef struct {
+	m Binding
+	b *Batch
+	i int
+}
+
+func mapRow(b Binding) rowRef { return rowRef{m: b} }
+
+// lookup returns the bound, non-zero term for a variable.
+func (r rowRef) lookup(name string) (rdf.Term, bool) {
+	if r.m != nil {
+		t, ok := r.m[name]
+		return t, ok && !t.IsZero()
+	}
+	if r.b == nil {
+		return rdf.Term{}, false
+	}
+	c, ok := r.b.schema.index[name]
+	if !ok {
+		return rdf.Term{}, false
+	}
+	t := r.b.cols[c][r.i]
+	return t, !t.IsZero()
+}
+
+// rowKey appends a composite key of the row's values for vars to dst —
+// the batch counterpart of bindingKey.
+func rowKey(dst []byte, row rowRef, vars []string) []byte {
+	for _, v := range vars {
+		t, _ := row.lookup(v)
+		dst = appendTermKey(dst, t)
+		dst = append(dst, 0x1f)
+	}
+	return dst
+}
+
+// batchIter is the pull side of an opened operator pipeline: next
+// yields the next batch (nil once exhausted or on error), close
+// releases resources and must be idempotent. Returned batches are owned
+// by the producer and only valid until the next call to next.
+type batchIter interface {
+	next() (*Batch, error)
+	close()
+}
+
+// batchesIter yields a prepared batch list; it doubles as the seed
+// iterator of a pipeline.
+type batchesIter struct {
+	batches []*Batch
+	pos     int
+}
+
+func (it *batchesIter) next() (*Batch, error) {
+	for it.pos < len(it.batches) {
+		b := it.batches[it.pos]
+		it.pos++
+		if b.live() > 0 {
+			return b, nil
+		}
+	}
+	return nil, nil
+}
+
+func (it *batchesIter) close() {}
+
+// seedIter builds the one-batch seed of a pipeline from map rows.
+func seedIter(schema *varSchema, rows []Binding) batchIter {
+	return &batchesIter{batches: []*Batch{batchFromBindings(schema, rows)}}
+}
+
+// batchFromBindings copies map rows into a single batch (variables
+// outside the schema are dropped).
+func batchFromBindings(schema *varSchema, rows []Binding) *Batch {
+	b := newBatch(schema, len(rows))
+	for _, row := range rows {
+		b.beginRow(mapRow(row))
+		b.commitRow()
+	}
+	return b
+}
+
+// drainMaterialise pulls an iterator to exhaustion, copying every live
+// row into an owned Binding.
+func drainMaterialise(in batchIter) ([]Binding, error) {
+	var rows []Binding
+	for {
+		b, err := in.next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return rows, nil
+		}
+		for ord := 0; ord < b.live(); ord++ {
+			rows = append(rows, b.binding(b.row(ord)))
+		}
+	}
+}

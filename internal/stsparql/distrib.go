@@ -414,7 +414,7 @@ func (m *AggMerge) evalMerged(e *Evaluator, expr Expr, vals map[*CallExpr]Value,
 		for i, a := range v.Args {
 			args[i] = m.evalMerged(e, a, vals, rep)
 		}
-		return e.applyFunction(v, args, rep)
+		return e.applyFunction(v, args)
 	case *BinaryExpr:
 		return e.applyBinary(v.Op,
 			m.evalMerged(e, v.L, vals, rep),
@@ -422,6 +422,6 @@ func (m *AggMerge) evalMerged(e *Evaluator, expr Expr, vals map[*CallExpr]Value,
 	case *UnaryExpr:
 		return e.applyUnary(v.Op, m.evalMerged(e, v.X, vals, rep))
 	default:
-		return e.evalExpr(expr, rep)
+		return e.evalExpr(expr, mapRow(rep))
 	}
 }

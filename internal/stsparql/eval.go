@@ -54,6 +54,12 @@ func (b Binding) clone() Binding {
 	return out
 }
 
+// Clone returns an independent copy of the binding. Rows yielded by a
+// Cursor are views into the engine's current batch and are only valid
+// until the next call to Next (or Close); callers that retain a row
+// beyond that must Clone it first.
+func (b Binding) Clone() Binding { return b.clone() }
+
 // Result is the outcome of a materialised SELECT evaluation.
 type Result struct {
 	Vars []string
@@ -80,10 +86,16 @@ type Cursor interface {
 	Close() error
 }
 
-// planCursor adapts an opened pipeline to the public Cursor API.
+// planCursor adapts an opened batch pipeline to the public Cursor API:
+// Next is a thin row-view over the current batch. The yielded Binding is
+// one reused map, refilled from the batch columns per row — valid only
+// until the next call to Next (or Close); retainers must Clone it.
 type planCursor struct {
-	it     rowIter
+	it     batchIter
 	vars   []string
+	cur    *Batch
+	ord    int
+	view   Binding
 	err    error
 	closed bool
 }
@@ -94,12 +106,29 @@ func (c *planCursor) Next() (Binding, bool) {
 	if c.closed || c.err != nil {
 		return nil, false
 	}
-	row, ok, err := c.it.next()
-	if err != nil {
-		c.err = err
-		return nil, false
+	for c.cur == nil || c.ord >= c.cur.live() {
+		b, err := c.it.next()
+		if err != nil {
+			c.err = err
+			return nil, false
+		}
+		if b == nil {
+			return nil, false
+		}
+		c.cur, c.ord = b, 0
 	}
-	return row, ok
+	i := c.cur.row(c.ord)
+	c.ord++
+	if c.view == nil {
+		c.view = make(Binding, len(c.cur.schema.names))
+	}
+	clear(c.view)
+	for col, name := range c.cur.schema.names {
+		if t := c.cur.cols[col][i]; !t.IsZero() {
+			c.view[name] = t
+		}
+	}
+	return c.view, true
 }
 
 func (c *planCursor) Err() error { return c.err }
@@ -107,15 +136,38 @@ func (c *planCursor) Err() error { return c.err }
 func (c *planCursor) Close() error {
 	if !c.closed {
 		c.closed = true
+		c.cur = nil
 		c.it.close()
 	}
 	return c.err
 }
 
+// sliceCursor yields pre-computed owned rows; its rows are NOT
+// invalidated by Next, unlike a streaming cursor's views.
+type sliceCursor struct {
+	vars []string
+	rows []Binding
+	pos  int
+}
+
+func (c *sliceCursor) Vars() []string { return c.vars }
+
+func (c *sliceCursor) Next() (Binding, bool) {
+	if c.pos >= len(c.rows) {
+		return nil, false
+	}
+	row := c.rows[c.pos]
+	c.pos++
+	return row, true
+}
+
+func (c *sliceCursor) Err() error   { return nil }
+func (c *sliceCursor) Close() error { return nil }
+
 // MaterialisedCursor returns a Cursor over pre-computed rows. Used for
 // results that are cheap to hold whole (ASK verdicts, test fixtures).
 func MaterialisedCursor(vars []string, rows []Binding) Cursor {
-	return &planCursor{it: &rowsIter{rows: rows}, vars: vars}
+	return &sliceCursor{vars: vars, rows: rows}
 }
 
 // UpdateStats reports the effect of an update request.
@@ -170,13 +222,13 @@ func (e *Evaluator) Select(q *SelectQuery) (*Result, error) {
 }
 
 // Ask evaluates an ASK query; the pull pipeline stops at the first
-// solution.
+// live batch (whose first slab is batchSizeMin rows).
 func (e *Evaluator) Ask(q *AskQuery) (bool, error) {
-	plan := e.newPlanner().planGroup(q.Where, map[string]bool{}, 1, false)
-	it := plan.open(e, &rowsIter{rows: []Binding{{}}})
+	plan := e.newPlanner().planGroupRoot(q.Where, false)
+	it := plan.open(e, seedIter(plan.schema, []Binding{{}}))
 	defer it.close()
-	_, ok, err := it.next()
-	return ok, err
+	b, err := nextLive(it)
+	return b != nil, err
 }
 
 // evalSelect compiles and runs a SELECT.
@@ -189,7 +241,7 @@ func (e *Evaluator) evalSelect(q *SelectQuery, seed []Binding) (*Result, error) 
 // joins use buffered scans (streaming through a pull coroutine would
 // cost switches without ever terminating early).
 func (e *Evaluator) evalWhere(gp *GroupPattern) ([]Binding, error) {
-	plan := e.newPlanner().planGroup(gp, map[string]bool{}, 1, true)
+	plan := e.newPlanner().planGroupRoot(gp, true)
 	return plan.run(e, []Binding{{}})
 }
 
@@ -360,8 +412,8 @@ func (e *Evaluator) orderRows(rows []Binding, keys []OrderKey) {
 // tie, like orderRows always did).
 func (e *Evaluator) compareOrderKeys(a, b Binding, keys []OrderKey) int {
 	for _, k := range keys {
-		va := e.evalExpr(k.Expr, a)
-		vb := e.evalExpr(k.Expr, b)
+		va := e.evalExpr(k.Expr, mapRow(a))
+		vb := e.evalExpr(k.Expr, mapRow(b))
 		c, err := va.compare(vb)
 		if err != nil || c == 0 {
 			continue
@@ -388,7 +440,7 @@ func (e *Evaluator) aggregate(q *SelectQuery, rows []Binding) ([]Binding, error)
 		kb = kb[:0]
 		key := Binding{}
 		for _, ge := range q.GroupBy {
-			v := e.evalExpr(ge, row)
+			v := e.evalExpr(ge, mapRow(row))
 			t, _ := v.asTerm()
 			kb = appendTermKey(kb, t)
 			kb = append(kb, '|')
@@ -469,7 +521,7 @@ func (e *Evaluator) evalAggExpr(expr Expr, rows []Binding, rep Binding) Value {
 		for i, a := range v.Args {
 			args[i] = e.evalAggExpr(a, rows, rep)
 		}
-		return e.applyFunction(v, args, rep)
+		return e.applyFunction(v, args)
 	case *BinaryExpr:
 		return e.applyBinary(v.Op,
 			e.evalAggExpr(v.L, rows, rep),
@@ -477,7 +529,7 @@ func (e *Evaluator) evalAggExpr(expr Expr, rows []Binding, rep Binding) Value {
 	case *UnaryExpr:
 		return e.applyUnary(v.Op, e.evalAggExpr(v.X, rows, rep))
 	default:
-		return e.evalExpr(expr, rep)
+		return e.evalExpr(expr, mapRow(rep))
 	}
 }
 
@@ -489,7 +541,7 @@ func (e *Evaluator) evalAggregateCall(c *CallExpr, rows []Binding) Value {
 			if len(c.Args) == 0 {
 				continue
 			}
-			v := e.evalExpr(c.Args[0], row)
+			v := e.evalExpr(c.Args[0], mapRow(row))
 			if v.Kind == VUnbound || v.Kind == VErr {
 				continue
 			}

@@ -7,12 +7,14 @@ import (
 	"repro/internal/rdf"
 )
 
-// evalExpr evaluates an expression under a binding row.
-func (e *Evaluator) evalExpr(expr Expr, row Binding) Value {
+// evalExpr evaluates an expression under a row view — either a
+// map-backed Binding (via mapRow) or a physical batch row, looked up
+// column-wise without materialising a map.
+func (e *Evaluator) evalExpr(expr Expr, row rowRef) Value {
 	switch v := expr.(type) {
 	case *VarExpr:
-		t, ok := row[v.Name]
-		if !ok || t.IsZero() {
+		t, ok := row.lookup(v.Name)
+		if !ok {
 			return unboundValue()
 		}
 		return termToValue(t, e.cache)
@@ -57,8 +59,8 @@ func (e *Evaluator) evalExpr(expr Expr, row Binding) Value {
 			if !ok {
 				return errValue("stsparql: bound() wants a variable")
 			}
-			t, present := row[ve.Name]
-			return boolValue(present && !t.IsZero())
+			_, present := row.lookup(ve.Name)
+			return boolValue(present)
 		}
 		if v.isAggregate() {
 			return errValue("stsparql: aggregate %q outside grouped query", v.Name)
@@ -67,7 +69,7 @@ func (e *Evaluator) evalExpr(expr Expr, row Binding) Value {
 		for i, a := range v.Args {
 			args[i] = e.evalExpr(a, row)
 		}
-		return e.applyFunction(v, args, row)
+		return e.applyFunction(v, args)
 	default:
 		return errValue("stsparql: unknown expression node %T", expr)
 	}
@@ -149,7 +151,7 @@ func (e *Evaluator) applyBinary(op string, l, r Value) Value {
 }
 
 // applyFunction dispatches builtin and strdf: extension functions.
-func (e *Evaluator) applyFunction(c *CallExpr, args []Value, row Binding) Value {
+func (e *Evaluator) applyFunction(c *CallExpr, args []Value) Value {
 	for _, a := range args {
 		if a.Kind == VErr {
 			return a

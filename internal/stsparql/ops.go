@@ -12,18 +12,22 @@ import (
 )
 
 // This file holds the physical operators of the stSPARQL engine. A
-// compiled plan (see plan.go) is a pipeline of operators in the Volcano
-// (open/next/close) iterator model: open wires an operator over its
-// input and returns a rowIter, and rows are pulled one at a time through
-// the pipeline. Streaming operators (joins, filters, optional, union,
-// sub-select join, project, distinct, slice) hold at most the matches of
-// one input row; blocking operators (order, aggregate, the SELECT *
-// projection) materialise their input internally before yielding.
+// compiled plan (see plan.go) is a pipeline of operators in a
+// vectorised pull model: open wires an operator over its input and
+// returns a batchIter, and columnar *Batch slabs of up to batchSizeMax
+// rows are pulled through the pipeline (see batch.go). Scans fill
+// batches directly from the index iterators, filters and slices mark
+// rows dead in the selection vector without copying, bind joins and
+// hash probes run tight loops over columns, and the blocking operators
+// (order, aggregate, the SELECT * projection) consume whole batches
+// before yielding.
 //
-// Pulling instead of pushing is what makes early termination free: a
-// downstream LIMIT simply stops calling next, an ASK stops at the first
-// solution, and a cursor abandoned by a client stops the scans when it
-// is closed.
+// Pulling instead of pushing keeps early termination cheap: a
+// downstream LIMIT simply stops pulling, an ASK stops at the first
+// live batch, and a cursor abandoned by a client stops the scans when
+// it is closed. Scans grow their batches geometrically from
+// batchSizeMin so those early exits abandon the index scan after a few
+// dozen visits, not a full slab.
 //
 // Operator values themselves are immutable once planned — all
 // per-execution state lives in the iterators open returns — so a
@@ -34,56 +38,14 @@ import (
 // plan is live (plans are invalidated when the store's generation
 // moves).
 
-// rowIter is the pull side of an opened operator pipeline: next yields
-// the next row (ok=false once exhausted or on error), close releases
-// any resources (scans in flight, sub-iterators) and must be idempotent.
-type rowIter interface {
-	next() (Binding, bool, error)
-	close()
-}
-
 // operator is one stage of a compiled query pipeline.
 type operator interface {
-	// open wires the operator over its input rows and returns the pull
-	// iterator of its output.
-	open(e *Evaluator, in rowIter) rowIter
+	// open wires the operator over its input batches and returns the
+	// pull iterator of its output.
+	open(e *Evaluator, in batchIter) batchIter
 	// explain renders the operator (and any sub-plans) at the given
 	// indentation.
 	explain(b *strings.Builder, indent string)
-}
-
-// rowsIter yields a materialised row slice; it doubles as the seed
-// iterator of a pipeline.
-type rowsIter struct {
-	rows []Binding
-	pos  int
-}
-
-func (it *rowsIter) next() (Binding, bool, error) {
-	if it.pos >= len(it.rows) {
-		return nil, false, nil
-	}
-	r := it.rows[it.pos]
-	it.pos++
-	return r, true, nil
-}
-
-func (it *rowsIter) close() {}
-
-// drainIter pulls an iterator to exhaustion. Used by the materialising
-// wrappers and by the blocking operators.
-func drainIter(in rowIter) ([]Binding, error) {
-	var rows []Binding
-	for {
-		row, ok, err := in.next()
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return rows, nil
-		}
-		rows = append(rows, row)
-	}
 }
 
 // Join strategies a joinOp can be planned with.
@@ -101,138 +63,266 @@ type joinOp struct {
 	pat      TriplePattern
 	filters  []*FilterElement // group filters, for spatial-window detection
 	strategy string
-	shared   []string // pattern vars certainly bound by the input rows
-	est      float64  // estimated output rows (Explain annotation)
-	// buffered joins materialise each probe row's matches instead of
-	// streaming them through a pull coroutine: set for per-row
-	// re-executed sub-plans (OPTIONAL/UNION, where a coroutine per row
-	// would dominate) and for plans that are always fully drained
-	// (update WHERE clauses), where early termination cannot occur.
+	shared   []string   // pattern vars certainly bound by the input rows
+	est      float64    // estimated output rows (Explain annotation)
+	schema   *varSchema // column layout of the enclosing group
+	// buffered joins fill their output batch probe row by probe row
+	// instead of streaming scan batches through a pull coroutine: set
+	// for per-row re-executed sub-plans (OPTIONAL/UNION, where a
+	// coroutine per row would dominate) and for plans that are always
+	// fully drained (update WHERE clauses), where early termination
+	// cannot occur.
 	buffered bool
+	// first is the first-batch size hint (0 = batchSizeMin): a pushed
+	// LIMIT below batchSizeMin caps how many rows the pipeline pulls, so
+	// scans open with a batch of that size and still grow geometrically
+	// if the slice turns out not to stop them.
+	first int
 
 	// Hash build side, built at most once per plan lifetime: the table
 	// is a function of the source, which is pinned while the plan is
 	// live, so concurrent and repeated executions (OPTIONAL re-entry,
-	// cached plans) share it.
+	// cached plans) share it. The build side is itself columnar: one
+	// batch over the pattern's variables, indexed by shared-var key.
 	tableOnce sync.Once
-	table     map[string][]Binding
+	build     *Batch
+	table     map[string][]int32
 }
 
-func (op *joinOp) open(e *Evaluator, in rowIter) rowIter {
-	return &joinIter{op: op, e: e, in: in}
+// streams reports whether probe rows scan through a pull coroutine: no
+// input variable constrains the scan (its fan-out is the whole pattern
+// extent — the shape of a pipeline's first scan), so batches stream out
+// and a downstream LIMIT (or an abandoned cursor) stops the index scan
+// itself.
+func (op *joinOp) streams() bool {
+	return op.strategy == joinBind && len(op.shared) == 0 && !op.buffered
+}
+
+func (op *joinOp) open(e *Evaluator, in batchIter) batchIter {
+	return &joinIter{op: op, e: e, in: in, target: op.firstTarget()}
+}
+
+// firstTarget is the size of the first batch this join fills.
+func (op *joinOp) firstTarget() int {
+	if op.first > 0 {
+		return op.first
+	}
+	return batchSizeMin
 }
 
 func (op *joinOp) buildTable(e *Evaluator) {
 	op.tableOnce.Do(func() {
-		op.table = make(map[string][]Binding)
-		e.scanPattern(op.pat, Binding{}, nil, func(m Binding) bool {
-			k := string(bindingKey(nil, m, op.shared))
-			op.table[k] = append(op.table[k], m)
-			return true
-		})
+		var names []string
+		for _, tv := range []TermOrVar{op.pat.S, op.pat.P, op.pat.O} {
+			if tv.IsVar() && !containsVar(names, tv.Var) {
+				names = append(names, tv.Var)
+			}
+		}
+		sort.Strings(names)
+		b := newBatch(newSchema(names), batchSizeMax)
+		e.scanPatternInto(op.pat, rowRef{}, nil, func() *Batch { return b }, alwaysScan)
+		op.build = b
+		op.table = make(map[string][]int32)
+		var kb []byte
+		for r := 0; r < b.n; r++ {
+			kb = rowKey(kb[:0], rowRef{b: b, i: r}, op.shared)
+			op.table[string(kb)] = append(op.table[string(kb)], int32(r))
+		}
 	})
 }
 
 type joinIter struct {
 	op *joinOp
 	e  *Evaluator
-	in rowIter
+	in batchIter
 
-	buf []Binding // matches of the current probe row (buffered modes)
-	pos int
+	inBatch *Batch // current probe batch
+	inOrd   int    // next live ordinal to probe
 
-	pull func() (Binding, bool) // streaming scan of the current row
+	pull func() (*Batch, bool) // streaming scan of the current probe row
 	stop func()
 
-	pending []Binding // lookahead rows the hash decision pulled early
-	hash    bool      // lookahead committed to the hash strategy
+	pending []*Batch // lookahead batches the hash decision pulled early
+	hash    bool     // lookahead committed to the hash strategy
 	started bool
 	closed  bool
+	target  int    // batch size target, growing geometrically
 	kb      []byte // reused probe key buffer
+
+	scan    *patScan // reused per-probe-row bind scan
+	scanOut *Batch   // output batch the reused scan appends to
 }
 
-func (it *joinIter) next() (Binding, bool, error) {
-	for {
-		if it.pull != nil {
-			if b, ok := it.pull(); ok {
-				return b, true, nil
+func (it *joinIter) next() (*Batch, error) {
+	if it.closed {
+		return nil, nil
+	}
+	if it.op.streams() {
+		for {
+			if it.pull != nil {
+				if b, ok := it.pull(); ok {
+					return b, nil
+				}
+				it.stop()
+				it.pull, it.stop = nil, nil
 			}
-			it.stop()
-			it.pull, it.stop = nil, nil
+			probe, ok, err := it.nextProbeRow()
+			if err != nil || !ok {
+				return nil, err
+			}
+			it.startStream(probe)
 		}
-		if it.pos < len(it.buf) {
-			b := it.buf[it.pos]
-			it.pos++
-			return b, true, nil
+	}
+	var out *Batch
+	for {
+		probe, ok, err := it.nextProbeRow()
+		if err != nil {
+			return nil, err
 		}
-		row, ok, err := it.nextProbe()
-		if err != nil || !ok {
-			return nil, false, err
+		if !ok {
+			if out != nil && out.live() > 0 {
+				return out, nil
+			}
+			return nil, nil
 		}
-		it.startRow(row)
+		if out == nil {
+			out = newBatch(it.op.schema, it.target)
+		}
+		if it.hash {
+			it.probeHash(probe, out)
+		} else {
+			if it.scan == nil {
+				it.scan = newPatScan(it.e, it.op.pat, it.op.filters, func() *Batch { return it.scanOut }, alwaysScan)
+			}
+			it.scanOut = out
+			it.scan.run(probe)
+		}
+		if out.n >= it.target {
+			if it.target < batchSizeMax {
+				it.target *= batchSizeGrowth
+			}
+			return out, nil
+		}
 	}
 }
 
-// nextProbe returns the next input row to extend. The hash strategy
-// decides on first use whether to engage: a single input row sticks to a
-// bind scan (the build would dominate), two or more build the table.
-func (it *joinIter) nextProbe() (Binding, bool, error) {
+// nextProbeRow returns the next live input row to extend.
+func (it *joinIter) nextProbeRow() (rowRef, bool, error) {
+	for {
+		if it.inBatch != nil && it.inOrd < it.inBatch.live() {
+			i := it.inBatch.row(it.inOrd)
+			it.inOrd++
+			return rowRef{b: it.inBatch, i: i}, true, nil
+		}
+		b, err := it.nextInBatch()
+		if err != nil || b == nil {
+			return rowRef{}, false, err
+		}
+		it.inBatch, it.inOrd = b, 0
+	}
+}
+
+// nextInBatch returns the next non-empty input batch. The hash strategy
+// decides on first use whether to engage: a single input row sticks to
+// a bind scan (the build would dominate), two or more build the table.
+func (it *joinIter) nextInBatch() (*Batch, error) {
 	if len(it.pending) > 0 {
-		row := it.pending[0]
+		b := it.pending[0]
 		it.pending = it.pending[:copy(it.pending, it.pending[1:])]
-		return row, true, nil
+		return b, nil
 	}
 	if it.op.strategy == joinHash && !it.started {
 		it.started = true
-		r1, ok, err := it.in.next()
-		if err != nil || !ok {
-			return nil, false, err
+		b1, err := nextLive(it.in)
+		if err != nil || b1 == nil {
+			return b1, err
 		}
-		r2, ok2, err := it.in.next()
-		if err != nil {
-			return nil, false, err
-		}
-		if ok2 {
+		if b1.live() >= 2 {
 			it.hash = true
-			it.pending = append(it.pending, r2)
+			return b1, nil
 		}
-		return r1, true, nil
+		b2, err := nextLive(it.in)
+		if err != nil {
+			return nil, err
+		}
+		if b2 != nil {
+			it.hash = true
+			it.pending = append(it.pending, b2)
+		}
+		return b1, nil
 	}
 	it.started = true
-	return it.in.next()
+	return nextLive(it.in)
 }
 
-// startRow prepares the matches of one probe row: a hash probe, a
-// streamed scan (when the fan-out is unbounded), or a buffered scan.
-func (it *joinIter) startRow(row Binding) {
-	if it.hash {
-		it.op.buildTable(it.e)
-		it.kb = bindingKey(it.kb[:0], row, it.op.shared)
-		it.buf, it.pos = it.buf[:0], 0
-		for _, cand := range it.op.table[string(it.kb)] {
-			if merged, ok := mergeCompatible(row, cand); ok {
-				it.buf = append(it.buf, merged)
+// nextLive pulls in until a batch with live rows (or exhaustion).
+func nextLive(in batchIter) (*Batch, error) {
+	for {
+		b, err := in.next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		if b.live() > 0 {
+			return b, nil
+		}
+	}
+}
+
+// startStream opens a pull coroutine yielding the scan's matches as
+// progressively-sized batches.
+func (it *joinIter) startStream(probe rowRef) {
+	op, e := it.op, it.e
+	it.pull, it.stop = iter.Pull(func(yield func(*Batch) bool) {
+		target := op.firstTarget()
+		out := newBatch(op.schema, target)
+		e.scanPatternInto(op.pat, probe, op.filters, func() *Batch { return out }, func() bool {
+			if out.n >= target {
+				if !yield(out) {
+					return false
+				}
+				if target < batchSizeMax {
+					target *= batchSizeGrowth
+				}
+				out = newBatch(op.schema, target)
+			}
+			return true
+		})
+		if out.n > 0 {
+			yield(out)
+		}
+	})
+}
+
+// probeHash extends one probe row with every compatible build row.
+func (it *joinIter) probeHash(probe rowRef, out *Batch) {
+	it.op.buildTable(it.e)
+	it.kb = rowKey(it.kb[:0], probe, it.op.shared)
+	build := it.op.build
+	for _, bi := range it.op.table[string(it.kb)] {
+		r := out.beginRow(probe)
+		ok := true
+		for c, name := range build.schema.names {
+			val := build.cols[c][bi]
+			if val.IsZero() {
+				continue
+			}
+			oc, has := out.schema.col(name)
+			if !has {
+				continue
+			}
+			if ex := out.cols[oc][r]; !ex.IsZero() {
+				if !ex.Equal(val) {
+					ok = false
+					break
+				}
+			} else {
+				out.cols[oc][r] = val
 			}
 		}
-		return
+		if ok {
+			out.commitRow()
+		}
 	}
-	if it.op.strategy == joinBind && len(it.op.shared) == 0 && !it.op.buffered {
-		// No input variable constrains the scan, so its fan-out is the
-		// whole pattern extent — the shape of a pipeline's first scan.
-		// Stream the matches through a pull coroutine instead of
-		// materialising them: a downstream LIMIT (or an abandoned
-		// cursor) then stops the index scan itself.
-		it.pull, it.stop = iter.Pull(func(yield func(Binding) bool) {
-			it.e.scanPattern(it.op.pat, row, it.op.filters, yield)
-		})
-		return
-	}
-	// Buffered scan: memory bounded by the matches of this one row.
-	it.buf, it.pos = it.buf[:0], 0
-	it.e.scanPattern(it.op.pat, row, it.op.filters, func(b Binding) bool {
-		it.buf = append(it.buf, b)
-		return true
-	})
 }
 
 func (it *joinIter) close() {
@@ -283,31 +373,47 @@ func appendTermKey(dst []byte, t rdf.Term) []byte {
 }
 
 // filterOp keeps the rows satisfying a FILTER condition; evaluation
-// errors drop the row, per SPARQL semantics.
+// errors drop the row, per SPARQL semantics. The filter runs a tight
+// loop over the batch, compacting its selection vector in place — rows
+// are marked dead, never moved.
 type filterOp struct {
 	cond  Expr
 	eager bool // pushed into a BGP by the planner (Explain annotation)
 }
 
-func (op *filterOp) open(e *Evaluator, in rowIter) rowIter {
+func (op *filterOp) open(e *Evaluator, in batchIter) batchIter {
 	return &filterIter{op: op, e: e, in: in}
 }
 
 type filterIter struct {
 	op *filterOp
 	e  *Evaluator
-	in rowIter
+	in batchIter
 }
 
-func (it *filterIter) next() (Binding, bool, error) {
+func (it *filterIter) next() (*Batch, error) {
 	for {
-		row, ok, err := it.in.next()
-		if err != nil || !ok {
-			return nil, false, err
+		b, err := it.in.next()
+		if err != nil || b == nil {
+			return nil, err
 		}
-		v := it.e.evalExpr(it.op.cond, row)
-		if pass, err := v.effectiveBool(); err == nil && pass {
-			return row, true, nil
+		n := b.live()
+		var keep []int32
+		if b.sel != nil {
+			keep = b.sel[:0]
+		} else {
+			keep = make([]int32, 0, n)
+		}
+		for ord := 0; ord < n; ord++ {
+			i := b.row(ord)
+			v := it.e.evalExpr(it.op.cond, rowRef{b: b, i: i})
+			if pass, err := v.effectiveBool(); err == nil && pass {
+				keep = append(keep, int32(i))
+			}
+		}
+		b.sel = keep
+		if len(keep) > 0 {
+			return b, nil
 		}
 	}
 }
@@ -323,49 +429,111 @@ func (op *filterOp) explain(b *strings.Builder, indent string) {
 }
 
 // optionalOp left-joins each row against a sub-plan: rows with no
-// sub-solution pass through unextended. The sub-plan is re-opened per
-// input row; its solutions stream through.
+// sub-solution pass through unextended. The sub-plan (which shares the
+// enclosing group's schema) is re-opened per input row over a reused
+// one-row seed batch; its batches are forwarded without copying, and
+// unmatched probe rows accumulate in a pass-through batch flushed in
+// arrival order.
 type optionalOp struct {
-	sub *groupPlan
+	sub    *groupPlan
+	schema *varSchema
 }
 
-func (op *optionalOp) open(e *Evaluator, in rowIter) rowIter {
+func (op *optionalOp) open(e *Evaluator, in batchIter) batchIter {
 	return &optionalIter{op: op, e: e, in: in}
 }
 
 type optionalIter struct {
 	op *optionalOp
 	e  *Evaluator
-	in rowIter
+	in batchIter
 
-	row Binding
-	sub rowIter
-	any bool
+	inBatch *Batch
+	inOrd   int
+
+	sub      batchIter
+	subAny   bool
+	subProbe rowRef
+	seed     *Batch
+	pass     *Batch // unmatched probe rows awaiting flush
+	held     *Batch // sub batch held back while pass flushes first
 }
 
-func (it *optionalIter) next() (Binding, bool, error) {
+func (it *optionalIter) next() (*Batch, error) {
+	if it.held != nil {
+		b := it.held
+		it.held = nil
+		return b, nil
+	}
 	for {
 		if it.sub != nil {
-			b, ok, err := it.sub.next()
+			b, err := it.sub.next()
 			if err != nil {
-				return nil, false, err
+				return nil, err
 			}
-			if ok {
-				it.any = true
-				return b, true, nil
+			if b != nil {
+				if b.live() == 0 {
+					continue
+				}
+				it.subAny = true
+				if it.pass != nil && it.pass.live() > 0 {
+					it.held = b
+					return it.flushPass(), nil
+				}
+				return b, nil
 			}
 			it.sub.close()
 			it.sub = nil
-			if !it.any {
-				return it.row, true, nil
+			if !it.subAny {
+				if it.pass == nil {
+					it.pass = newBatch(it.op.schema, batchSizeMin)
+				}
+				it.pass.beginRow(it.subProbe)
+				it.pass.commitRow()
+				if it.pass.n >= batchSizeMax {
+					return it.flushPass(), nil
+				}
 			}
 		}
-		row, ok, err := it.in.next()
-		if err != nil || !ok {
-			return nil, false, err
+		probe, ok, err := it.nextProbeRow()
+		if err != nil {
+			return nil, err
 		}
-		it.row, it.any = row, false
-		it.sub = it.op.sub.open(it.e, &rowsIter{rows: []Binding{row}})
+		if !ok {
+			if it.pass != nil && it.pass.live() > 0 {
+				return it.flushPass(), nil
+			}
+			return nil, nil
+		}
+		it.subProbe, it.subAny = probe, false
+		if it.seed == nil {
+			it.seed = newBatch(it.op.schema, 1)
+		}
+		it.seed.reset()
+		it.seed.beginRow(probe)
+		it.seed.commitRow()
+		it.sub = it.op.sub.open(it.e, &batchesIter{batches: []*Batch{it.seed}})
+	}
+}
+
+func (it *optionalIter) flushPass() *Batch {
+	b := it.pass
+	it.pass = nil
+	return b
+}
+
+func (it *optionalIter) nextProbeRow() (rowRef, bool, error) {
+	for {
+		if it.inBatch != nil && it.inOrd < it.inBatch.live() {
+			i := it.inBatch.row(it.inOrd)
+			it.inOrd++
+			return rowRef{b: it.inBatch, i: i}, true, nil
+		}
+		b, err := nextLive(it.in)
+		if err != nil || b == nil {
+			return rowRef{}, false, err
+		}
+		it.inBatch, it.inOrd = b, 0
 	}
 }
 
@@ -383,49 +551,73 @@ func (op *optionalOp) explain(b *strings.Builder, indent string) {
 }
 
 // unionOp concatenates the solutions of each branch, seeded per row.
+// Branches share the enclosing group's schema, so their batches forward
+// through unchanged.
 type unionOp struct {
 	branches []*groupPlan
+	schema   *varSchema
 }
 
-func (op *unionOp) open(e *Evaluator, in rowIter) rowIter {
+func (op *unionOp) open(e *Evaluator, in batchIter) batchIter {
 	return &unionIter{op: op, e: e, in: in}
 }
 
 type unionIter struct {
 	op *unionOp
 	e  *Evaluator
-	in rowIter
+	in batchIter
 
-	row    Binding
+	inBatch *Batch
+	inOrd   int
+
+	probe  rowRef
 	hasRow bool
 	branch int
-	sub    rowIter
+	sub    batchIter
+	seed   *Batch
 }
 
-func (it *unionIter) next() (Binding, bool, error) {
+func (it *unionIter) next() (*Batch, error) {
 	for {
 		if it.sub != nil {
-			b, ok, err := it.sub.next()
+			b, err := it.sub.next()
 			if err != nil {
-				return nil, false, err
+				return nil, err
 			}
-			if ok {
-				return b, true, nil
+			if b != nil {
+				if b.live() == 0 {
+					continue
+				}
+				return b, nil
 			}
 			it.sub.close()
 			it.sub = nil
 		}
 		if it.hasRow && it.branch < len(it.op.branches) {
-			it.sub = it.op.branches[it.branch].open(it.e, &rowsIter{rows: []Binding{it.row}})
+			if it.seed == nil {
+				it.seed = newBatch(it.op.schema, 1)
+			}
+			it.seed.reset()
+			it.seed.beginRow(it.probe)
+			it.seed.commitRow()
+			it.sub = it.op.branches[it.branch].open(it.e, &batchesIter{batches: []*Batch{it.seed}})
 			it.branch++
 			continue
 		}
 		it.hasRow = false
-		row, ok, err := it.in.next()
-		if err != nil || !ok {
-			return nil, false, err
+		for {
+			if it.inBatch != nil && it.inOrd < it.inBatch.live() {
+				i := it.inBatch.row(it.inOrd)
+				it.inOrd++
+				it.probe, it.hasRow, it.branch = rowRef{b: it.inBatch, i: i}, true, 0
+				break
+			}
+			b, err := nextLive(it.in)
+			if err != nil || b == nil {
+				return nil, err
+			}
+			it.inBatch, it.inOrd = b, 0
 		}
-		it.row, it.hasRow, it.branch = row, true, 0
 	}
 }
 
@@ -451,7 +643,7 @@ type nestedGroupOp struct {
 	sub *groupPlan
 }
 
-func (op *nestedGroupOp) open(e *Evaluator, in rowIter) rowIter {
+func (op *nestedGroupOp) open(e *Evaluator, in batchIter) batchIter {
 	return op.sub.open(e, in)
 }
 
@@ -465,15 +657,16 @@ func (op *nestedGroupOp) explain(b *strings.Builder, indent string) {
 // lazy (an empty input never runs it) and cached on the operator, so
 // OPTIONAL re-entry and cached plans reuse the solution set.
 type subSelectOp struct {
-	sub *selectPlan
+	sub    *selectPlan
+	schema *varSchema
 
 	once sync.Once
 	res  []Binding
 	err  error
 }
 
-func (op *subSelectOp) open(e *Evaluator, in rowIter) rowIter {
-	return &subSelectIter{op: op, e: e, in: in}
+func (op *subSelectOp) open(e *Evaluator, in batchIter) batchIter {
+	return &subSelectIter{op: op, e: e, in: in, target: batchSizeMin}
 }
 
 func (op *subSelectOp) solutions(e *Evaluator) ([]Binding, error) {
@@ -491,35 +684,75 @@ func (op *subSelectOp) solutions(e *Evaluator) ([]Binding, error) {
 type subSelectIter struct {
 	op *subSelectOp
 	e  *Evaluator
-	in rowIter
+	in batchIter
 
-	res    []Binding
-	row    Binding
-	hasRow bool
-	pos    int
+	inBatch *Batch
+	inOrd   int
+	target  int
 }
 
-func (it *subSelectIter) next() (Binding, bool, error) {
+func (it *subSelectIter) next() (*Batch, error) {
+	var out *Batch
 	for {
-		if it.hasRow {
-			for it.pos < len(it.res) {
-				cand := it.res[it.pos]
-				it.pos++
-				if merged, ok := mergeCompatible(it.row, cand); ok {
-					return merged, true, nil
-				}
-			}
-			it.hasRow = false
+		probe, ok, err := it.nextProbeRow()
+		if err != nil {
+			return nil, err
 		}
-		row, ok, err := it.in.next()
-		if err != nil || !ok {
-			return nil, false, err
+		if !ok {
+			if out != nil && out.live() > 0 {
+				return out, nil
+			}
+			return nil, nil
 		}
 		res, err := it.op.solutions(it.e)
 		if err != nil {
-			return nil, false, err
+			return nil, err
 		}
-		it.res, it.row, it.hasRow, it.pos = res, row, true, 0
+		if out == nil {
+			out = newBatch(it.op.schema, it.target)
+		}
+		for _, cand := range res {
+			r := out.beginRow(probe)
+			compatible := true
+			for k, v := range cand {
+				c, has := out.schema.col(k)
+				if !has {
+					continue
+				}
+				if ex := out.cols[c][r]; !ex.IsZero() {
+					if !ex.Equal(v) {
+						compatible = false
+						break
+					}
+				} else {
+					out.cols[c][r] = v
+				}
+			}
+			if compatible {
+				out.commitRow()
+			}
+		}
+		if out.n >= it.target {
+			if it.target < batchSizeMax {
+				it.target *= batchSizeGrowth
+			}
+			return out, nil
+		}
+	}
+}
+
+func (it *subSelectIter) nextProbeRow() (rowRef, bool, error) {
+	for {
+		if it.inBatch != nil && it.inOrd < it.inBatch.live() {
+			i := it.inBatch.row(it.inOrd)
+			it.inOrd++
+			return rowRef{b: it.inBatch, i: i}, true, nil
+		}
+		b, err := nextLive(it.in)
+		if err != nil || b == nil {
+			return rowRef{}, false, err
+		}
+		it.inBatch, it.inOrd = b, 0
 	}
 }
 
@@ -531,38 +764,51 @@ func (op *subSelectOp) explain(b *strings.Builder, indent string) {
 }
 
 // aggregateOp groups rows and evaluates aggregate projections and HAVING
-// constraints. Blocking: grouping needs the full input.
+// constraints. Blocking: grouping needs the full input, which it drains
+// batch by batch.
 type aggregateOp struct {
 	q *SelectQuery
 }
 
-func (op *aggregateOp) open(e *Evaluator, in rowIter) rowIter {
+func (op *aggregateOp) open(e *Evaluator, in batchIter) batchIter {
 	return &aggregateIter{op: op, e: e, in: in}
 }
 
 type aggregateIter struct {
 	op  *aggregateOp
 	e   *Evaluator
-	in  rowIter
-	out *rowsIter
+	in  batchIter
+	out *batchesIter
 }
 
-func (it *aggregateIter) next() (Binding, bool, error) {
+func (it *aggregateIter) next() (*Batch, error) {
 	if it.out == nil {
-		rows, err := drainIter(it.in)
+		rows, err := drainMaterialise(it.in)
 		if err != nil {
-			return nil, false, err
+			return nil, err
 		}
 		grouped, err := it.e.aggregate(it.op.q, rows)
 		if err != nil {
-			return nil, false, err
+			return nil, err
 		}
-		it.out = &rowsIter{rows: grouped}
+		it.out = &batchesIter{batches: []*Batch{batchFromBindings(bindingsSchema(grouped), grouped)}}
 	}
 	return it.out.next()
 }
 
 func (it *aggregateIter) close() { it.in.close() }
+
+// bindingsSchema derives a schema from the variable union of
+// materialised rows (aggregate output and SELECT * headers).
+func bindingsSchema(rows []Binding) *varSchema {
+	set := make(map[string]bool)
+	for _, row := range rows {
+		for k := range row {
+			set[k] = true
+		}
+	}
+	return schemaOf(set)
+}
 
 func (op *aggregateOp) explain(b *strings.Builder, indent string) {
 	fmt.Fprintf(b, "%saggregate", indent)
@@ -579,7 +825,8 @@ func (op *aggregateOp) explain(b *strings.Builder, indent string) {
 	b.WriteByte('\n')
 }
 
-// projectOp applies the SELECT projection. An explicit projection
+// projectOp applies the SELECT projection, rewriting each input batch
+// into a batch over the projection's schema. An explicit projection
 // streams (its output variables are static); SELECT * is the one
 // blocking modifier — the header depends on the rows, so it materialises
 // at open, which is what lets a cursor report Vars before iteration.
@@ -588,73 +835,73 @@ type projectOp struct {
 	grouped bool
 }
 
-func (op *projectOp) open(e *Evaluator, in rowIter) rowIter {
+func (op *projectOp) open(e *Evaluator, in batchIter) batchIter {
 	it := &projectIter{op: op, e: e, in: in}
 	if op.q.Star {
-		rows, err := drainIter(in)
+		rows, err := drainMaterialise(in)
 		if err != nil {
 			it.err = err
 			return it
 		}
 		it.vars = e.projectionVars(op.q, rows)
-		out := make([]Binding, 0, len(rows))
-		for _, row := range rows {
-			out = append(out, op.projectRow(e, it.vars, row))
-		}
-		it.star = &rowsIter{rows: out}
+		it.star = &batchesIter{batches: []*Batch{batchFromBindings(newSchema(it.vars), rows)}}
 		return it
 	}
 	it.vars = e.projectionVars(op.q, nil)
+	it.schema = newSchema(it.vars)
 	return it
 }
 
 type projectIter struct {
-	op   *projectOp
-	e    *Evaluator
-	in   rowIter
-	vars []string
-	star *rowsIter // materialised output of a SELECT *
-	err  error
+	op     *projectOp
+	e      *Evaluator
+	in     batchIter
+	vars   []string
+	schema *varSchema
+	star   *batchesIter // materialised output of a SELECT *
+	err    error
 }
 
-func (it *projectIter) next() (Binding, bool, error) {
+func (it *projectIter) next() (*Batch, error) {
 	if it.err != nil {
-		return nil, false, it.err
+		return nil, it.err
 	}
 	if it.star != nil {
 		return it.star.next()
 	}
-	row, ok, err := it.in.next()
-	if err != nil || !ok {
-		return nil, false, err
+	b, err := nextLive(it.in)
+	if err != nil || b == nil {
+		return nil, err
 	}
-	return it.op.projectRow(it.e, it.vars, row), true, nil
+	n := b.live()
+	out := newBatch(it.schema, n)
+	for ord := 0; ord < n; ord++ {
+		i := b.row(ord)
+		in := rowRef{b: b, i: i}
+		r := out.beginRow(rowRef{})
+		for _, item := range it.op.q.Projection {
+			c, has := it.schema.col(item.Var)
+			if !has {
+				continue
+			}
+			if item.Expr != nil && !it.op.grouped {
+				if t, ok := it.e.evalExpr(item.Expr, in).asTerm(); ok {
+					out.cols[c][r] = t
+				}
+				continue
+			}
+			// Plain variables, and grouped rows (which already carry the
+			// computed aggregate bindings), copy through.
+			if t, ok := in.lookup(item.Var); ok {
+				out.cols[c][r] = t
+			}
+		}
+		out.commitRow()
+	}
+	return out, nil
 }
 
 func (it *projectIter) close() { it.in.close() }
-
-func (op *projectOp) projectRow(e *Evaluator, vars []string, row Binding) Binding {
-	out := make(Binding, len(vars))
-	for _, item := range op.q.Projection {
-		if item.Expr != nil && !op.grouped {
-			if t, ok := e.evalExpr(item.Expr, row).asTerm(); ok {
-				out[item.Var] = t
-			}
-			continue
-		}
-		// Plain variables, and grouped rows (which already carry the
-		// computed aggregate bindings), copy through.
-		if t, ok := row[item.Var]; ok {
-			out[item.Var] = t
-		}
-	}
-	if op.q.Star {
-		for k, v := range row {
-			out[k] = v
-		}
-	}
-	return out
-}
 
 func (op *projectOp) explain(b *strings.Builder, indent string) {
 	if op.q.Star {
@@ -673,44 +920,49 @@ func (op *projectOp) explain(b *strings.Builder, indent string) {
 }
 
 // distinctOp deduplicates rows over the projected variables, streaming:
-// each row's key is checked against the seen set as it is pulled, so
-// first occurrences flow through immediately (the same order
-// materialised deduplication produced).
+// each batch's keys are built into a reused arena and checked against
+// the seen set, compacting the selection vector in place so first
+// occurrences flow through immediately (the same order materialised
+// deduplication produced). The projection's batches carry exactly the
+// projected columns, so the keys range over the batch schema.
 type distinctOp struct {
 	proj *projectOp
 }
 
-func (op *distinctOp) open(e *Evaluator, in rowIter) rowIter {
-	it := &distinctIter{in: in, seen: make(map[string]bool)}
-	// The planner places distinct directly after the projection, whose
-	// iterator carries the output variable list the keys range over; for
-	// an explicit projection the list is also derivable statically, so
-	// only SELECT DISTINCT * strictly depends on the adjacency.
-	if pi, ok := in.(*projectIter); ok {
-		it.vars = pi.vars
-	} else if !op.proj.q.Star {
-		it.vars = e.projectionVars(op.proj.q, nil)
-	}
-	return it
+func (op *distinctOp) open(e *Evaluator, in batchIter) batchIter {
+	return &distinctIter{in: in, seen: make(map[string]bool)}
 }
 
 type distinctIter struct {
-	in   rowIter
-	vars []string
+	in   batchIter
 	seen map[string]bool
 	kb   []byte
 }
 
-func (it *distinctIter) next() (Binding, bool, error) {
+func (it *distinctIter) next() (*Batch, error) {
 	for {
-		row, ok, err := it.in.next()
-		if err != nil || !ok {
-			return nil, false, err
+		b, err := it.in.next()
+		if err != nil || b == nil {
+			return nil, err
 		}
-		it.kb = bindingKey(it.kb[:0], row, it.vars)
-		if !it.seen[string(it.kb)] {
-			it.seen[string(it.kb)] = true
-			return row, true, nil
+		n := b.live()
+		var keep []int32
+		if b.sel != nil {
+			keep = b.sel[:0]
+		} else {
+			keep = make([]int32, 0, n)
+		}
+		for ord := 0; ord < n; ord++ {
+			i := b.row(ord)
+			it.kb = rowKey(it.kb[:0], rowRef{b: b, i: i}, b.schema.names)
+			if !it.seen[string(it.kb)] {
+				it.seen[string(it.kb)] = true
+				keep = append(keep, int32(i))
+			}
+		}
+		b.sel = keep
+		if len(keep) > 0 {
+			return b, nil
 		}
 	}
 }
@@ -722,10 +974,10 @@ func (op *distinctOp) explain(b *strings.Builder, indent string) {
 }
 
 // orderOp sorts rows by the ORDER BY keys (stable; incomparable values
-// tie). Blocking: sorting needs the full input — but when a downstream
-// LIMIT bounds how many sorted rows can ever be consumed (topK > 0), the
-// operator keeps only the top K rows in a bounded heap instead of
-// materialising and sorting the whole input.
+// tie). Blocking: sorting needs the full input, drained batch by batch —
+// but when a downstream LIMIT bounds how many sorted rows can ever be
+// consumed (topK > 0), the operator keeps only the top K rows in a
+// bounded heap instead of materialising the whole input.
 type orderOp struct {
 	keys []OrderKey
 	// topK > 0 bounds how many rows of the sorted output are reachable
@@ -734,35 +986,59 @@ type orderOp struct {
 	topK int
 }
 
-func (op *orderOp) open(e *Evaluator, in rowIter) rowIter {
+func (op *orderOp) open(e *Evaluator, in batchIter) batchIter {
 	return &orderIter{op: op, e: e, in: in}
 }
 
 type orderIter struct {
 	op  *orderOp
 	e   *Evaluator
-	in  rowIter
-	out *rowsIter
+	in  batchIter
+	out *batchesIter
 }
 
-func (it *orderIter) next() (Binding, bool, error) {
+func (it *orderIter) next() (*Batch, error) {
 	if it.out == nil {
 		var rows []Binding
+		var schema *varSchema
 		var err error
 		if it.op.topK > 0 {
-			rows, err = it.drainTopK(it.op.topK)
+			rows, schema, err = it.drainTopK(it.op.topK)
 		} else {
-			rows, err = drainIter(it.in)
+			rows, schema, err = it.drainAll()
 			if err == nil {
 				it.e.orderRows(rows, it.op.keys)
 			}
 		}
 		if err != nil {
-			return nil, false, err
+			return nil, err
 		}
-		it.out = &rowsIter{rows: rows}
+		if schema == nil {
+			schema = newSchema(nil)
+		}
+		it.out = &batchesIter{batches: []*Batch{batchFromBindings(schema, rows)}}
 	}
 	return it.out.next()
+}
+
+// drainAll materialises the input, remembering its schema for the
+// sorted output batches.
+func (it *orderIter) drainAll() ([]Binding, *varSchema, error) {
+	var rows []Binding
+	var schema *varSchema
+	for {
+		b, err := it.in.next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if b == nil {
+			return rows, schema, nil
+		}
+		schema = b.schema
+		for ord := 0; ord < b.live(); ord++ {
+			rows = append(rows, b.binding(b.row(ord)))
+		}
+	}
 }
 
 // seqRow tags a row with its arrival sequence so the bounded heap can
@@ -778,7 +1054,7 @@ type seqRow struct {
 // (by key, later arrival losing ties), so each new row either replaces
 // it or is dropped. O(n log k) comparisons, O(k) memory — also the
 // per-shard pre-merge truncation of the sharded store's ordered merge.
-func (it *orderIter) drainTopK(k int) ([]Binding, error) {
+func (it *orderIter) drainTopK(k int) ([]Binding, *varSchema, error) {
 	// after reports whether a sorts strictly after b in the final order.
 	after := func(a, b seqRow) bool {
 		if c := it.e.compareOrderKeys(a.row, b.row, it.op.keys); c != 0 {
@@ -804,41 +1080,45 @@ func (it *orderIter) drainTopK(k int) ([]Binding, error) {
 			i = worst
 		}
 	}
+	var schema *varSchema
 	seq := 0
 	for {
-		row, ok, err := it.in.next()
+		b, err := it.in.next()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		if !ok {
+		if b == nil {
 			break
 		}
-		e := seqRow{row: row, seq: seq}
-		seq++
-		if len(heap) < k {
-			heap = append(heap, e)
-			for i := len(heap) - 1; i > 0; { // sift up
-				p := (i - 1) / 2
-				if !after(heap[i], heap[p]) {
-					break
+		schema = b.schema
+		for ord := 0; ord < b.live(); ord++ {
+			e := seqRow{row: b.binding(b.row(ord)), seq: seq}
+			seq++
+			if len(heap) < k {
+				heap = append(heap, e)
+				for i := len(heap) - 1; i > 0; { // sift up
+					p := (i - 1) / 2
+					if !after(heap[i], heap[p]) {
+						break
+					}
+					heap[i], heap[p] = heap[p], heap[i]
+					i = p
 				}
-				heap[i], heap[p] = heap[p], heap[i]
-				i = p
+				continue
 			}
-			continue
+			if after(e, heap[0]) {
+				continue // sorts after the worst kept row: unreachable
+			}
+			heap[0] = e
+			siftDown(0)
 		}
-		if after(e, heap[0]) {
-			continue // sorts after the worst kept row: unreachable
-		}
-		heap[0] = e
-		siftDown(0)
 	}
 	sort.Slice(heap, func(i, j int) bool { return after(heap[j], heap[i]) })
 	rows := make([]Binding, len(heap))
 	for i, e := range heap {
 		rows[i] = e.row
 	}
-	return rows, nil
+	return rows, schema, nil
 }
 
 func (it *orderIter) close() { it.in.close() }
@@ -858,51 +1138,75 @@ func (op *orderOp) explain(b *strings.Builder, indent string) {
 	b.WriteByte('\n')
 }
 
-// sliceOp applies OFFSET and LIMIT by counting pulled rows. Once the
-// limit is satisfied it closes its input, releasing any scans still in
-// flight — with a streaming upstream (pushed=true, see planSelect) this
-// stops the index scans themselves.
+// sliceOp applies OFFSET and LIMIT by trimming the selection vectors of
+// the batches flowing through. Once the limit is satisfied it closes
+// its input, releasing any scans still in flight — with a streaming
+// upstream (pushed=true, see planSelect) this stops the index scans
+// themselves.
 type sliceOp struct {
 	offset, limit int
 	pushed        bool // order/aggregate/distinct-free: early exit reaches the scans
 }
 
-func (op *sliceOp) open(e *Evaluator, in rowIter) rowIter {
+func (op *sliceOp) open(e *Evaluator, in batchIter) batchIter {
 	return &sliceIter{op: op, in: in}
 }
 
 type sliceIter struct {
 	op      *sliceOp
-	in      rowIter
+	in      batchIter
 	skipped int
 	emitted int
 	done    bool
 }
 
-func (it *sliceIter) next() (Binding, bool, error) {
+func (it *sliceIter) next() (*Batch, error) {
 	if it.done {
-		return nil, false, nil
+		return nil, nil
 	}
-	for it.skipped < it.op.offset {
-		_, ok, err := it.in.next()
-		if err != nil || !ok {
+	for {
+		if it.op.limit >= 0 && it.emitted >= it.op.limit {
 			it.done = true
-			return nil, false, err
+			it.in.close()
+			return nil, nil
 		}
-		it.skipped++
+		b, err := it.in.next()
+		if err != nil || b == nil {
+			it.done = true
+			return nil, err
+		}
+		n := b.live()
+		if it.skipped < it.op.offset {
+			skip := it.op.offset - it.skipped
+			if skip > n {
+				skip = n
+			}
+			it.skipped += skip
+			if skip == n {
+				continue
+			}
+			b.dropFirst(skip)
+			n -= skip
+		}
+		if it.op.limit >= 0 {
+			remain := it.op.limit - it.emitted
+			if n > remain {
+				b.truncLive(remain)
+				n = remain
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		it.emitted += n
+		if it.op.limit >= 0 && it.emitted >= it.op.limit {
+			it.done = true
+			// Stop the upstream scans before the consumer even drains
+			// this final batch.
+			it.in.close()
+		}
+		return b, nil
 	}
-	if it.op.limit >= 0 && it.emitted >= it.op.limit {
-		it.done = true
-		it.in.close()
-		return nil, false, nil
-	}
-	row, ok, err := it.in.next()
-	if err != nil || !ok {
-		it.done = true
-		return nil, false, err
-	}
-	it.emitted++
-	return row, true, nil
 }
 
 func (it *sliceIter) close() { it.in.close() }
@@ -917,78 +1221,128 @@ func (op *sliceOp) explain(b *strings.Builder, indent string) {
 
 // --- pattern scanning (shared by bind joins and hash build sides) ---
 
-// scanPattern matches one triple pattern under a row, emitting extended
-// rows until emit returns false. When the pattern binds a fresh geometry
-// variable that a pending spatial filter constrains against an
-// already-known geometry, and the source has a spatial index, the scan
-// is served by an R-tree window query instead of a full predicate scan.
-func (e *Evaluator) scanPattern(pat TriplePattern, row Binding, filters []*FilterElement, emit func(Binding) bool) {
-	resolve := func(tv TermOrVar) rdf.Term {
-		if !tv.IsVar() {
-			return tv.Term
-		}
-		if t, ok := row[tv.Var]; ok {
-			return t
-		}
-		return rdf.Term{}
-	}
-	s, p, o := resolve(pat.S), resolve(pat.P), resolve(pat.O)
+// scanPatternInto matches one triple pattern under a probe row,
+// appending extended rows to the batch out returns. onRow runs after
+// each appended row and reports whether to continue the scan; the
+// streaming coroutine yields full batches from it and swaps in a fresh
+// slab, which is why out is fetched per row rather than passed once.
+// When the pattern binds a fresh geometry variable that a pending
+// spatial filter constrains against an already-known geometry, and the
+// source has a spatial index, the scan is served by an R-tree window
+// query instead of a full predicate scan.
+func (e *Evaluator) scanPatternInto(pat TriplePattern, probe rowRef, filters []*FilterElement, out func() *Batch, onRow func() bool) {
+	newPatScan(e, pat, filters, out, onRow).run(probe)
+}
 
-	// tryBind reports whether the scan should continue.
-	tryBind := func(t rdf.Triple) bool {
-		out := row
-		cloned := false
-		bind := func(tv TermOrVar, val rdf.Term) bool {
-			if !tv.IsVar() {
-				return true
-			}
-			if existing, ok := out[tv.Var]; ok && !existing.IsZero() {
-				return existing.Equal(val)
-			}
-			if !cloned {
-				out = row.clone()
-				cloned = true
-			}
-			out[tv.Var] = val
-			return true
-		}
-		if !bind(pat.S, t.S) || !bind(pat.P, t.P) || !bind(pat.O, t.O) {
-			return true
-		}
-		if !cloned {
-			out = row.clone()
-		}
-		return emit(out)
-	}
+// patScan is one pattern scan's reusable context. Bind joins run a
+// scan per probe row, so everything a visit needs lives in fields and
+// the visit callbacks are bound once at construction — a re-run
+// mutates probe state and allocates nothing.
+type patScan struct {
+	e       *Evaluator
+	pat     TriplePattern
+	filters []*FilterElement
+	out     func() *Batch
+	onRow   func() bool
 
-	// Spatial index fast path.
-	if ss, ok := e.src.(SpatialSource); ok && ss.SpatialIndexEnabled() &&
-		!p.IsZero() && GeometryPredicates[p.Value] && pat.O.IsVar() && o.IsZero() {
-		if env, found := e.spatialWindowFor(pat.O.Var, row, filters); found {
-			ss.MatchGeometryWindow(env, func(t rdf.Triple) bool {
-				if !p.IsZero() && t.P.Value != p.Value {
-					return true
-				}
-				if !s.IsZero() && !t.S.Equal(s) {
-					return true
-				}
-				return tryBind(t)
-			})
+	probe   rowRef   // current probe row
+	s, p, o rdf.Term // pattern components resolved under probe
+
+	visit       func(rdf.Triple) bool // bound tryBind
+	visitWindow func(rdf.Triple) bool // bound windowVisit
+}
+
+func newPatScan(e *Evaluator, pat TriplePattern, filters []*FilterElement, out func() *Batch, onRow func() bool) *patScan {
+	sc := &patScan{e: e, pat: pat, filters: filters, out: out, onRow: onRow}
+	sc.visit = sc.tryBind
+	sc.visitWindow = sc.windowVisit
+	return sc
+}
+
+// run scans the pattern under one probe row. When the pattern binds a
+// fresh geometry variable that a pending spatial filter constrains
+// against an already-known geometry, and the source has a spatial
+// index, the scan is served by an R-tree window query instead of a
+// full predicate scan.
+func (sc *patScan) run(probe rowRef) {
+	sc.probe = probe
+	sc.s, sc.p, sc.o = resolveTV(sc.pat.S, probe), resolveTV(sc.pat.P, probe), resolveTV(sc.pat.O, probe)
+
+	if ss, ok := sc.e.src.(SpatialSource); ok && ss.SpatialIndexEnabled() &&
+		!sc.p.IsZero() && GeometryPredicates[sc.p.Value] && sc.pat.O.IsVar() && sc.o.IsZero() {
+		if env, found := sc.e.spatialWindowFor(sc.pat.O.Var, probe, sc.filters); found {
+			ss.MatchGeometryWindow(env, sc.visitWindow)
 			return
 		}
 	}
+	sc.e.src.MatchTerms(sc.s, sc.p, sc.o, sc.visit)
+}
 
-	e.src.MatchTerms(s, p, o, func(t rdf.Triple) bool {
-		return tryBind(t)
-	})
+// windowVisit filters R-tree window candidates down to the pattern
+// before binding (the window over-approximates).
+func (sc *patScan) windowVisit(t rdf.Triple) bool {
+	if !sc.p.IsZero() && t.P.Value != sc.p.Value {
+		return true
+	}
+	if !sc.s.IsZero() && !t.S.Equal(sc.s) {
+		return true
+	}
+	return sc.tryBind(t)
+}
+
+// tryBind stages one matched triple's bindings and reports whether the
+// scan should continue. The staged row is discarded (never committed)
+// on a conflicting repeated-variable binding.
+func (sc *patScan) tryBind(t rdf.Triple) bool {
+	b := sc.out()
+	r := b.beginRow(sc.probe)
+	if !bindStaged(b, r, sc.pat.S, t.S) || !bindStaged(b, r, sc.pat.P, t.P) || !bindStaged(b, r, sc.pat.O, t.O) {
+		return true
+	}
+	b.commitRow()
+	return sc.onRow()
+}
+
+// resolveTV resolves a pattern component under a probe row: constants
+// pass through, bound variables take the probe's term, free variables
+// resolve to the zero term (a scan wildcard).
+func resolveTV(tv TermOrVar, probe rowRef) rdf.Term {
+	if !tv.IsVar() {
+		return tv.Term
+	}
+	if t, ok := probe.lookup(tv.Var); ok {
+		return t
+	}
+	return rdf.Term{}
+}
+
+// alwaysScan is the onRow of scans without early termination; a named
+// function so passing it allocates no closure.
+func alwaysScan() bool { return true }
+
+// bindStaged binds one pattern component into the staged row r of b,
+// reporting false on a conflicting repeated-variable binding.
+func bindStaged(b *Batch, r int, tv TermOrVar, val rdf.Term) bool {
+	if !tv.IsVar() {
+		return true
+	}
+	c, ok := b.schema.col(tv.Var)
+	if !ok {
+		return true
+	}
+	if ex := b.cols[c][r]; !ex.IsZero() {
+		return ex.Equal(val)
+	}
+	b.cols[c][r] = val
+	return true
 }
 
 // spatialWindowFor inspects pending filters for a spatial predicate
-// constraining variable v against a geometry already computable under row;
-// it returns the candidate envelope.
-func (e *Evaluator) spatialWindowFor(v string, row Binding, filters []*FilterElement) (geom.Envelope, bool) {
+// constraining variable v against a geometry already computable under
+// the probe row; it returns the candidate envelope.
+func (e *Evaluator) spatialWindowFor(v string, probe rowRef, filters []*FilterElement) (geom.Envelope, bool) {
 	for _, f := range filters {
-		if env, ok := e.findSpatialConstraint(f.Cond, v, row); ok {
+		if env, ok := e.findSpatialConstraint(f.Cond, v, probe); ok {
 			return env, true
 		}
 	}
@@ -1009,13 +1363,13 @@ var spatialJoinFns = map[string]bool{
 	"strdf:covers":      true,
 }
 
-func (e *Evaluator) findSpatialConstraint(expr Expr, v string, row Binding) (geom.Envelope, bool) {
+func (e *Evaluator) findSpatialConstraint(expr Expr, v string, probe rowRef) (geom.Envelope, bool) {
 	switch n := expr.(type) {
 	case *CallExpr:
 		if spatialJoinFns[n.Name] && len(n.Args) == 2 {
 			for i := 0; i < 2; i++ {
 				if ve, ok := n.Args[i].(*VarExpr); ok && ve.Name == v {
-					other := e.evalExpr(n.Args[1-i], row)
+					other := e.evalExpr(n.Args[1-i], probe)
 					if other.Kind == VGeom {
 						return other.Geom.Envelope(), true
 					}
@@ -1024,10 +1378,10 @@ func (e *Evaluator) findSpatialConstraint(expr Expr, v string, row Binding) (geo
 		}
 	case *BinaryExpr:
 		if n.Op == "&&" {
-			if env, ok := e.findSpatialConstraint(n.L, v, row); ok {
+			if env, ok := e.findSpatialConstraint(n.L, v, probe); ok {
 				return env, true
 			}
-			return e.findSpatialConstraint(n.R, v, row)
+			return e.findSpatialConstraint(n.R, v, probe)
 		}
 	}
 	return geom.Envelope{}, false

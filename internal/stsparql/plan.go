@@ -57,6 +57,12 @@ type planner struct {
 	e       *Evaluator
 	stats   StatSource // nil when the source keeps no statistics
 	spatial bool
+	// firstBatch is the first-batch size hint for the SELECT currently
+	// being compiled: when a pushed LIMIT bounds the reachable rows below
+	// batchSizeMin, scans open with a batch of that size so the early
+	// exit abandons the index scan after ~LIMIT visits, not a full
+	// minimum slab. 0 means no hint (batchSizeMin).
+	firstBatch int
 
 	totalTriples, totalSubj, totalPred, totalObj int
 }
@@ -79,12 +85,16 @@ func (e *Evaluator) newPlanner() *planner {
 // operators over the input iterator. The pull model gives the old
 // early-exit for free — an empty upstream means no downstream operator
 // ever does per-row work, and a sub-select is never evaluated when no
-// row reaches it (cost, not correctness).
+// row reaches it (cost, not correctness). schema is the shared column
+// layout of every batch flowing through the group: it spans all
+// variables of the enclosing WHERE tree, so OPTIONAL and UNION
+// sub-plans emit batches the parent forwards without conversion.
 type groupPlan struct {
-	ops []operator
+	ops    []operator
+	schema *varSchema
 }
 
-func (g *groupPlan) open(e *Evaluator, in rowIter) rowIter {
+func (g *groupPlan) open(e *Evaluator, in batchIter) batchIter {
 	cur := in
 	for _, op := range g.ops {
 		cur = op.open(e, cur)
@@ -94,9 +104,9 @@ func (g *groupPlan) open(e *Evaluator, in rowIter) rowIter {
 
 // run is the materialising wrapper used by update planning and ASK.
 func (g *groupPlan) run(e *Evaluator, seed []Binding) ([]Binding, error) {
-	it := g.open(e, &rowsIter{rows: seed})
+	it := g.open(e, seedIter(g.schema, seed))
 	defer it.close()
-	return drainIter(it)
+	return drainMaterialise(it)
 }
 
 func (g *groupPlan) explain(b *strings.Builder, indent string) {
@@ -117,8 +127,8 @@ type selectPlan struct {
 // open wires the full pipeline over the seed rows and returns the output
 // iterator together with the projection's output variable list (the
 // result header), which is known once the projection has opened.
-func (p *selectPlan) open(e *Evaluator, seed []Binding) (rowIter, []string) {
-	cur := p.where.open(e, &rowsIter{rows: seed})
+func (p *selectPlan) open(e *Evaluator, seed []Binding) (batchIter, []string) {
+	cur := p.where.open(e, seedIter(p.where.schema, seed))
 	var vars []string
 	for _, op := range p.tail {
 		cur = op.open(e, cur)
@@ -133,7 +143,7 @@ func (p *selectPlan) open(e *Evaluator, seed []Binding) (rowIter, []string) {
 func (p *selectPlan) run(e *Evaluator, seed []Binding) (*Result, error) {
 	it, vars := p.open(e, seed)
 	defer it.close()
-	rows, err := drainIter(it)
+	rows, err := drainMaterialise(it)
 	if err != nil {
 		return nil, err
 	}
@@ -155,10 +165,21 @@ func (p *selectPlan) explain(b *strings.Builder, indent string) {
 // row (OPTIONAL and UNION), and plans that are always fully drained
 // (update WHERE clauses, see evalWhere).
 func (p *planner) planSelect(q *SelectQuery, buffered bool) *selectPlan {
-	bound := map[string]bool{}
-	where := p.planGroup(q.Where, bound, 1, buffered)
-
 	grouped := len(q.GroupBy) > 0 || len(q.Having) > 0 || projectionHasAggregates(q)
+	pushed := !grouped && !q.Distinct && len(q.OrderBy) == 0 && !q.Star
+
+	// A pushed LIMIT below batchSizeMin bounds the rows the pipeline
+	// will ever pull; size the first batches to it (saved/restored
+	// around the group so a sub-select's hint does not leak out).
+	saved := p.firstBatch
+	p.firstBatch = 0
+	if pushed && q.Limit >= 0 {
+		if k := q.Offset + q.Limit; k > 0 && k < batchSizeMin {
+			p.firstBatch = k
+		}
+	}
+	where := p.planGroupRoot(q.Where, buffered)
+	p.firstBatch = saved
 	proj := &projectOp{q: q, grouped: grouped}
 	var tail []operator
 	if grouped {
@@ -185,19 +206,66 @@ func (p *planner) planSelect(q *SelectQuery, buffered bool) *selectPlan {
 		// propagates through the streaming pipeline to the index scans
 		// themselves — the plan stops pulling, and therefore scanning,
 		// once offset+limit rows have been produced.
-		pushed := !grouped && !q.Distinct && len(q.OrderBy) == 0 && !q.Star
 		tail = append(tail, &sliceOp{offset: q.Offset, limit: q.Limit, pushed: pushed})
 	}
 	return &selectPlan{where: where, tail: tail, proj: proj}
+}
+
+// planGroupRoot compiles the root group of a WHERE clause: it derives
+// the shared column schema from the full variable set of the pattern
+// tree (sub-selects contributing only their projected variables) and
+// compiles the group against it.
+func (p *planner) planGroupRoot(gp *GroupPattern, buffered bool) *groupPlan {
+	vars := map[string]bool{}
+	collectGroupVars(gp, vars)
+	return p.planGroup(gp, map[string]bool{}, 1, buffered, schemaOf(vars))
+}
+
+// collectGroupVars accumulates every variable a group graph pattern can
+// bind — the column set of the group's batch schema.
+func collectGroupVars(gp *GroupPattern, vars map[string]bool) {
+	if gp == nil {
+		return
+	}
+	for _, el := range gp.Elements {
+		switch v := el.(type) {
+		case *BGPElement:
+			for _, pat := range v.Patterns {
+				for _, tv := range []TermOrVar{pat.S, pat.P, pat.O} {
+					if tv.IsVar() {
+						vars[tv.Var] = true
+					}
+				}
+			}
+		case *OptionalElement:
+			collectGroupVars(v.Pattern, vars)
+		case *UnionElement:
+			for _, br := range v.Branches {
+				collectGroupVars(br, vars)
+			}
+		case *GroupPattern:
+			collectGroupVars(v, vars)
+		case *SubSelectElement:
+			if v.Select.Star {
+				collectGroupVars(v.Select.Where, vars)
+			} else {
+				for _, item := range v.Select.Projection {
+					vars[item.Var] = true
+				}
+			}
+		}
+	}
 }
 
 // planGroup compiles a group graph pattern. bound is the set of
 // variables certainly bound when the group starts; it is extended with
 // the variables this group certainly binds (BGP patterns; for UNION, the
 // intersection across branches). buffered propagates the per-row
-// re-execution mark to the joins (see planSelect).
-func (p *planner) planGroup(gp *GroupPattern, bound map[string]bool, inEst float64, buffered bool) *groupPlan {
-	g := &groupPlan{}
+// re-execution mark to the joins (see planSelect). schema is the shared
+// column layout of the enclosing WHERE tree — sub-groups compile against
+// the same schema so their batches forward through unchanged.
+func (p *planner) planGroup(gp *GroupPattern, bound map[string]bool, inEst float64, buffered bool, schema *varSchema) *groupPlan {
+	g := &groupPlan{schema: schema}
 	if gp == nil {
 		return g
 	}
@@ -213,19 +281,19 @@ func (p *planner) planGroup(gp *GroupPattern, bound map[string]bool, inEst float
 		switch v := el.(type) {
 		case *BGPElement:
 			var ops []operator
-			ops, inEst = p.planBGP(v.Patterns, filters, applied, bound, inEst, buffered)
+			ops, inEst = p.planBGP(v.Patterns, filters, applied, bound, inEst, buffered, schema)
 			g.ops = append(g.ops, ops...)
 		case *FilterElement:
 			// applied at group end (or pushed into a BGP)
 		case *OptionalElement:
-			sub := p.planGroup(v.Pattern, cloneBound(bound), 1, true)
-			g.ops = append(g.ops, &optionalOp{sub: sub})
+			sub := p.planGroup(v.Pattern, cloneBound(bound), 1, true, schema)
+			g.ops = append(g.ops, &optionalOp{sub: sub, schema: schema})
 		case *UnionElement:
-			u := &unionOp{}
+			u := &unionOp{schema: schema}
 			var branchBound []map[string]bool
 			for _, br := range v.Branches {
 				bb := cloneBound(bound)
-				u.branches = append(u.branches, p.planGroup(br, bb, 1, true))
+				u.branches = append(u.branches, p.planGroup(br, bb, 1, true, schema))
 				branchBound = append(branchBound, bb)
 			}
 			g.ops = append(g.ops, u)
@@ -247,14 +315,16 @@ func (p *planner) planGroup(gp *GroupPattern, bound map[string]bool, inEst float
 			}
 			inEst *= float64(len(v.Branches))
 		case *GroupPattern:
-			sub := p.planGroup(v, bound, inEst, buffered)
+			sub := p.planGroup(v, bound, inEst, buffered, schema)
 			g.ops = append(g.ops, &nestedGroupOp{sub: sub})
 		case *SubSelectElement:
 			// A sub-select evaluates once (its solutions are cached on
 			// the operator), so its own pipeline may stream even when
-			// the enclosing group is re-executed per row.
+			// the enclosing group is re-executed per row. It carries its
+			// own schema; only its projected solution rows join back into
+			// the enclosing layout.
 			sub := p.planSelect(v.Select, false)
-			g.ops = append(g.ops, &subSelectOp{sub: sub})
+			g.ops = append(g.ops, &subSelectOp{sub: sub, schema: schema})
 			// The sub-select's projected variables are NOT certainly bound:
 			// a projection can come from an OPTIONAL-only variable or an
 			// erroring expression, leaving it unbound in some rows. Marking
@@ -278,7 +348,7 @@ func (p *planner) planGroup(gp *GroupPattern, bound map[string]bool, inEst float
 // planBGP orders a basic graph pattern's triples by cardinality
 // estimates and interleaves eagerly-applicable filters, returning the
 // operators and the updated cumulative row estimate.
-func (p *planner) planBGP(patterns []TriplePattern, filters []*FilterElement, applied map[*FilterElement]bool, bound map[string]bool, inEst float64, buffered bool) ([]operator, float64) {
+func (p *planner) planBGP(patterns []TriplePattern, filters []*FilterElement, applied map[*FilterElement]bool, bound map[string]bool, inEst float64, buffered bool, schema *varSchema) ([]operator, float64) {
 	remaining := append([]TriplePattern(nil), patterns...)
 	var ops []operator
 
@@ -322,7 +392,7 @@ func (p *planner) planBGP(patterns []TriplePattern, filters []*FilterElement, ap
 		pat := remaining[best]
 		remaining = append(remaining[:best], remaining[best+1:]...)
 
-		op := &joinOp{pat: pat, filters: filters, strategy: joinBind, buffered: buffered}
+		op := &joinOp{pat: pat, filters: filters, strategy: joinBind, buffered: buffered, schema: schema, first: p.firstBatch}
 		for _, tv := range []TermOrVar{pat.S, pat.P, pat.O} {
 			if tv.IsVar() && bound[tv.Var] && !containsVar(op.shared, tv.Var) {
 				op.shared = append(op.shared, tv.Var)
@@ -516,11 +586,11 @@ func (e *Evaluator) Explain(q *Query) (string, error) {
 		p.planSelect(q.Select, false).explain(&b, "  ")
 	case q.Ask != nil:
 		b.WriteString("ask\n")
-		p.planGroup(q.Ask.Where, map[string]bool{}, 1, false).explain(&b, "  ")
+		p.planGroupRoot(q.Ask.Where, false).explain(&b, "  ")
 	case q.Update != nil:
 		fmt.Fprintf(&b, "update delete=%d insert=%d\n", len(q.Update.Delete), len(q.Update.Insert))
 		if q.Update.Where != nil {
-			p.planGroup(q.Update.Where, map[string]bool{}, 1, false).explain(&b, "  ")
+			p.planGroupRoot(q.Update.Where, false).explain(&b, "  ")
 		}
 	default:
 		return "", fmt.Errorf("stsparql: empty query")

@@ -45,7 +45,7 @@ func (e *Evaluator) Compile(q *Query) *Compiled {
 	case q.Select != nil:
 		c.sel = e.newPlanner().planSelect(q.Select, false)
 	case q.Ask != nil:
-		c.ask = e.newPlanner().planGroup(q.Ask.Where, map[string]bool{}, 1, false)
+		c.ask = e.newPlanner().planGroupRoot(q.Ask.Where, false)
 	}
 	return c
 }
@@ -85,10 +85,10 @@ func (e *Evaluator) AskCompiled(c *Compiled) (bool, error) {
 	if c.ask == nil {
 		return false, fmt.Errorf("stsparql: AskCompiled wants an ASK")
 	}
-	it := c.ask.open(e, &rowsIter{rows: []Binding{{}}})
+	it := c.ask.open(e, seedIter(c.ask.schema, []Binding{{}}))
 	defer it.close()
-	_, ok, err := it.next()
-	return ok, err
+	b, err := nextLive(it)
+	return b != nil, err
 }
 
 // PlanCacheStats is a snapshot of cache effectiveness counters.

@@ -99,19 +99,24 @@ func termToValue(t rdf.Term, cache *geomCache) Value {
 	}
 }
 
-// parseDateTime accepts the ISO forms appearing in the datasets.
+// parseDateTime accepts the ISO forms appearing in the datasets. The
+// layout is dispatched on the literal's length first: this runs per row
+// under filter evaluation, and every failed time.Parse attempt
+// allocates its error.
 func parseDateTime(s string) (time.Time, bool) {
-	for _, layout := range []string{
-		time.RFC3339,
-		"2006-01-02T15:04:05",
-		"2006-01-02T15:04",
-		"2006-01-02",
-	} {
-		if t, err := time.Parse(layout, s); err == nil {
-			return t, true
-		}
+	var layout string
+	switch len(s) {
+	case len("2006-01-02"):
+		layout = "2006-01-02"
+	case len("2006-01-02T15:04"):
+		layout = "2006-01-02T15:04"
+	case len("2006-01-02T15:04:05"):
+		layout = "2006-01-02T15:04:05"
+	default:
+		layout = time.RFC3339 // zoned forms
 	}
-	return time.Time{}, false
+	t, err := time.Parse(layout, s)
+	return t, err == nil
 }
 
 // asTerm converts a value back to an RDF term for projection or template

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Allocation gate for the batch execution engine: fails when
+# BenchmarkStreamedSelect/full/streamed allocates more than 1.5x the
+# committed baseline (internal/strabon/testdata/streamed_select_allocs
+# .baseline). allocs/op is scheduling-independent, so even the CI smoke
+# benchtime measures it exactly — a regression here means a per-row
+# allocation crept back into the batch pipeline.
+set -eu
+
+baseline_file="internal/strabon/testdata/streamed_select_allocs.baseline"
+baseline=$(tr -dc 0-9 <"$baseline_file")
+[ -n "$baseline" ] || { echo "empty baseline in $baseline_file" >&2; exit 1; }
+
+out=$(go test -run '^$' -bench 'BenchmarkStreamedSelect/full/streamed' -benchtime=3x -benchmem ./internal/strabon)
+echo "$out"
+
+allocs=$(echo "$out" | awk '/BenchmarkStreamedSelect\/full\/streamed/ {
+    for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $(i-1)
+}')
+[ -n "$allocs" ] || { echo "could not parse allocs/op from benchmark output" >&2; exit 1; }
+
+limit=$((baseline * 3 / 2))
+if [ "$allocs" -gt "$limit" ]; then
+    echo "FAIL: full/streamed allocs/op = $allocs exceeds $limit (baseline $baseline +50%)" >&2
+    exit 1
+fi
+echo "OK: full/streamed allocs/op = $allocs within $limit (baseline $baseline +50%)"
