@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-endpoint bench-stream bench-shard bench-batch alloc-gate lint fmt
+.PHONY: build test bench bench-endpoint bench-stream bench-shard bench-batch bench-serve alloc-gate lint fmt
 
 build:
 	$(GO) build ./...
@@ -11,7 +11,7 @@ build:
 test:
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 -run 'TestEndpointConcurrent|TestConcurrentEndpointSmoke|TestEndpointStreamsDuringWrites' ./internal/strabon
-	$(GO) test -race -count=2 -run 'TestShardStreamsDuringWrites|TestShardedPipelineMatchesSingle' ./internal/shard
+	$(GO) test -race -count=2 -run 'TestShardStreamsDuringWrites|TestShardedPipelineMatchesSingle|TestShardResultCacheInvalidation' ./internal/shard
 
 # Full benchmark sweep; CI runs the 1x smoke variant of the end-to-end
 # and pipeline benchmarks plus the served-query and streamed-select
@@ -40,6 +40,14 @@ bench-shard:
 bench-batch:
 	$(GO) test -run '^$$' -bench 'BenchmarkStreamedSelect' -benchmem ./internal/strabon
 	$(GO) test -run '^$$' -bench 'BenchmarkShardedQueries' -benchmem ./internal/shard
+
+# Closed-loop serving smoke: clients replay the hot/cold thematic mix
+# over HTTP against a live writer with the result cache + admission
+# gate on, reporting p50/p99 and the hot-set hit ratio — and failing
+# when the hit ratio collapses below 0.5 (a keying or invalidation
+# regression in the serving tier).
+bench-serve:
+	$(GO) run ./cmd/benchserve -clients 4 -requests 200 -min-hot-hit 0.5
 
 # Fails if full/streamed allocs/op regresses 1.5x above the committed
 # baseline (what CI runs).

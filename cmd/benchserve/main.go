@@ -1,0 +1,107 @@
+// Command benchserve runs the closed-loop serving benchmark: it builds
+// a sharded store with a day of acquisition history, starts the served
+// endpoint (result cache + admission control) on a loopback listener,
+// keeps the live writer appending to the current slice, and drives N
+// closed-loop clients replaying the hot/cold thematic mix against it —
+// then reports client-observed latency quantiles and the result-cache
+// hit ratio over the hot set.
+//
+//	benchserve -clients 4 -requests 500
+//	benchserve -requests 500 -cache=false          (miss-path baseline)
+//	benchserve -requests 500 -min-hot-hit 0.5      (CI smoke: exit 1 below)
+//
+// With -min-hot-hit the run fails when cache hits / hot requests falls
+// below the floor — the regression gate for the serving tier: a keying
+// or invalidation bug (e.g. the writer's slice leaking into hot-window
+// vectors) shows up as a collapsed hit ratio long before it shows up
+// as latency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/closedloop"
+	"repro/internal/resultcache"
+	"repro/internal/shard"
+	"repro/internal/strabon"
+)
+
+func main() {
+	var (
+		clients   = flag.Int("clients", 4, "concurrent closed-loop clients")
+		requests  = flag.Int("requests", 400, "total request budget")
+		hotFrac   = flag.Float64("hot-frac", 0.7, "fraction of requests drawn from the hot set")
+		shards    = flag.Int("shards", 4, "time-range shards")
+		width     = flag.Duration("width", time.Hour, "shard routing bucket width")
+		history   = flag.Int("history", 12, "hours of seeded acquisition history")
+		cache     = flag.Bool("cache", true, "enable the result cache")
+		resCache  = flag.Int("result-cache", 1024, "result cache entries")
+		resBytes  = flag.Int64("result-cache-bytes", 64<<20, "result cache byte budget")
+		maxConc   = flag.Int("max-concurrent", 8, "admitted concurrent evaluations (0 = no gate)")
+		queue     = flag.Int("queue-depth", 64, "admission wait-queue depth")
+		interval  = flag.Duration("writer-interval", 500*time.Microsecond, "live writer insert interval")
+		minHotHit = flag.Float64("min-hot-hit", 0, "fail unless hits/hot-requests reaches this (0 = report only)")
+	)
+	flag.Parse()
+
+	st := shard.New(shard.Config{Slices: *shards, Width: *width, Epoch: closedloop.Day()})
+	n := closedloop.Seed(st, *history)
+	fmt.Fprintf(os.Stderr, "benchserve: seeded %d triples over %d slices (%d h history)\n", n, *shards, *history)
+
+	ep := strabon.NewEndpoint(st)
+	if *cache {
+		ep.Results = resultcache.New(*resCache, *resBytes)
+	}
+	if *maxConc > 0 {
+		ep.Admission = strabon.NewAdmission(*maxConc, *queue)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchserve:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: ep}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	stopWriter := closedloop.StartWriter(st, *interval)
+	defer stopWriter()
+
+	rep := closedloop.Run(closedloop.Config{
+		BaseURL:  "http://" + ln.Addr().String(),
+		Clients:  *clients,
+		Requests: *requests,
+		HotFrac:  *hotFrac,
+		Hot:      closedloop.HotQueries(),
+		Cold:     closedloop.ColdQuery,
+	})
+	stopWriter()
+
+	fmt.Printf("closed loop: %s\n", rep)
+	if *cache {
+		cs := ep.Results.Stats()
+		hotHit := 0.0
+		if rep.Hot > 0 {
+			hotHit = float64(cs.Hits) / float64(rep.Hot)
+		}
+		fmt.Printf("result cache: %d hits / %d misses (%d entries, %d bytes, %d evictions, %d invalidations), hot hit ratio %.2f\n",
+			cs.Hits, cs.Misses, cs.Entries, cs.Bytes, cs.Evictions, cs.Invalidations, hotHit)
+		if *minHotHit > 0 && hotHit < *minHotHit {
+			fmt.Fprintf(os.Stderr, "benchserve: FAIL hot hit ratio %.2f < %.2f\n", hotHit, *minHotHit)
+			os.Exit(1)
+		}
+	}
+	if ep.Admission != nil {
+		as := ep.Admission.Stats()
+		fmt.Printf("admission: %d admitted, %d rejected, %d timed out\n", as.Admitted, as.Rejected, as.TimedOut)
+	}
+	if rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "benchserve: FAIL %d request errors\n", rep.Errors)
+		os.Exit(1)
+	}
+}

@@ -25,6 +25,14 @@
 // them, 0 disables). Queries run under the request context, optionally
 // capped by -query-timeout, so an abandoned or slow client cannot hold
 // store read locks indefinitely.
+//
+// The serving tier layers on top: a generation-keyed result cache
+// (-result-cache entries, -result-cache-bytes budget) replays repeated
+// queries byte-for-byte without locks until a write to the slices they
+// read invalidates them, and cache misses pass an admission gate
+// (-max-concurrent evaluations with a -queue-depth FIFO wait queue;
+// overflow answers 429 with Retry-After) under per-request -max-rows /
+// -max-bytes response budgets.
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 
 	"repro/internal/auxdata"
 	"repro/internal/core"
+	"repro/internal/resultcache"
 	"repro/internal/seviri"
 	"repro/internal/shard"
 	"repro/internal/strabon"
@@ -54,7 +63,13 @@ func main() {
 		planCache  = flag.Int("plan-cache", 256, "compiled-plan cache entries (0 disables plan caching)")
 		shards     = flag.Int("shards", 1, "time-range shards (1 = single store)")
 		shardWidth = flag.Duration("shard-width", time.Hour, "time span of one shard routing bucket")
-		queryTO    = flag.Duration("query-timeout", 0, "per-query evaluation timeout (0 = none)")
+		queryTO    = flag.Duration("query-timeout", 0, "per-query evaluation timeout, queue wait included (0 = none)")
+		resCache   = flag.Int("result-cache", 256, "result cache entries (0 disables result caching)")
+		resBytes   = flag.Int64("result-cache-bytes", 64<<20, "result cache byte budget (0 = unbounded)")
+		maxConc    = flag.Int("max-concurrent", 0, "concurrent query evaluations admitted (0 = unlimited)")
+		queueDepth = flag.Int("queue-depth", 64, "admission wait-queue depth (with -max-concurrent)")
+		maxRows    = flag.Int("max-rows", 0, "per-request row budget (0 = unlimited)")
+		maxBytes   = flag.Int64("max-bytes", 0, "per-request response byte budget (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -108,10 +123,18 @@ func main() {
 
 	ep := strabon.NewEndpoint(st)
 	ep.QueryTimeout = *queryTO
+	ep.MaxRows = *maxRows
+	ep.MaxBytes = *maxBytes
+	if *resCache > 0 {
+		ep.Results = resultcache.New(*resCache, *resBytes)
+	}
+	if *maxConc > 0 {
+		ep.Admission = strabon.NewAdmission(*maxConc, *queueDepth)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	fail(err)
-	fmt.Fprintf(os.Stderr, "stsparqld: serving stSPARQL on %s (/sparql, /update, /explain, /stats; plan cache %d entries)\n",
-		*addr, *planCache)
+	fmt.Fprintf(os.Stderr, "stsparqld: serving stSPARQL on %s (/sparql, /update, /explain, /stats; plan cache %d entries, result cache %d entries)\n",
+		*addr, *planCache, *resCache)
 	fail(http.Serve(ln, ep))
 }
 

@@ -1,0 +1,67 @@
+package closedloop
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/resultcache"
+	"repro/internal/shard"
+	"repro/internal/strabon"
+)
+
+// BenchmarkServedClosedLoop measures the serving tier end to end: N
+// closed-loop clients replaying the hot/cold thematic mix over HTTP
+// against a live 4-slice store while the writer appends to slice 1,
+// with the result cache on vs off. The hot sub-benchmarks replay only
+// the recurring set (the cache's best case and the acceptance metric:
+// p50 cache=on must beat cache=off by >=3x); mixed interleaves 30%
+// unique cold queries. Reported metrics are client-observed
+// microsecond latency quantiles plus the hot-set hit ratio.
+func BenchmarkServedClosedLoop(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		cache   bool
+		hotFrac float64
+	}{
+		{"hot/cache=on", true, 1.0},
+		{"hot/cache=off", false, 1.0},
+		{"mixed/cache=on", true, 0.7},
+		{"mixed/cache=off", false, 0.7},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			st := shard.New(shard.Config{Slices: 4, Width: time.Hour, Epoch: Day()})
+			Seed(st, 12)
+			ep := strabon.NewEndpoint(st)
+			if tc.cache {
+				ep.Results = resultcache.New(1024, 64<<20)
+			}
+			ep.Admission = strabon.NewAdmission(8, 64)
+			srv := httptest.NewServer(ep)
+			defer srv.Close()
+			stop := StartWriter(st, 500*time.Microsecond)
+			defer stop()
+
+			b.ResetTimer()
+			rep := Run(Config{
+				BaseURL:  srv.URL,
+				Clients:  4,
+				Requests: b.N,
+				HotFrac:  tc.hotFrac,
+				Hot:      HotQueries(),
+				Cold:     ColdQuery,
+			})
+			b.StopTimer()
+			stop()
+			if rep.Errors > 0 {
+				b.Fatalf("%d request errors", rep.Errors)
+			}
+			b.ReportMetric(float64(rep.P50.Microseconds()), "p50-us")
+			b.ReportMetric(float64(rep.P99.Microseconds()), "p99-us")
+			if tc.cache && rep.Hot > 0 {
+				hits := float64(ep.Results.Stats().Hits)
+				b.ReportMetric(hits/float64(rep.Hot), "hit-ratio")
+			}
+		})
+	}
+}

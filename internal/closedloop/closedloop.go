@@ -1,0 +1,176 @@
+// Package closedloop drives a served Strabon endpoint the way the
+// paper's NOA operators do: N concurrent clients replaying a mix of
+// hot (recurring thematic) and cold (one-off exploratory) queries over
+// HTTP while the fire-monitoring writer keeps appending acquisitions —
+// and measures what the clients actually see: per-request latency
+// quantiles, error/rejection counts and throughput. It is the shared
+// workload + measurement core of cmd/benchserve and the served
+// closed-loop benchmark.
+package closedloop
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config describes one closed-loop run.
+type Config struct {
+	// BaseURL is the endpoint root (e.g. http://127.0.0.1:7575).
+	BaseURL string
+	// Clients is the number of concurrent closed-loop clients.
+	Clients int
+	// Requests is the total request budget across all clients.
+	Requests int
+	// HotFrac is the probability a request replays a hot-set query;
+	// the rest are cold (unique text per request, so they can never
+	// hit a result cache).
+	HotFrac float64
+	// Hot is the recurring query set (picked uniformly).
+	Hot []string
+	// Cold generates the one-off query for a global sequence number.
+	Cold func(seq int) string
+	// Client overrides the HTTP client (default: http.DefaultClient).
+	Client *http.Client
+}
+
+// Report aggregates what the clients observed.
+type Report struct {
+	Requests int // completed requests (2xx)
+	Hot      int // requests drawn from the hot set
+	Cold     int
+	Errors   int // non-2xx answers other than 429
+	Rejected int // 429 admission rejections (excluded from latencies)
+
+	P50, P90, P99, Max time.Duration
+	Mean               time.Duration
+	Elapsed            time.Duration
+	Throughput         float64 // completed requests per second
+}
+
+// String renders the report for logs.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"%d reqs (%d hot, %d cold) in %v: p50=%v p90=%v p99=%v max=%v mean=%v %.0f req/s, %d errors, %d rejected",
+		r.Requests, r.Hot, r.Cold, r.Elapsed.Round(time.Millisecond),
+		r.P50, r.P90, r.P99, r.Max, r.Mean, r.Throughput, r.Errors, r.Rejected)
+}
+
+// Run executes the closed loop: each client issues its share of the
+// request budget back to back (a new request as soon as the previous
+// response is fully read — closed-loop, not open-loop), drawing hot vs
+// cold per HotFrac with a deterministic per-client RNG. Latency is
+// time-to-last-byte. 429 answers count as rejections, back off 1ms and
+// are excluded from the latency distribution.
+func Run(cfg Config) Report {
+	if cfg.Clients < 1 {
+		cfg.Clients = 1
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	var (
+		seq       atomic.Int64
+		mu        sync.Mutex
+		rep       Report
+		latencies []time.Duration
+		wg        sync.WaitGroup
+	)
+	perClient := cfg.Requests / cfg.Clients
+	extra := cfg.Requests % cfg.Clients
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		n := perClient
+		if c < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(id, n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)*7919 + 1))
+			var lats []time.Duration
+			var done, hot, cold, errs, rej int
+			for i := 0; i < n; i++ {
+				var q string
+				if len(cfg.Hot) > 0 && rng.Float64() < cfg.HotFrac {
+					q = cfg.Hot[rng.Intn(len(cfg.Hot))]
+					hot++
+				} else {
+					q = cfg.Cold(int(seq.Add(1)))
+					cold++
+				}
+				t0 := time.Now()
+				status, err := fetch(client, cfg.BaseURL, q)
+				lat := time.Since(t0)
+				switch {
+				case err != nil || status >= 300:
+					if status == http.StatusTooManyRequests {
+						rej++
+						time.Sleep(time.Millisecond)
+					} else {
+						errs++
+					}
+				default:
+					done++
+					lats = append(lats, lat)
+				}
+			}
+			mu.Lock()
+			rep.Requests += done
+			rep.Hot += hot
+			rep.Cold += cold
+			rep.Errors += errs
+			rep.Rejected += rej
+			latencies = append(latencies, lats...)
+			mu.Unlock()
+		}(c, n)
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+	if rep.Elapsed > 0 {
+		rep.Throughput = float64(rep.Requests) / rep.Elapsed.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		var sum time.Duration
+		for _, l := range latencies {
+			sum += l
+		}
+		rep.Mean = sum / time.Duration(len(latencies))
+		rep.P50 = quantile(latencies, 0.50)
+		rep.P90 = quantile(latencies, 0.90)
+		rep.P99 = quantile(latencies, 0.99)
+		rep.Max = latencies[len(latencies)-1]
+	}
+	return rep
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// fetch issues one /sparql GET and drains the body (latency is
+// time-to-last-byte; trailers — and cursor teardown on the server —
+// only complete once the body is read).
+func fetch(client *http.Client, base, query string) (int, error) {
+	resp, err := client.Get(base + "/sparql?query=" + url.QueryEscape(query))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return resp.StatusCode, err
+	}
+	return resp.StatusCode, nil
+}

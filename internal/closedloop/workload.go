@@ -1,0 +1,164 @@
+package closedloop
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/products"
+	"repro/internal/rdf"
+	"repro/internal/strabon"
+)
+
+// The workload geometry mirrors the scenario the paper serves: a day of
+// accumulated MSG acquisitions queried by recurring thematic windows
+// while the live chain keeps writing the current acquisition. On a
+// 4-slice, 1h-width sharded store with Epoch=Day, history hours 0..11
+// cover every slice (buckets round-robin), the hot windows (hours 0, 2
+// and 3) prune to slices 0, 2 and 3, and the live writer stays pinned
+// inside bucket 13 — slice 1 — so hot cached results survive the write
+// stream while anything that read slice 1 invalidates per write.
+
+// Day is the scenario date the fixtures and queries share.
+func Day() time.Time { return time.Date(2007, 8, 25, 0, 0, 0, 0, time.UTC) }
+
+const (
+	nsGAG   = "http://teleios.di.uoa.gr/ontologies/gagOntology.owl#"
+	nsStRDF = "http://strdf.di.uoa.gr/ontology#"
+)
+
+// StaticTriples builds the reference side of the workload:
+// municipalities tiling the [0,20]x[0,10] region the hotspots land in.
+func StaticTriples() []rdf.Triple {
+	var out []rdf.Triple
+	for i := 0; i < 4; i++ {
+		m := rdf.NewIRI(fmt.Sprintf("http://example.org/mun%d", i))
+		x := float64(i * 5)
+		out = append(out,
+			rdf.Triple{S: m, P: rdf.NewIRI(rdf.RDFType), O: rdf.NewIRI(nsGAG + "Municipality")},
+			rdf.Triple{S: m, P: rdf.NewIRI(nsStRDF + "hasGeometry"), O: rdf.NewGeometry(fmt.Sprintf(
+				"POLYGON ((%g 0, %g 0, %g 10, %g 10, %g 0))", x, x+5, x+5, x, x))},
+			rdf.Triple{S: m, P: rdf.NewIRI(nsGAG + "hasPopulation"), O: rdf.NewInteger(int64(1000 * (i + 1)))},
+		)
+	}
+	return out
+}
+
+// HistoryProducts builds the accumulated acquisition history: four
+// products per hour for the given number of hours from Day, six
+// hotspots each.
+func HistoryProducts(hours int) []*products.Product {
+	var out []*products.Product
+	for i := 0; i < hours*4; i++ {
+		at := Day().Add(time.Duration(i) * 15 * time.Minute)
+		p := &products.Product{Sensor: "MSG1", Chain: "loop", AcquiredAt: at}
+		for j := 0; j < 6; j++ {
+			p.Hotspots = append(p.Hotspots, products.Hotspot{
+				ID:         fmt.Sprintf("h%d_%d", i, j),
+				Geometry:   geom.NewSquare(float64((i+5*j)%19)+0.5, 5, 0.5),
+				Confidence: 0.5 + 0.5*float64((i+j)%2),
+				AcquiredAt: at, Sensor: "MSG1", Chain: "loop", Producer: "noa",
+			})
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Seed loads the reference datasets plus hours of acquisition history
+// into the store, product group by product group (the routed write
+// path), and returns the triple count.
+func Seed(st strabon.API, hours int) int {
+	n := st.LoadTriples(StaticTriples())
+	for _, p := range HistoryProducts(hours) {
+		for _, c := range st.InsertAll(p.Triples()) {
+			n += c
+		}
+	}
+	return n
+}
+
+// StartWriter launches the live writer: one single-hotspot product per
+// interval, every timestamp pinned inside the bucket of Day+13h (slice
+// 1 on a 4-slice store — advancing past the bucket would cycle the
+// round-robin through every slice and invalidate the whole cache).
+// The returned stop blocks until the writer goroutine has exited and
+// is safe to call more than once.
+func StartWriter(st strabon.API, interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			at := Day().Add(13*time.Hour + time.Duration(i%12)*5*time.Minute)
+			p := &products.Product{Sensor: "MSG1", Chain: "loop", AcquiredAt: at}
+			p.Hotspots = append(p.Hotspots, products.Hotspot{
+				ID: fmt.Sprintf("w%d", i), Geometry: geom.NewSquare(3, 5, 0.5),
+				Confidence: 1.0, AcquiredAt: at, Sensor: "MSG1", Chain: "loop", Producer: "noa",
+			})
+			st.InsertAll(p.Triples())
+			time.Sleep(interval)
+		}
+	}()
+	return func() {
+		once.Do(func() { close(done) })
+		wg.Wait()
+	}
+}
+
+const timeFmt = "2006-01-02T15:04:05"
+
+// windowJoin is the paper's dominant thematic shape: hotspots of one
+// acquisition window joined spatially against the municipalities.
+func windowJoin(lo, hi time.Time) string {
+	return fmt.Sprintf(`SELECT ?h ?m WHERE {
+  ?h a noa:Hotspot ; noa:hasAcquisitionDateTime ?at ; strdf:hasGeometry ?hg .
+  ?m a gag:Municipality ; strdf:hasGeometry ?mg .
+  FILTER( str(?at) >= "%s" )
+  FILTER( str(?at) <= "%s" )
+  FILTER( strdf:anyInteract(?hg, ?mg) )
+}`, lo.Format(timeFmt), hi.Format(timeFmt))
+}
+
+// HotQueries is the recurring thematic set: window joins over hours 0
+// and 2 plus a per-municipality count over hour 3 — windows that prune
+// to slices 0, 2 and 3, away from the live writer's slice.
+func HotQueries() []string {
+	d := Day()
+	hour := func(h int) (time.Time, time.Time) {
+		lo := d.Add(time.Duration(h) * time.Hour)
+		return lo, lo.Add(59 * time.Minute)
+	}
+	lo0, hi0 := hour(0)
+	lo2, hi2 := hour(2)
+	lo3, hi3 := hour(3)
+	return []string{
+		windowJoin(lo0, hi0),
+		windowJoin(lo2, hi2),
+		fmt.Sprintf(`SELECT ?m (COUNT(?h) AS ?n) WHERE {
+  ?h a noa:Hotspot ; noa:hasAcquisitionDateTime ?at ; strdf:hasGeometry ?hg .
+  ?m a gag:Municipality ; strdf:hasGeometry ?mg .
+  FILTER( str(?at) >= "%s" )
+  FILTER( str(?at) <= "%s" )
+  FILTER( strdf:anyInteract(?hg, ?mg) )
+} GROUP BY ?m`, lo3.Format(timeFmt), hi3.Format(timeFmt)),
+	}
+}
+
+// ColdQuery generates the one-off exploratory query for a global
+// sequence number: a 10-minute window whose start slides second by
+// second through history hours 4..11, so every text is unique for the
+// first 28800 sequence numbers — a cold query can never hit the result
+// cache, which makes every observed hit attributable to the hot set.
+func ColdQuery(seq int) string {
+	lo := Day().Add(4*time.Hour + time.Duration(seq%28800)*time.Second)
+	return windowJoin(lo, lo.Add(10*time.Minute))
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/rdf"
+	"repro/internal/resultcache"
 	"repro/internal/strabon"
 	"repro/internal/stsparql"
 )
@@ -104,12 +105,27 @@ type listCursor struct {
 	yielded int
 	ask     bool
 	err     error
+
+	vec       resultcache.GenVector
+	hasVec    bool
+	cacheable bool
 }
 
 func (c *listCursor) Vars() []string { return c.vars }
 func (c *listCursor) IsAsk() bool    { return c.ask }
 func (c *listCursor) Err() error     { return c.err }
 func (c *listCursor) Rows() int      { return c.yielded }
+
+// setCacheVector attaches the generation vector the rows were derived
+// under; cacheable=false (SAMPLE plans) keeps the result out of caches.
+func (c *listCursor) setCacheVector(v resultcache.GenVector, cacheable bool) {
+	c.vec, c.hasVec, c.cacheable = v, true, cacheable
+}
+
+// CacheVector implements strabon.CacheInfo.
+func (c *listCursor) CacheVector() (resultcache.GenVector, bool) {
+	return c.vec, c.hasVec && c.cacheable
+}
 
 func (c *listCursor) Next() (stsparql.Binding, bool) {
 	if c.pos >= len(c.rows) {
@@ -172,9 +188,19 @@ type mergeCursor struct {
 	skipped, emitted int
 	yielded          int
 
+	vec       resultcache.GenVector
+	cacheable bool
+
 	err    error
 	done   bool
 	closed bool
+}
+
+// CacheVector implements strabon.CacheInfo: the generation vector
+// fanoutStream captured under the shard read locks, before the workers
+// started reading.
+func (m *mergeCursor) CacheVector() (resultcache.GenVector, bool) {
+	return m.vec, m.cacheable
 }
 
 // startMerge launches one worker per compiled shard plan and returns the
@@ -452,6 +478,15 @@ type unionCursor struct {
 	yielded int
 	err     error
 	closed  bool
+
+	vec       resultcache.GenVector
+	cacheable bool
+}
+
+// CacheVector implements strabon.CacheInfo: the full generation vector
+// captured under every member's read lock.
+func (c *unionCursor) CacheVector() (resultcache.GenVector, bool) {
+	return c.vec, c.cacheable
 }
 
 var _ strabon.QueryCursor = (*unionCursor)(nil)

@@ -32,19 +32,22 @@ func (s *Store) QueryStreamCtx(ctx context.Context, src string) (strabon.QueryCu
 		return nil, err
 	}
 	s.countQuery()
+	// Result-cacheability is an AST property (SAMPLE shapes); the
+	// cursor pairs it with the generation vector captured under locks.
+	cacheable := stsparql.Cacheable(q)
 	switch {
 	case q.Select != nil:
 		dec := s.analyzeGroup(q.Select.Where)
 		if !dec.fanout {
-			return s.unionStream(ctx, src, q)
+			return s.unionStream(ctx, src, q, cacheable)
 		}
-		return s.fanoutStream(ctx, src, q, dec, q.Select.Where)
+		return s.fanoutStream(ctx, src, q, dec, q.Select.Where, cacheable)
 	default: // ASK
 		dec := s.analyzeGroup(q.Ask.Where)
 		if !dec.fanout {
-			return s.unionStream(ctx, src, q)
+			return s.unionStream(ctx, src, q, cacheable)
 		}
-		return s.askFanout(ctx, src, q, dec, q.Ask.Where)
+		return s.askFanout(ctx, src, q, dec, q.Ask.Where, cacheable)
 	}
 }
 
@@ -58,8 +61,9 @@ func (s *Store) Query(src string) (*stsparql.Result, error) {
 
 // unionStream evaluates once over the union view of every member store
 // — the exact fallback for queries the analysis cannot decompose.
-func (s *Store) unionStream(ctx context.Context, src string, q *stsparql.Query) (strabon.QueryCursor, error) {
+func (s *Store) unionStream(ctx context.Context, src string, q *stsparql.Query, cacheable bool) (strabon.QueryCursor, error) {
 	release := s.lockAllRead()
+	vec := s.fullVector()
 	ev := stsparql.NewEvaluatorWithCache(s.viewAll(), s.cache)
 	c := ev.CompileASTCached(src, s.genAll(), s.unionCache(), q)
 	switch {
@@ -69,14 +73,16 @@ func (s *Store) unionStream(ctx context.Context, src string, q *stsparql.Query) 
 			release()
 			return nil, err
 		}
-		return &unionCursor{inner: cur, ctx: ctx, release: release}, nil
+		return &unionCursor{inner: cur, ctx: ctx, release: release, vec: vec, cacheable: cacheable}, nil
 	case c.IsAsk():
 		ok, err := ev.AskCompiled(c)
 		release()
 		if err != nil {
 			return nil, err
 		}
-		return askResult(ok), nil
+		res := askResult(ok)
+		res.setCacheVector(vec, cacheable)
+		return res, nil
 	default:
 		release()
 		return nil, fmt.Errorf("shard: unsupported query form")
@@ -105,27 +111,40 @@ func (s *Store) recheckFanout(where *stsparql.GroupPattern, dec decision) bool {
 
 // fanoutStream compiles the (possibly rewritten) per-shard query against
 // every relevant slice view and merges the concurrent shard cursors.
-func (s *Store) fanoutStream(ctx context.Context, src string, q *stsparql.Query, dec decision, where *stsparql.GroupPattern) (strabon.QueryCursor, error) {
+func (s *Store) fanoutStream(ctx context.Context, src string, q *stsparql.Query, dec decision, where *stsparql.GroupPattern, cacheable bool) (strabon.QueryCursor, error) {
 	fp, ok := planFanout(src, q)
 	if !ok {
-		return s.unionStream(ctx, src, q)
+		return s.unionStream(ctx, src, q, cacheable)
 	}
 	if len(dec.shards) == 0 {
-		// The window excludes every slice. Grouped queries still owe
-		// their implicit group (COUNT over nothing = 0).
+		// The window (or the observed ranges) excludes every slice; the
+		// result reads no slice data, so no locks are needed. The cache
+		// vector is captured BEFORE the recheck: a write racing past the
+		// analysis publishes its routing knowledge before bumping any
+		// member generation, so either the recheck sees it (union
+		// fallback) or the vector predates it (entry invalidates).
+		vec := s.fanVector(dec.keyShards)
+		if !s.recheckFanout(where, dec) {
+			return s.unionStream(ctx, src, q, cacheable)
+		}
+		// Grouped queries still owe their implicit group (COUNT over
+		// nothing = 0).
+		cur := &listCursor{vars: fp.vars}
 		if fp.mode == fanAgg {
 			res, err := fp.agg.Finalize(nil)
 			if err != nil {
 				return nil, err
 			}
-			return &listCursor{vars: res.Vars, rows: res.Rows}, nil
+			cur = &listCursor{vars: res.Vars, rows: res.Rows}
 		}
-		return &listCursor{vars: fp.vars}, nil
+		cur.setCacheVector(vec, cacheable)
+		return cur, nil
 	}
 	release := s.lockRead(dec.shards)
+	vec := s.fanVector(dec.keyShards)
 	if !s.recheckFanout(where, dec) {
 		release()
-		return s.unionStream(ctx, src, q)
+		return s.unionStream(ctx, src, q, cacheable)
 	}
 	evs := make([]*stsparql.Evaluator, len(dec.shards))
 	cs := make([]*stsparql.Compiled, len(dec.shards))
@@ -133,21 +152,32 @@ func (s *Store) fanoutStream(ctx context.Context, src string, q *stsparql.Query,
 		evs[i] = stsparql.NewEvaluatorWithCache(s.view(idx), s.cache)
 		cs[i] = evs[i].CompileASTCached(fp.key, s.genFor(idx), s.sliceCache(idx), fp.shardQ)
 	}
-	return startMerge(ctx, fp, evs, cs, release), nil
+	m := startMerge(ctx, fp, evs, cs, release)
+	m.vec, m.cacheable = vec, cacheable
+	return m, nil
 }
 
 // askFanout evaluates an ASK shard by shard under one lock acquisition,
 // stopping at the first shard with a solution. Cancellation is honoured
 // between shards — the blast radius of a cancelled context is one
 // shard's eager evaluation.
-func (s *Store) askFanout(ctx context.Context, src string, q *stsparql.Query, dec decision, where *stsparql.GroupPattern) (strabon.QueryCursor, error) {
+func (s *Store) askFanout(ctx context.Context, src string, q *stsparql.Query, dec decision, where *stsparql.GroupPattern, cacheable bool) (strabon.QueryCursor, error) {
 	if len(dec.shards) == 0 {
-		return askResult(false), nil
+		// Lock-free path; see fanoutStream for the capture-ordering
+		// argument.
+		vec := s.fanVector(dec.keyShards)
+		if !s.recheckFanout(where, dec) {
+			return s.unionStream(ctx, src, q, cacheable)
+		}
+		res := askResult(false)
+		res.setCacheVector(vec, cacheable)
+		return res, nil
 	}
 	release := s.lockRead(dec.shards)
+	vec := s.fanVector(dec.keyShards)
 	if !s.recheckFanout(where, dec) {
 		release()
-		return s.unionStream(ctx, src, q)
+		return s.unionStream(ctx, src, q, cacheable)
 	}
 	defer release()
 	for _, idx := range dec.shards {
@@ -161,10 +191,14 @@ func (s *Store) askFanout(ctx context.Context, src string, q *stsparql.Query, de
 			return nil, err
 		}
 		if ok {
-			return askResult(true), nil
+			res := askResult(true)
+			res.setCacheVector(vec, cacheable)
+			return res, nil
 		}
 	}
-	return askResult(false), nil
+	res := askResult(false)
+	res.setCacheVector(vec, cacheable)
+	return res, nil
 }
 
 // Explain renders the routing decision — fan-out with the relevant
@@ -228,9 +262,28 @@ func (s *Store) Explain(src string) (string, error) {
 		return b.String(), inner(nil, q)
 	}
 	fmt.Fprintf(&b, "shard %s: %d/%d slices %v merge=%s\n", label, len(dec.shards), n, dec.shards, merge)
+	if len(dec.shards) < len(dec.keyShards) {
+		fmt.Fprintf(&b, "  (observed time ranges prune %v of window candidates %v)\n",
+			diffInts(dec.keyShards, dec.shards), dec.keyShards)
+	}
 	if len(dec.shards) == 0 {
 		b.WriteString("  (no slice intersects the query window)\n")
 		return b.String(), nil
 	}
 	return b.String(), inner(dec.shards, shardQ)
+}
+
+// diffInts returns the members of a absent from b (both ascending).
+func diffInts(a, b []int) []int {
+	in := make(map[int]bool, len(b))
+	for _, x := range b {
+		in[x] = true
+	}
+	var out []int
+	for _, x := range a {
+		if !in[x] {
+			out = append(out, x)
+		}
+	}
+	return out
 }

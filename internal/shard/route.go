@@ -55,8 +55,14 @@ const (
 // decision is the routing verdict for one WHERE clause.
 type decision struct {
 	fanout bool
-	shards []int // relevant slice indices, ascending (fanout only)
-	pruned bool  // len(shards) < len(slices)
+	shards []int // evaluated slice indices, ascending (fanout only)
+	// keyShards is the window-derived candidate set before observed-
+	// range refinement: pure bucket arithmetic over the immutable
+	// width/epoch, so it is stable across time for one query text —
+	// the set partial result-cache vectors are built from. shards ⊆
+	// keyShards always.
+	keyShards []int
+	pruned    bool // len(shards) < len(slices)
 }
 
 type patCtx struct {
@@ -270,8 +276,48 @@ func (s *Store) analyzeGroup(gp *stsparql.GroupPattern) decision {
 	// shard set is intersected — each solution needs the anchor's
 	// (single, group-routing) time value inside all of them.
 	wins, _ := scopeWindows(w.root)
-	shards := s.shardSetFor(wins)
-	return decision{fanout: true, shards: shards, pruned: len(shards) < len(s.slices)}
+	keyShards := s.shardSetFor(wins)
+	shards := s.refineObserved(keyShards, wins)
+	return decision{
+		fanout:    true,
+		shards:    shards,
+		keyShards: keyShards,
+		pruned:    len(shards) < len(s.slices),
+	}
+}
+
+// refineObserved drops candidate slices the observed data ranges prove
+// irrelevant: a slice that never received a routed group (its range is
+// unset) cannot satisfy the required slice-classed pattern, and a slice
+// whose whole observed acquisition range lies outside some window
+// cannot contribute a solution inside it. Sound because every routed
+// insert extends its slice's range in track() BEFORE the data becomes
+// visible, and ranges only grow — a concurrent write that would
+// re-admit a dropped slice publishes the wider range first, so the
+// under-lock recheckFanout re-analysis sees it, finds the locked slice
+// set no longer covers the re-derived one, and falls back to the union
+// view.
+func (s *Store) refineObserved(cand []int, wins []windowBounds) []int {
+	s.routeMu.RLock()
+	defer s.routeMu.RUnlock()
+	out := make([]int, 0, len(cand))
+	for _, i := range cand {
+		if s.sliceMin[i].IsZero() {
+			continue // never received a routed group: nothing to read
+		}
+		drop := false
+		for _, w := range wins {
+			if (w.hasHi && s.sliceMin[i].After(w.hi)) ||
+				(w.hasLo && s.sliceMax[i].Before(w.lo)) {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // typeClasses maps variables to a provenance class derived from their

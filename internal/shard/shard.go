@@ -56,6 +56,7 @@ import (
 
 	"repro/internal/ontology"
 	"repro/internal/rdf"
+	"repro/internal/resultcache"
 	"repro/internal/strabon"
 	"repro/internal/stsparql"
 )
@@ -106,6 +107,16 @@ type Store struct {
 	staticTypes map[string]bool
 	sliceMin    []time.Time
 	sliceMax    []time.Time
+
+	// knowGen is the routing-knowledge generation: it advances whenever
+	// the predicate or rdf:type provenance sets above gain a member —
+	// the events that can flip a query's fan-out verdict without
+	// touching any member store the query read. Partial result-cache
+	// vectors are pinned to it (see fanVector); in steady state the
+	// vocabulary is fixed and it never moves. Pure observed-range
+	// extension does NOT advance it: the write extending a range bumps
+	// its own slice's generation, which the affected vectors carry.
+	knowGen atomic.Uint64
 
 	// writeMu serialises the write paths: routing is check-then-act
 	// (probe a subject's home, then insert), so concurrent writers
@@ -316,32 +327,48 @@ func (s *Store) groupTime(group []rdf.Triple) (time.Time, bool) {
 }
 
 // track records routing knowledge for inserted groups: predicate and
-// rdf:type-object membership per side, and the observed time range per
-// slice. targets[i] is the slice index of groups[i], or -1 for static.
-// Deletions never untrack — the sets are conservative supersets, which
-// only costs fan-out opportunities, never correctness.
-func (s *Store) track(groups [][]rdf.Triple, targets []int, times []time.Time) {
+// rdf:type-object membership per side, and the observed acquisition-
+// time range per slice — every parseable time object in a slice-routed
+// group extends that slice's range, scoped-update inserts (which carry
+// no routing timestamp of their own) included. targets[i] is the slice
+// index of groups[i], or -1 for static. Deletions never untrack — the
+// sets are conservative supersets and the ranges conservative
+// envelopes, which only costs fan-out/pruning opportunities, never
+// correctness. Growth of the predicate or type sets advances knowGen,
+// invalidating partial result-cache vectors whose fan-out verdict the
+// new knowledge could flip.
+func (s *Store) track(groups [][]rdf.Triple, targets []int) {
 	s.routeMu.Lock()
 	defer s.routeMu.Unlock()
+	grew := false
 	for gi, group := range groups {
 		preds, types := s.slicePreds, s.sliceTypes
 		if targets[gi] < 0 {
 			preds, types = s.staticPreds, s.staticTypes
-		} else if at := times[gi]; !at.IsZero() {
-			i := targets[gi]
-			if s.sliceMin[i].IsZero() || at.Before(s.sliceMin[i]) {
-				s.sliceMin[i] = at
-			}
-			if at.After(s.sliceMax[i]) {
-				s.sliceMax[i] = at
-			}
 		}
 		for _, t := range group {
-			preds[t.P.Value] = true
-			if t.P.Value == rdf.RDFType && t.O.IsIRI() {
+			if !preds[t.P.Value] {
+				preds[t.P.Value] = true
+				grew = true
+			}
+			if t.P.Value == rdf.RDFType && t.O.IsIRI() && !types[t.O.Value] {
 				types[t.O.Value] = true
+				grew = true
+			}
+			if i := targets[gi]; i >= 0 && t.P.Value == s.cfg.TimePredicate {
+				if at, ok := stsparql.ParseDateTime(t.O.Value); ok {
+					if s.sliceMin[i].IsZero() || at.Before(s.sliceMin[i]) {
+						s.sliceMin[i] = at
+					}
+					if at.After(s.sliceMax[i]) {
+						s.sliceMax[i] = at
+					}
+				}
 			}
 		}
+	}
+	if grew {
+		s.knowGen.Add(1)
 	}
 }
 
@@ -458,19 +485,17 @@ func (s *Store) insertRouted(groups [][]rdf.Triple, probeOwner bool) []int {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	targets := make([]int, len(groups))
-	times := make([]time.Time, len(groups))
 	for gi, g := range groups {
 		targets[gi] = -1
 		if at, ok := s.groupTime(g); ok {
 			targets[gi] = s.sliceFor(at)
-			times[gi] = at
 			s.noteTimeConflict(g, at)
 		} else if probeOwner && len(g) > 0 {
 			targets[gi] = s.findOwner(g[0].S, false)
 		}
 	}
 	s.noteSplits(groups, targets, false)
-	s.track(groups, targets, times)
+	s.track(groups, targets)
 
 	counts := make([]int, len(groups))
 	apply := func(target int, st *strabon.Store) {
@@ -635,7 +660,7 @@ func (s *Store) applyRouted(plan *stsparql.UpdatePlan) stsparql.UpdateStats {
 			}
 		}
 	}
-	s.track(groups, targets, times)
+	s.track(groups, targets)
 	return stats
 }
 
@@ -702,13 +727,25 @@ func (s *Store) UpdateScoped(src string) (stsparql.UpdateStats, error) {
 			// template writes onto a subject living outside this slice
 			// — no concurrent analysis may see the data under a
 			// pre-write classification.
-			s.track([][]rdf.Triple{plan.Inserts}, []int{idx}, []time.Time{{}})
+			s.track([][]rdf.Triple{plan.Inserts}, []int{idx})
 			groups := groupBySubject(plan.Inserts)
 			targets := make([]int, len(groups))
 			for i := range targets {
 				targets[i] = idx
 			}
 			s.noteSplits(groups, targets, false)
+			// A template may mint an acquisition timestamp belonging to
+			// a different routing bucket than the slice it lands in —
+			// window pruning would then look in the wrong slice. Latch
+			// the union fallback, as noteTimeConflict does for loads.
+			for _, t := range plan.Inserts {
+				if t.P.Value != s.cfg.TimePredicate || s.split.Load() {
+					continue
+				}
+				if at, ok := stsparql.ParseDateTime(t.O.Value); !ok || s.sliceFor(at) != idx {
+					s.split.Store(true)
+				}
+			}
 		}
 		var leftovers []rdf.Triple
 		sl.Lock()
@@ -828,6 +865,77 @@ func (s *Store) genAll() uint64 {
 		g += sl.Generation()
 	}
 	return g
+}
+
+// --- result-cache generation vectors ---
+//
+// A cached result stays valid while every member store it could have
+// read is unchanged. Full (union-view) vectors list the static store
+// and every slice. Partial vectors list only the fan-out's candidate
+// slices — the window-derived keyShards set, which is pure bucket
+// arithmetic over the immutable width/epoch and therefore stable
+// across time for the same query text — plus the static store, and are
+// additionally pinned to knowGen and the unsplit state: growth of
+// routing knowledge or a co-location violation can widen the set of
+// slices a re-evaluation would read, which the listed generations
+// alone cannot witness.
+
+// fullVector captures the union view's per-member generations. Caller
+// must hold every member's read lock.
+func (s *Store) fullVector() resultcache.GenVector {
+	gens := make([]resultcache.SliceGen, 0, len(s.slices)+1)
+	gens = append(gens, resultcache.SliceGen{Slice: -1, Gen: s.static.Generation()})
+	for i, sl := range s.slices {
+		gens = append(gens, resultcache.SliceGen{Slice: i, Gen: sl.Generation()})
+	}
+	return resultcache.GenVector{Gens: gens, Know: s.knowGen.Load()}
+}
+
+// fanVector captures the generations of the static store plus the
+// fan-out's candidate slices. Capture must precede recheckFanout —
+// every write path tracks its routing knowledge BEFORE bumping the
+// member generation, so a write racing the analysis either shows up in
+// the recheck (union fallback) or post-dates the captured vector (the
+// cache entry fails validation). That ordering is what makes the
+// lock-free empty-prune path sound; the locked fan-out paths capture
+// under their read locks anyway.
+func (s *Store) fanVector(keyShards []int) resultcache.GenVector {
+	gens := make([]resultcache.SliceGen, 0, len(keyShards)+1)
+	gens = append(gens, resultcache.SliceGen{Slice: -1, Gen: s.static.Generation()})
+	for _, i := range keyShards {
+		gens = append(gens, resultcache.SliceGen{Slice: i, Gen: s.slices[i].Generation()})
+	}
+	return resultcache.GenVector{Gens: gens, Know: s.knowGen.Load(), Partial: true}
+}
+
+// GensValid implements strabon.GenValidator: a cached result is valid
+// iff every member generation its vector lists is unchanged — and, for
+// partial vectors, the routing knowledge that scoped the fan-out to
+// those members is unchanged too. Lock-free: generations are atomics,
+// so validation runs on every cache Get without touching any RWMutex.
+func (s *Store) GensValid(v resultcache.GenVector) bool {
+	if v.Partial {
+		if s.split.Load() || v.Know != s.knowGen.Load() {
+			return false
+		}
+	} else if len(v.Gens) != len(s.slices)+1 {
+		return false
+	}
+	for _, g := range v.Gens {
+		switch {
+		case g.Slice == -1:
+			if g.Gen != s.static.Generation() {
+				return false
+			}
+		case g.Slice < 0 || g.Slice >= len(s.slices):
+			return false
+		default:
+			if g.Gen != s.slices[g.Slice].Generation() {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // TimedQuery evaluates a query and reports its wall-clock duration

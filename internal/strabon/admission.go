@@ -1,0 +1,126 @@
+package strabon
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Admission is the endpoint's miss-path concurrency gate: at most max
+// evaluations hold store read locks at once, and up to maxQueue
+// further requests wait in FIFO order (each bounded by its own request
+// context — the -query-timeout deadline covers queueing and
+// evaluation together). A request arriving to a full queue is rejected
+// immediately so the client can back off (the endpoint answers 429
+// with Retry-After) instead of piling more lock-holders onto an
+// already saturated store. Cache hits never pass through admission:
+// replaying a materialised result takes no store locks, so serving it
+// cannot deepen the overload the gate protects against.
+type Admission struct {
+	mu       sync.Mutex
+	max      int
+	maxQueue int
+	active   int
+	queue    []*waiter
+	stats    AdmissionStats
+}
+
+type waiter struct {
+	ch chan struct{} // closed when granted
+}
+
+// AdmissionStats counts gate traffic. Active and Queued are
+// instantaneous depths; the counters are cumulative.
+type AdmissionStats struct {
+	Admitted uint64 `json:"admitted"`
+	Rejected uint64 `json:"rejected"`
+	TimedOut uint64 `json:"timed_out"`
+	Active   int    `json:"active"`
+	Queued   int    `json:"queued"`
+}
+
+// ErrAdmissionFull reports a request rejected because the wait queue
+// was at capacity.
+var ErrAdmissionFull = errors.New("strabon: admission queue full")
+
+// NewAdmission returns a gate admitting max concurrent evaluations
+// with a FIFO wait queue of maxQueue (0 = reject as soon as all slots
+// are busy).
+func NewAdmission(max, maxQueue int) *Admission {
+	if max < 1 {
+		max = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Admission{max: max, maxQueue: maxQueue}
+}
+
+// Acquire blocks until a slot is granted, the queue overflows
+// (ErrAdmissionFull), or ctx fires (its error). On nil return the
+// caller owns a slot and must Release it.
+func (a *Admission) Acquire(ctx context.Context) error {
+	a.mu.Lock()
+	if a.active < a.max {
+		a.active++
+		a.stats.Admitted++
+		a.mu.Unlock()
+		return nil
+	}
+	if len(a.queue) >= a.maxQueue {
+		a.stats.Rejected++
+		a.mu.Unlock()
+		return ErrAdmissionFull
+	}
+	w := &waiter{ch: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		select {
+		case <-w.ch:
+			// Release granted the slot in the race window before we
+			// re-took the lock: keep it — the caller will Release.
+			a.mu.Unlock()
+			return nil
+		default:
+		}
+		for i, q := range a.queue {
+			if q == w {
+				a.queue = append(a.queue[:i], a.queue[i+1:]...)
+				break
+			}
+		}
+		a.stats.TimedOut++
+		a.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot, handing it to the oldest waiter if any.
+func (a *Admission) Release() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.active--
+	if len(a.queue) > 0 {
+		w := a.queue[0]
+		a.queue = a.queue[1:]
+		a.active++
+		a.stats.Admitted++
+		close(w.ch)
+	}
+}
+
+// Stats returns a snapshot of the gate counters and current depths.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.stats
+	st.Active = a.active
+	st.Queued = len(a.queue)
+	return st
+}

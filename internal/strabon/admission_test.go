@@ -1,0 +1,113 @@
+package strabon
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestAdmissionGate pins the gate's contract: max slots, immediate
+// rejection past the queue bound, FIFO handoff on Release, and
+// cancellation of a queued waiter.
+func TestAdmissionGate(t *testing.T) {
+	a := NewAdmission(1, 1)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+
+	// One waiter fits in the queue.
+	granted := make(chan error, 1)
+	go func() {
+		granted <- a.Acquire(context.Background())
+	}()
+	waitQueued(t, a, 1)
+
+	// The next request overflows and is rejected without blocking.
+	if err := a.Acquire(context.Background()); !errors.Is(err, ErrAdmissionFull) {
+		t.Fatalf("overflow acquire: %v, want ErrAdmissionFull", err)
+	}
+
+	// Release hands the slot to the waiter.
+	a.Release()
+	if err := <-granted; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	a.Release()
+
+	st := a.Stats()
+	if st.Admitted != 2 || st.Rejected != 1 || st.TimedOut != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.Active != 0 || st.Queued != 0 {
+		t.Fatalf("gate not drained: %+v", st)
+	}
+}
+
+// TestAdmissionFIFO checks waiters are granted in arrival order.
+func TestAdmissionFIFO(t *testing.T) {
+	a := NewAdmission(1, 4)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan int, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		go func() {
+			if err := a.Acquire(context.Background()); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			a.Release()
+		}()
+		waitQueued(t, a, i+1)
+	}
+	a.Release()
+	for want := 0; want < 3; want++ {
+		if got := <-order; got != want {
+			t.Fatalf("grant order: got waiter %d, want %d", got, want)
+		}
+	}
+}
+
+// TestAdmissionCancelWhileQueued checks a queued waiter whose context
+// fires is removed from the queue (so it never absorbs a later grant)
+// and counted as timed out.
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a := NewAdmission(1, 2)
+	if err := a.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- a.Acquire(ctx) }()
+	waitQueued(t, a, 1)
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire: %v", err)
+	}
+	if st := a.Stats(); st.TimedOut != 1 || st.Queued != 0 {
+		t.Fatalf("stats after cancel: %+v", st)
+	}
+	// The slot still hands off cleanly to a live waiter.
+	errc2 := make(chan error, 1)
+	go func() { errc2 <- a.Acquire(context.Background()) }()
+	waitQueued(t, a, 1)
+	a.Release()
+	if err := <-errc2; err != nil {
+		t.Fatalf("post-cancel acquire: %v", err)
+	}
+	a.Release()
+}
+
+func waitQueued(t *testing.T, a *Admission, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Stats().Queued < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached depth %d: %+v", n, a.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

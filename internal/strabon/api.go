@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/rdf"
+	"repro/internal/resultcache"
 	"repro/internal/stsparql"
 )
 
@@ -49,6 +50,24 @@ type QueryCursor interface {
 	Err() error
 	Rows() int
 	Close() error
+}
+
+// CacheInfo is implemented by cursors that can report what their rows
+// were derived from: the generation vector captured while the
+// evaluation held its read locks, and whether the result is
+// deterministic enough to cache at all (false for SAMPLE-bearing
+// plans). The endpoint's result-cache tee only stores results from
+// cursors offering this.
+type CacheInfo interface {
+	CacheVector() (resultcache.GenVector, bool)
+}
+
+// GenValidator is implemented by stores that can check a cached
+// result's generation vector against their live state. Validation is
+// lock-free (generations are atomics), so it runs on every cache Get
+// without touching the stores' RWMutexes.
+type GenValidator interface {
+	GensValid(v resultcache.GenVector) bool
 }
 
 // Streamer is the canonical query surface: one context-first streaming
@@ -144,6 +163,9 @@ func (c *ctxCursor) Vars() []string { return c.cur.Vars() }
 func (c *ctxCursor) IsAsk() bool    { return c.cur.IsAsk() }
 func (c *ctxCursor) Rows() int      { return c.cur.Rows() }
 
+// CacheVector forwards the wrapped cursor's cache metadata.
+func (c *ctxCursor) CacheVector() (resultcache.GenVector, bool) { return c.cur.CacheVector() }
+
 func (c *ctxCursor) Next() (stsparql.Binding, bool) {
 	if c.err != nil {
 		return nil, false
@@ -189,9 +211,22 @@ func (s *Store) Lock() { s.mu.Lock() }
 // Unlock releases the store's write lock.
 func (s *Store) Unlock() { s.mu.Unlock() }
 
-// Generation reports the mutation generation compiled plans are pinned
-// to. The caller must hold the store's lock (read or write).
-func (s *Store) Generation() uint64 { return s.gen }
+// Generation reports the mutation generation compiled plans and cached
+// results are pinned to. It is an atomic load: callers holding the
+// store's lock (read or write) observe a stable value; lock-free
+// callers (cache validators, pruned-slice vector capture) observe the
+// latest published one.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
+
+// GensValid implements GenValidator for the single store: a cached
+// result is valid iff its vector is the whole-store generation and the
+// store has not mutated since.
+func (s *Store) GensValid(v resultcache.GenVector) bool {
+	if v.Partial || len(v.Gens) != 1 {
+		return false
+	}
+	return v.Gens[0].Gen == s.gen.Load()
+}
 
 // GeomCache exposes the store's shared geometry-parse cache so a
 // composite store's evaluators reuse the same parsed WKT.

@@ -3,6 +3,7 @@ package strabon
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/resultcache"
 	"repro/internal/stsparql"
 )
 
@@ -57,8 +59,30 @@ type Endpoint struct {
 
 	// QueryTimeout, when positive, caps how long one /sparql evaluation
 	// may hold store read locks; 0 means no cap beyond the client's own
-	// context.
+	// context. The cap spans admission queueing and evaluation together.
 	QueryTimeout time.Duration
+
+	// Results, when set, caches materialised query results keyed by the
+	// query text. A hit replays the stored rows through the same
+	// RowWriter pipeline — byte-identical to a fresh evaluation,
+	// trailers included — without taking any store lock or admission
+	// slot. Entries carry the generation vector of the slices their
+	// evaluation read and are validated against the store (GenValidator)
+	// on every Get, so a write to any of those slices invalidates
+	// exactly the results that read it. Requires the backend to
+	// implement GenValidator; otherwise every lookup misses.
+	Results *resultcache.Cache
+
+	// Admission, when set, gates the cache-miss path: bounded concurrent
+	// evaluations plus a FIFO wait queue. Overflow is answered 429 with
+	// Retry-After.
+	Admission *Admission
+
+	// MaxRows and MaxBytes, when positive, bound one streamed response
+	// on the miss path (budget overruns abort the stream with an
+	// X-Error trailer). Cache hits replay results that already fit.
+	MaxRows  int
+	MaxBytes int64
 
 	mu    sync.Mutex
 	stats EndpointStats
@@ -159,12 +183,42 @@ func (ep *Endpoint) serveQuery(w http.ResponseWriter, r *http.Request) {
 			http.StatusNotAcceptable)
 		return
 	}
+
+	// Result-cache lookup, ahead of plan compilation and admission: the
+	// key is the query text alone (the cached row set is
+	// format-independent; each hit renders it in the request's format),
+	// and validation checks the entry's generation vector against the
+	// live store without taking any lock.
+	if ep.Results != nil {
+		if ent, ok := ep.Results.Get(q, ep.validator()); ok {
+			ep.serveCached(w, media, ent, time.Now())
+			return
+		}
+	}
+
 	ctx := r.Context()
 	if ep.QueryTimeout > 0 {
 		var cancel func()
 		ctx, cancel = context.WithTimeout(ctx, ep.QueryTimeout)
 		defer cancel()
 	}
+
+	// Admission gates the miss path only — evaluations hold store read
+	// locks, replays don't. The wait shares the query deadline.
+	if ep.Admission != nil {
+		if err := ep.Admission.Acquire(ctx); err != nil {
+			ep.count(0, true)
+			if errors.Is(err, ErrAdmissionFull) {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "busy: admission queue full", http.StatusTooManyRequests)
+			} else {
+				http.Error(w, "queue wait cancelled: "+err.Error(), http.StatusServiceUnavailable)
+			}
+			return
+		}
+		defer ep.Admission.Release()
+	}
+
 	start := time.Now()
 	cur, err := ep.store.QueryStreamCtx(ctx, q)
 	if err != nil {
@@ -185,13 +239,35 @@ func (ep *Endpoint) serveQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Tee rows into a snapshot when the cursor vouches for the result:
+	// it carries the generation vector captured under its read locks and
+	// the plan is deterministic (no SAMPLE). The header is read here —
+	// the same point the row encoder reads it — so a replay renders
+	// identical bytes.
+	var snap *stsparql.RowSnapshot
+	var vec resultcache.GenVector
+	if ep.Results != nil {
+		if ci, ok := cur.(CacheInfo); ok {
+			if v, cacheOK := ci.CacheVector(); cacheOK {
+				vec = v
+				snap = stsparql.NewRowSnapshot(cur.Vars())
+			}
+		}
+	}
+
 	if cur.IsAsk() {
 		// ASK: a single pre-materialised row — keep the plain headers.
 		res := &stsparql.Result{Vars: cur.Vars()}
 		if hasFirst {
 			res.Rows = append(res.Rows, first)
+			if snap != nil {
+				snap.Append(first)
+			}
 		}
-		cur.Close()
+		closeErr := cur.Close()
+		if snap != nil && closeErr == nil {
+			ep.Results.Put(q, &resultcache.Entry{Ask: true, Snap: snap}, vec)
+		}
 		w.Header().Set("X-Rows", fmt.Sprint(len(res.Rows)))
 		w.Header().Set("X-Elapsed-Us", fmt.Sprint(time.Since(start).Microseconds()))
 		if media == mediaTSV {
@@ -208,17 +284,37 @@ func (ep *Endpoint) serveQuery(w http.ResponseWriter, r *http.Request) {
 	// Streamed SELECT: declare the trailers, then encode rows from the
 	// cursor, flushing every streamFlushRows rows.
 	w.Header().Set("Trailer", "X-Rows, X-Elapsed-Us, X-Error")
+	var sink io.Writer = w
+	var cw *countWriter
+	if ep.MaxBytes > 0 {
+		cw = &countWriter{w: w}
+		sink = cw
+	}
 	var enc RowWriter
 	if media == mediaTSV {
 		w.Header().Set("Content-Type", mediaTSV+"; charset=utf-8")
-		enc = NewTSVRowWriter(w, cur.Vars())
+		enc = NewTSVRowWriter(sink, cur.Vars())
 	} else {
 		w.Header().Set("Content-Type", mediaJSON)
-		enc = NewJSONRowWriter(w, cur.Vars())
+		enc = NewJSONRowWriter(sink, cur.Vars())
 	}
 	flusher, _ := w.(http.Flusher)
-	var writeErr error
+	var writeErr, budgetErr error
 	for ok := hasFirst; ok; first, ok = cur.Next() {
+		if ep.MaxRows > 0 && cur.Rows() > ep.MaxRows {
+			budgetErr = fmt.Errorf("row budget exceeded (%d rows)", ep.MaxRows)
+			break
+		}
+		if cw != nil && cw.n > ep.MaxBytes {
+			budgetErr = fmt.Errorf("byte budget exceeded (%d bytes)", ep.MaxBytes)
+			break
+		}
+		if snap != nil {
+			snap.Append(first)
+			if bound := ep.Results.MaxEntryBytes(); bound > 0 && snap.Bytes() > bound {
+				snap = nil // result outgrew the per-entry bound: stop teeing
+			}
+		}
 		if writeErr = enc.Row(first); writeErr != nil {
 			break // client gone: stop pulling rows
 		}
@@ -226,19 +322,97 @@ func (ep *Endpoint) serveQuery(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
-	if writeErr == nil {
+	if writeErr == nil && budgetErr == nil {
 		writeErr = enc.End()
 	}
 	closeErr := cur.Close() // rows are final once the cursor is closed
 	rows := cur.Rows()
+	if snap != nil && closeErr == nil && writeErr == nil && budgetErr == nil {
+		ep.Results.Put(q, &resultcache.Entry{Snap: snap}, vec)
+	}
 	w.Header().Set("X-Rows", fmt.Sprint(rows))
 	w.Header().Set("X-Elapsed-Us", fmt.Sprint(time.Since(start).Microseconds()))
 	failed := false
-	if closeErr != nil {
+	switch {
+	case closeErr != nil:
 		w.Header().Set("X-Error", closeErr.Error())
+		failed = true
+	case budgetErr != nil:
+		w.Header().Set("X-Error", budgetErr.Error())
 		failed = true
 	}
 	ep.count(rows, failed || writeErr != nil)
+}
+
+// validator adapts the backend's generation check for cache lookups; a
+// backend without one fails every entry (nothing is ever served stale).
+func (ep *Endpoint) validator() func(resultcache.GenVector) bool {
+	if gv, ok := ep.store.(GenValidator); ok {
+		return gv.GensValid
+	}
+	return func(resultcache.GenVector) bool { return false }
+}
+
+// serveCached replays a cached result through the same encoding
+// pipeline a fresh evaluation streams through, so the response bytes —
+// headers, body and trailers — match a miss of the same query, with
+// only X-Elapsed-Us reflecting the replay.
+func (ep *Endpoint) serveCached(w http.ResponseWriter, media string, ent *resultcache.Entry, start time.Time) {
+	snap := ent.Snap
+	if ent.Ask {
+		res := snap.Result()
+		w.Header().Set("X-Rows", fmt.Sprint(len(res.Rows)))
+		w.Header().Set("X-Elapsed-Us", fmt.Sprint(time.Since(start).Microseconds()))
+		if media == mediaTSV {
+			w.Header().Set("Content-Type", mediaTSV+"; charset=utf-8")
+			_ = WriteResultTSV(w, res)
+		} else {
+			w.Header().Set("Content-Type", mediaJSON)
+			_ = WriteResultJSON(w, res)
+		}
+		ep.count(len(res.Rows), false)
+		return
+	}
+	w.Header().Set("Trailer", "X-Rows, X-Elapsed-Us, X-Error")
+	var enc RowWriter
+	if media == mediaTSV {
+		w.Header().Set("Content-Type", mediaTSV+"; charset=utf-8")
+		enc = NewTSVRowWriter(w, snap.Vars())
+	} else {
+		w.Header().Set("Content-Type", mediaJSON)
+		enc = NewJSONRowWriter(w, snap.Vars())
+	}
+	flusher, _ := w.(http.Flusher)
+	var row stsparql.Binding
+	var writeErr error
+	for i := 0; i < snap.Len(); i++ {
+		row = snap.Row(i, row)
+		if writeErr = enc.Row(row); writeErr != nil {
+			break
+		}
+		if (i+1)%streamFlushRows == 0 && flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if writeErr == nil {
+		writeErr = enc.End()
+	}
+	w.Header().Set("X-Rows", fmt.Sprint(snap.Len()))
+	w.Header().Set("X-Elapsed-Us", fmt.Sprint(time.Since(start).Microseconds()))
+	ep.count(snap.Len(), writeErr != nil)
+}
+
+// countWriter counts bytes on their way to the client for the
+// response byte budget.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func (ep *Endpoint) serveUpdate(w http.ResponseWriter, r *http.Request) {
@@ -286,16 +460,26 @@ func (ep *Endpoint) serveExplain(w http.ResponseWriter, r *http.Request) {
 
 func (ep *Endpoint) serveStats(w http.ResponseWriter, r *http.Request) {
 	doc := struct {
-		Triples   int                     `json:"triples"`
-		Store     Stats                   `json:"store"`
-		Endpoint  EndpointStats           `json:"endpoint"`
-		PlanCache stsparql.PlanCacheStats `json:"plan_cache"`
-		Shards    []ShardStat             `json:"shards,omitempty"`
+		Triples     int                     `json:"triples"`
+		Store       Stats                   `json:"store"`
+		Endpoint    EndpointStats           `json:"endpoint"`
+		PlanCache   stsparql.PlanCacheStats `json:"plan_cache"`
+		ResultCache *resultcache.Stats      `json:"result_cache,omitempty"`
+		Admission   *AdmissionStats         `json:"admission,omitempty"`
+		Shards      []ShardStat             `json:"shards,omitempty"`
 	}{
 		Triples:   ep.store.Len(),
 		Store:     ep.store.Stats(),
 		Endpoint:  ep.Stats(),
 		PlanCache: ep.store.PlanStats(),
+	}
+	if ep.Results != nil {
+		rc := ep.Results.Stats()
+		doc.ResultCache = &rc
+	}
+	if ep.Admission != nil {
+		ad := ep.Admission.Stats()
+		doc.Admission = &ad
 	}
 	if ss, ok := ep.store.(ShardStatser); ok {
 		doc.Shards = ss.ShardStats()

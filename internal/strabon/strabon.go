@@ -40,10 +40,12 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geom"
 	"repro/internal/rdf"
+	"repro/internal/resultcache"
 	"repro/internal/rtree"
 	"repro/internal/stsparql"
 )
@@ -56,11 +58,15 @@ type Store struct {
 	ns      *rdf.Namespaces
 	cache   *stsparql.Cache
 
-	// plans caches compiled query plans keyed by query text; gen is the
-	// mutation generation the cache entries are pinned to. Both are
-	// guarded by mu (gen is only written under the write lock).
+	// plans caches compiled query plans keyed by query text, guarded by
+	// mu; gen is the mutation generation plan- and result-cache entries
+	// are pinned to. gen is atomic so composite stores and cache
+	// validators can read the generation of a store they do NOT hold
+	// locked (observed-range-pruned slices, result-cache Get): it is
+	// only advanced under the write lock, so a read-locked observer
+	// still sees a stable value.
 	plans *stsparql.PlanCache
-	gen   uint64
+	gen   atomic.Uint64
 
 	indexOn bool
 	index   *rtree.Tree
@@ -177,7 +183,7 @@ func (s *Store) Add(t rdf.Triple) bool {
 	if !s.triples.Add(t) {
 		return false
 	}
-	s.gen++
+	s.gen.Add(1)
 	if item, ok := s.geomItem(t); ok {
 		s.index.Insert(item.Box, item.Data)
 	}
@@ -205,7 +211,7 @@ func (s *Store) Remove(t rdf.Triple) bool {
 	if !s.triples.Remove(t) {
 		return false
 	}
-	s.gen++
+	s.gen.Add(1)
 	if e, ok := s.geomEntries[t.String()]; ok {
 		s.index.Delete(e.env, t.String())
 		delete(s.geomEntries, t.String())
@@ -274,7 +280,7 @@ func (s *Store) InsertAll(groups ...[]rdf.Triple) []int {
 		}
 	}
 	if total > 0 {
-		s.gen++
+		s.gen.Add(1)
 	}
 	s.index.InsertAll(items)
 	s.mu.Unlock()
@@ -305,6 +311,19 @@ type Cursor struct {
 	rows   int
 	unlock func() // releases the read lock; nil once released
 	closed bool
+
+	// Result-cache metadata, captured under the read lock at open time:
+	// the store generation the rows derive from, and the plan-time
+	// cacheability verdict. See CacheVector.
+	vec       resultcache.GenVector
+	cacheable bool
+}
+
+// CacheVector implements CacheInfo: the generation vector this
+// cursor's rows were derived from, and whether the result may be
+// cached at all (false for non-deterministic plans such as SAMPLE).
+func (c *Cursor) CacheVector() (resultcache.GenVector, bool) {
+	return c.vec, c.cacheable
 }
 
 // Vars is the result header.
@@ -357,7 +376,7 @@ func (c *Cursor) Close() error {
 func (s *Store) QueryStream(src string) (*Cursor, error) {
 	s.mu.RLock()
 	ev := stsparql.NewEvaluatorWithCache(s, s.cache)
-	c, err := ev.CompileCached(src, s.ns, s.plans, s.gen)
+	c, err := ev.CompileCached(src, s.ns, s.plans, s.gen.Load())
 	if err != nil {
 		s.mu.RUnlock()
 		return nil, err
@@ -367,6 +386,9 @@ func (s *Store) QueryStream(src string) (*Cursor, error) {
 	s.statsMu.Lock()
 	s.stats.Queries++
 	s.statsMu.Unlock()
+	// Captured under the read lock: the generation every row of this
+	// evaluation derives from.
+	vec := resultcache.GenVector{Gens: []resultcache.SliceGen{{Slice: -1, Gen: s.gen.Load()}}}
 	switch {
 	case c.IsSelect():
 		cur, err := ev.RunCompiled(c)
@@ -374,7 +396,7 @@ func (s *Store) QueryStream(src string) (*Cursor, error) {
 			s.mu.RUnlock()
 			return nil, err
 		}
-		return &Cursor{inner: cur, unlock: s.mu.RUnlock}, nil
+		return &Cursor{inner: cur, unlock: s.mu.RUnlock, vec: vec, cacheable: c.Cacheable()}, nil
 	case c.IsAsk():
 		ok, err := ev.AskCompiled(c)
 		s.mu.RUnlock()
@@ -382,7 +404,8 @@ func (s *Store) QueryStream(src string) (*Cursor, error) {
 			return nil, err
 		}
 		rows := []stsparql.Binding{{"ask": rdf.NewBoolean(ok)}}
-		return &Cursor{inner: stsparql.MaterialisedCursor([]string{"ask"}, rows), ask: true}, nil
+		return &Cursor{inner: stsparql.MaterialisedCursor([]string{"ask"}, rows), ask: true,
+			vec: vec, cacheable: c.Cacheable()}, nil
 	default:
 		s.mu.RUnlock()
 		return nil, fmt.Errorf("strabon: Query wants SELECT or ASK; use Update for updates")

@@ -1,0 +1,120 @@
+package stsparql
+
+// Result cacheability, marked at plan time. A query's materialised
+// result may be served from a cache until the data it read mutates —
+// but only if re-evaluating against the unchanged data would be
+// obligated to produce the same rows. Two plan shapes break that:
+//
+//   - SAMPLE: the engine returns the first value collected for the
+//     group, and collection order follows rdf.Store scan order — Go map
+//     iteration, randomised per run. Two evaluations at one generation
+//     may legitimately answer differently, so pinning one answer in a
+//     cache would silently freeze an arbitrary representative.
+//   - Plans reading live store statistics mid-flight. Today statistics
+//     are consulted only at plan time (the plan cache's generation key
+//     already covers that); any future operator that re-reads
+//     StatSource during execution must flip planReadsLiveStats below.
+//
+// Everything else the engine evaluates is a deterministic function of
+// the source contents, which the generation vector pins.
+
+// Cacheable reports whether a parsed query's result may be cached and
+// replayed at an unchanged store generation. Update requests are never
+// cacheable.
+func Cacheable(q *Query) bool {
+	switch {
+	case q == nil || q.Update != nil:
+		return false
+	case q.Select != nil:
+		return selectCacheable(q.Select)
+	case q.Ask != nil:
+		return groupCacheable(q.Ask.Where)
+	}
+	return false
+}
+
+// planReadsLiveStats reports whether the compiled plan consults live
+// store statistics during execution (not just at plan time). No
+// current operator does; kept as the explicit hook the cacheability
+// contract names.
+func planReadsLiveStats(*Compiled) bool { return false }
+
+// Cacheable reports whether this compiled plan's result may be cached.
+func (c *Compiled) Cacheable() bool { return c.cacheable }
+
+func selectCacheable(sel *SelectQuery) bool {
+	for _, item := range sel.Projection {
+		if item.Expr != nil && exprHasSample(item.Expr) {
+			return false
+		}
+	}
+	for _, g := range sel.GroupBy {
+		if exprHasSample(g) {
+			return false
+		}
+	}
+	for _, h := range sel.Having {
+		if exprHasSample(h) {
+			return false
+		}
+	}
+	for _, k := range sel.OrderBy {
+		if exprHasSample(k.Expr) {
+			return false
+		}
+	}
+	return groupCacheable(sel.Where)
+}
+
+func groupCacheable(gp *GroupPattern) bool {
+	if gp == nil {
+		return true
+	}
+	for _, el := range gp.Elements {
+		switch v := el.(type) {
+		case *FilterElement:
+			if exprHasSample(v.Cond) {
+				return false
+			}
+		case *OptionalElement:
+			if !groupCacheable(v.Pattern) {
+				return false
+			}
+		case *UnionElement:
+			for _, br := range v.Branches {
+				if !groupCacheable(br) {
+					return false
+				}
+			}
+		case *GroupPattern:
+			if !groupCacheable(v) {
+				return false
+			}
+		case *SubSelectElement:
+			if !selectCacheable(v.Select) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// exprHasSample walks an expression tree for SAMPLE aggregate calls.
+func exprHasSample(e Expr) bool {
+	switch v := e.(type) {
+	case *CallExpr:
+		if v.Name == "sample" {
+			return true
+		}
+		for _, a := range v.Args {
+			if exprHasSample(a) {
+				return true
+			}
+		}
+	case *BinaryExpr:
+		return exprHasSample(v.L) || exprHasSample(v.R)
+	case *UnaryExpr:
+		return exprHasSample(v.X)
+	}
+	return false
+}

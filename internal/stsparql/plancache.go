@@ -28,6 +28,11 @@ type Compiled struct {
 	Query *Query
 	sel   *selectPlan
 	ask   *groupPlan
+
+	// cacheable is the plan-time result-cacheability verdict: false for
+	// non-deterministic shapes (SAMPLE) and for plans that would read
+	// live statistics mid-flight. See cacheable.go.
+	cacheable bool
 }
 
 // IsSelect reports whether the compiled query is a SELECT.
@@ -47,6 +52,7 @@ func (e *Evaluator) Compile(q *Query) *Compiled {
 	case q.Ask != nil:
 		c.ask = e.newPlanner().planGroupRoot(q.Ask.Where, false)
 	}
+	c.cacheable = Cacheable(q) && !planReadsLiveStats(c)
 	return c
 }
 

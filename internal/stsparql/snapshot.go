@@ -1,0 +1,81 @@
+package stsparql
+
+import "repro/internal/rdf"
+
+// RowSnapshot is a compact, immutable copy of a materialised result:
+// the header plus a flat row-major term slab. The streaming cursors
+// yield Bindings that are views into the engine's current columnar
+// batch, reused on the next pull — a snapshot copies each row's terms
+// out of that view as it streams past (the result-cache tee of the
+// endpoint), so the retained result shares nothing with the engine.
+//
+// A zero Term in the slab is an unbound column; the result encoders
+// skip zero terms, so replaying through them is byte-identical to the
+// original streamed encoding.
+type RowSnapshot struct {
+	vars  []string
+	terms []rdf.Term // row-major; len == rows*len(vars)
+	rows  int
+	bytes int64
+}
+
+// NewRowSnapshot returns an empty snapshot with the given header. The
+// header must be the exact var list the original encoding used — the
+// replay is keyed by it.
+func NewRowSnapshot(vars []string) *RowSnapshot {
+	v := make([]string, len(vars))
+	copy(v, vars)
+	s := &RowSnapshot{vars: v}
+	for _, n := range v {
+		s.bytes += int64(len(n)) + 16
+	}
+	return s
+}
+
+// Append copies one row out of the (reused) cursor view.
+func (s *RowSnapshot) Append(row Binding) {
+	for _, v := range s.vars {
+		t := row[v] // zero Term when unbound
+		s.terms = append(s.terms, t)
+		s.bytes += int64(len(t.Value)+len(t.Datatype)+len(t.Lang)) + 48
+	}
+	s.rows++
+}
+
+// Vars is the result header.
+func (s *RowSnapshot) Vars() []string { return s.vars }
+
+// Len is the number of rows.
+func (s *RowSnapshot) Len() int { return s.rows }
+
+// Bytes is the snapshot's estimated memory footprint, the unit the
+// result cache's byte bound is enforced in.
+func (s *RowSnapshot) Bytes() int64 { return s.bytes }
+
+// Row fills dst with row i's bindings and returns it. dst is cleared
+// first so one map can be reused across the whole replay (the same
+// reuse contract the streaming cursors have); a nil dst allocates one.
+// Unbound columns stay absent.
+func (s *RowSnapshot) Row(i int, dst Binding) Binding {
+	if dst == nil {
+		dst = make(Binding, len(s.vars))
+	}
+	clear(dst)
+	base := i * len(s.vars)
+	for j, v := range s.vars {
+		if t := s.terms[base+j]; !t.IsZero() {
+			dst[v] = t
+		}
+	}
+	return dst
+}
+
+// Result materialises the snapshot into an owned Result (the ASK and
+// non-streamed replay path).
+func (s *RowSnapshot) Result() *Result {
+	res := &Result{Vars: s.vars}
+	for i := 0; i < s.rows; i++ {
+		res.Rows = append(res.Rows, s.Row(i, Binding{}))
+	}
+	return res
+}
