@@ -10,6 +10,7 @@ build:
 
 test:
 	$(GO) test -race ./...
+	$(GO) test -shuffle=on ./...
 	$(GO) test -race -count=2 -run 'TestEndpointConcurrent|TestConcurrentEndpointSmoke|TestEndpointStreamsDuringWrites' ./internal/strabon
 	$(GO) test -race -count=2 -run 'TestShardStreamsDuringWrites|TestShardedPipelineMatchesSingle|TestShardResultCacheInvalidation' ./internal/shard
 
@@ -58,6 +59,7 @@ lint:
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/reprolint ./...
 
 fmt:
 	gofmt -w .

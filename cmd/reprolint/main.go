@@ -1,0 +1,60 @@
+// Command reprolint runs the project's static-analysis suite
+// (internal/lint) over the given package patterns and exits non-zero
+// if any invariant diagnostic remains. It is stdlib-only and offline:
+// package loading shells out to `go list` and type-checks from source
+// plus the toolchain's export data.
+//
+// Usage:
+//
+//	go run ./cmd/reprolint ./...
+//	go run ./cmd/reprolint -list
+//
+// Deliberate exceptions are suppressed in source with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: reprolint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := lint.LoadPackages(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+	diags := lint.RunAnalyzers(prog, analyzers)
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "reprolint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/seviri"
+	"repro/internal/strabon"
 )
 
 func main() {
@@ -38,8 +40,9 @@ func main() {
 		fmt.Printf("    %-18s %8v\n", op.Op, op.Duration.Round(time.Microsecond))
 	}
 
-	// Query the refined products back through the stSPARQL endpoint.
-	res, err := svc.Strabon.Query(`
+	// Query the refined products back through the canonical streaming
+	// surface (the materialising wrapper over QueryStreamCtx).
+	res, err := strabon.MaterialiseQuery(context.Background(), svc.Strabon, `
 SELECT ?h ?g ?conf WHERE {
   ?h a noa:Hotspot ;
      noa:hasConfidence ?conf ;

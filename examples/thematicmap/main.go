@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/geom"
+	"repro/internal/strabon"
 )
 
 func main() {
@@ -29,7 +30,7 @@ func main() {
 
 	// Show the five queries and their result sizes.
 	for name, q := range experiments.Figure6Queries(window, from, from.Add(24*time.Hour)) {
-		res, d, err := svc.Strabon.TimedQuery(q)
+		res, d, err := strabon.TimedQuery(svc.Strabon, q)
 		if err != nil {
 			log.Fatal(err)
 		}

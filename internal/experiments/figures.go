@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/mapgen"
 	"repro/internal/modis"
 	"repro/internal/ontology"
+	"repro/internal/strabon"
 	"repro/internal/stsparql"
 )
 
@@ -125,7 +127,7 @@ WHERE {
 func Figure6(svc *core.Service, window geom.Envelope, from, to time.Time) (*mapgen.Map, error) {
 	queries := Figure6Queries(window, from, to)
 	run := func(name string) (*stsparql.Result, error) {
-		res, err := svc.Strabon.Query(queries[name])
+		res, err := strabon.MaterialiseQuery(context.Background(), svc.Strabon, queries[name])
 		if err != nil {
 			return nil, fmt.Errorf("experiments: figure 6 query %q: %w", name, err)
 		}

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// ctxapi: the canonical query surface is context-first streaming —
+// QueryStreamCtx, with strabon.MaterialiseQuery / strabon.TimedQuery as
+// the two blessed materialising wrappers over it (PR 6's API
+// consolidation). The legacy materialising METHODS Query and TimedQuery
+// on the stores (and the API interface) survive only as compatibility
+// one-liners; internal callers must not grow new dependencies on them.
+//
+// The analyzer flags method calls named Query/TimedQuery whose receiver
+// type is declared in a package named strabon or shard. Package-
+// qualified function calls (strabon.TimedQuery(...)) are the blessed
+// wrappers and pass; _test.go files are exempt; unrelated Query methods
+// (url.URL.Query, flag sets, ...) live in other packages and never
+// match.
+
+var analyzerCtxAPI = &Analyzer{
+	Name: "ctxapi",
+	Doc:  "legacy materialising Query/TimedQuery store methods are banned outside tests; use QueryStreamCtx or the strabon.MaterialiseQuery/TimedQuery wrappers",
+	Run:  runCtxAPI,
+}
+
+func runCtxAPI(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			if isTestFile(pkg.Fset, file.Pos()) {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				name := sel.Sel.Name
+				if name != "Query" && name != "TimedQuery" {
+					return true
+				}
+				if !isMethodCall(pkg.Info, sel) {
+					return true // package-qualified: the blessed wrappers
+				}
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				if pkgName := fn.Pkg().Name(); pkgName != "strabon" && pkgName != "shard" {
+					return true
+				}
+				diags = append(diags, Diagnostic{
+					Pos:      pkg.Fset.Position(call.Pos()),
+					Analyzer: "ctxapi",
+					Message: fmt.Sprintf("legacy materialising %s method call: use QueryStreamCtx, or the blessed strabon.%s wrapper",
+						name, blessedFor(name)),
+				})
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+func blessedFor(method string) string {
+	if method == "TimedQuery" {
+		return "TimedQuery(store, src)"
+	}
+	return "MaterialiseQuery(ctx, store, src)"
+}

@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// cursorclose: a cursor returned by QueryStream / QueryStreamCtx /
+// Evaluator.Run / Evaluator.RunCompiled holds its store read lock(s)
+// from creation until Close — leaking one pins the lock forever (PR 3's
+// lock-until-Close discipline). Every producer call must therefore
+// either
+//
+//   - have Close called on its result somewhere in the function
+//     (deferred or not),
+//   - return the cursor (ownership moves to the caller),
+//   - or hand the cursor to an owner: store it into a struct/slice/map,
+//     wrap it in a composite literal, send it on a channel, or pass it
+//     to another call.
+//
+// The check is lexical, not path-sensitive: it catches the "never
+// closed at all" leak class. Deliberate exceptions carry
+// //lint:allow cursorclose <reason>.
+
+var analyzerCursorClose = &Analyzer{
+	Name: "cursorclose",
+	Doc:  "cursors from QueryStream/QueryStreamCtx/Evaluator.Run must be Closed, returned, or handed to an owner",
+	Run:  runCursorClose,
+}
+
+// isCursorProducer reports whether the call returns a lock-holding
+// cursor: any QueryStream/QueryStreamCtx method, or Run/RunCompiled on
+// an Evaluator.
+func isCursorProducer(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "QueryStream", "QueryStreamCtx":
+		if isMethodCall(info, sel) {
+			return sel.Sel.Name, true
+		}
+	case "Run", "RunCompiled":
+		if n := recvNamed(info, sel); n != nil && n.Obj().Name() == "Evaluator" {
+			return "Evaluator." + sel.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+func runCursorClose(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				diags = append(diags, cursorCloseFunc(pkg, fd)...)
+			}
+		}
+	}
+	return diags
+}
+
+func cursorCloseFunc(pkg *Package, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	walkParents(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		producer, ok := isCursorProducer(pkg.Info, call)
+		if !ok {
+			return true
+		}
+		if len(stack) == 0 {
+			return true
+		}
+		switch parent := stack[len(stack)-1].(type) {
+		case *ast.ReturnStmt:
+			return true // ownership moves to the caller
+		case *ast.CallExpr:
+			return true // passed straight to another call
+		case *ast.ExprStmt:
+			diags = append(diags, cursorDiag(pkg, call.Pos(), producer,
+				"its result is discarded"))
+			return true
+		case *ast.AssignStmt:
+			obj := cursorTarget(pkg.Info, parent, call)
+			if obj == nil {
+				diags = append(diags, cursorDiag(pkg, call.Pos(), producer,
+					"its result is assigned to the blank identifier"))
+				return true
+			}
+			if !cursorHandled(pkg.Info, fd, obj) {
+				diags = append(diags, cursorDiag(pkg, call.Pos(), producer,
+					fmt.Sprintf("%q is never Closed, returned, or handed to an owner", obj.Name())))
+			}
+			return true
+		default:
+			// Composite literal, KeyValueExpr, etc: the cursor escapes
+			// into an owning value.
+			return true
+		}
+	})
+	return diags
+}
+
+func cursorDiag(pkg *Package, pos token.Pos, producer, why string) Diagnostic {
+	return Diagnostic{
+		Pos:      pkg.Fset.Position(pos),
+		Analyzer: "cursorclose",
+		Message: fmt.Sprintf("cursor from %s leaks its read lock: %s (Close it on every path, defer the Close, or return it)",
+			producer, why),
+	}
+}
+
+// cursorTarget finds the variable the producer call's cursor result is
+// bound to: producers return (cursor, error), so it is the first LHS.
+// nil means the cursor landed in the blank identifier.
+func cursorTarget(info *types.Info, assign *ast.AssignStmt, call *ast.CallExpr) types.Object {
+	if len(assign.Rhs) != 1 || assign.Rhs[0] == nil || len(assign.Lhs) == 0 {
+		return nil
+	}
+	if ast.Unparen(assign.Rhs[0]) != call {
+		// Parallel assignment; find the matching position.
+		for i, r := range assign.Rhs {
+			if ast.Unparen(r) == call && i < len(assign.Lhs) {
+				if id, ok := assign.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+					return identObj(info, id)
+				}
+				return nil
+			}
+		}
+		return nil
+	}
+	id, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return identObj(info, id)
+}
+
+// cursorHandled reports whether the function closes the cursor
+// variable or passes ownership on: a .Close() call (deferred counts),
+// a return mentioning it, an escape into a composite literal, another
+// call's arguments, a channel send, or a store into a non-local
+// l-value.
+func cursorHandled(info *types.Info, fd *ast.FuncDecl, obj types.Object) bool {
+	handled := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if handled {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && identObj(info, id) == obj {
+					handled = true
+					return false
+				}
+			}
+			for _, arg := range n.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && identObj(info, id) == obj {
+					handled = true
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			if containsIdentOf(info, n, obj) {
+				handled = true
+				return false
+			}
+		case *ast.CompositeLit:
+			if containsIdentOf(info, n, obj) {
+				handled = true
+				return false
+			}
+		case *ast.SendStmt:
+			if id, ok := ast.Unparen(n.Value).(*ast.Ident); ok && identObj(info, id) == obj {
+				handled = true
+				return false
+			}
+		case *ast.AssignStmt:
+			for i, r := range n.Rhs {
+				id, ok := ast.Unparen(r).(*ast.Ident)
+				if !ok || identObj(info, id) != obj || i >= len(n.Lhs) {
+					continue
+				}
+				switch n.Lhs[i].(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					handled = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return handled
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the expected-diagnostic golden files")
+
+// fixtureDiagnostics loads testdata/src/<name> as a GOPATH-style
+// fixture tree and runs the given analyzers over it.
+func fixtureDiagnostics(t *testing.T, name string, analyzers []*Analyzer) []Diagnostic {
+	t.Helper()
+	prog, err := LoadFixtureTree(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if len(prog.Pkgs) == 0 {
+		t.Fatalf("fixture %s loaded no packages", name)
+	}
+	return RunAnalyzers(prog, analyzers)
+}
+
+func render(diags []Diagnostic) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(filepath.ToSlash(d.String()))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// TestAnalyzerFixtures checks each analyzer against its fixture
+// package: the diagnostics (file:line:col, message, and suppressions
+// applied) must match the golden file exactly, and every fixture must
+// actually demonstrate its analyzer firing.
+func TestAnalyzerFixtures(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			got := render(fixtureDiagnostics(t, a.Name, []*Analyzer{a}))
+			golden := filepath.Join("testdata", a.Name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("reading golden file: %v (run `go test -run TestAnalyzerFixtures -update ./internal/lint` to create it)", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch for %s:\n--- got ---\n%s--- want ---\n%s", a.Name, got, want)
+			}
+			if strings.TrimSpace(got) == "" {
+				t.Errorf("fixture for %s produced no diagnostics; the fixture must demonstrate the analyzer firing", a.Name)
+			}
+			for _, line := range strings.Split(strings.TrimSuffix(got, "\n"), "\n") {
+				if line != "" && !strings.Contains(line, ": "+a.Name+": ") {
+					t.Errorf("diagnostic from a different analyzer in the %s fixture: %s", a.Name, line)
+				}
+			}
+		})
+	}
+}
+
+// TestAllowPragmasSuppress pins the suppression mechanism: every
+// fixture contains at least one //lint:allow case for its analyzer,
+// and no diagnostic survives on the pragma's line or the line below.
+func TestAllowPragmasSuppress(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			pragmas := make(map[string][]int) // file -> pragma line numbers
+			root := filepath.Join("testdata", "src", a.Name)
+			err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+				if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+					return err
+				}
+				data, err := os.ReadFile(path)
+				if err != nil {
+					return err
+				}
+				for i, line := range strings.Split(string(data), "\n") {
+					if strings.Contains(line, allowPrefix+a.Name) {
+						pragmas[filepath.ToSlash(path)] = append(pragmas[filepath.ToSlash(path)], i+1)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(pragmas) == 0 {
+				t.Fatalf("fixture for %s has no //lint:allow %s case; each fixture must pin the suppression path", a.Name, a.Name)
+			}
+			for _, d := range fixtureDiagnostics(t, a.Name, []*Analyzer{a}) {
+				for _, line := range pragmas[filepath.ToSlash(d.Pos.Filename)] {
+					if d.Pos.Line == line || d.Pos.Line == line+1 {
+						t.Errorf("diagnostic survived an //lint:allow pragma at %s:%d: %s", d.Pos.Filename, line, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPragmaValidation: malformed and unknown-analyzer pragmas are
+// themselves diagnostics, so a typo cannot silently disable a check.
+func TestPragmaValidation(t *testing.T) {
+	diags := fixtureDiagnostics(t, "pragma", All())
+	if len(diags) != 2 {
+		t.Fatalf("want 2 pragma diagnostics, got %d:\n%s", len(diags), render(diags))
+	}
+	for _, d := range diags {
+		if d.Analyzer != "pragma" {
+			t.Errorf("want analyzer %q, got %q in %s", "pragma", d.Analyzer, d)
+		}
+	}
+	if !strings.Contains(diags[0].Message, "malformed") {
+		t.Errorf("first diagnostic should flag the malformed pragma: %s", diags[0])
+	}
+	if !strings.Contains(diags[1].Message, `unknown analyzer "nosuchanalyzer"`) {
+		t.Errorf("second diagnostic should flag the unknown analyzer: %s", diags[1])
+	}
+}
+
+// TestModuleIsClean runs the full suite over the real module tree: the
+// invariants reprolint enforces must hold on every commit.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	prog, err := LoadPackages("repro/...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(prog.Pkgs) == 0 {
+		t.Fatal("loaded no module packages")
+	}
+	if diags := RunAnalyzers(prog, All()); len(diags) > 0 {
+		t.Errorf("module tree is not reprolint-clean:\n%s", render(diags))
+	}
+}

@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockdiscipline: the serving tier's scaling story rests on readers
+// never blocking on writers (PRs 4/7): query paths take member read
+// locks only, and the shard store's writeMu — which serialises
+// check-then-act routing against application — is a writer-only
+// mutex. A read path that acquires any write lock deadlocks against
+// its own read locks or serialises every concurrent reader.
+//
+// The analyzer builds a static call graph over the whole program
+// (function literals are attributed to their enclosing declaration;
+// calls through interfaces fan out to every in-program concrete method
+// set that implements the interface) and walks it from the reader
+// entry points — methods named QueryStream, QueryStreamCtx, or Explain
+// — flagging every reachable write-lock acquisition:
+//
+//   - .Lock() on a field named writeMu,
+//   - .Lock() on a sync.RWMutex (the write side; readers use RLock),
+//   - .Lock() on a type named Store (the exported member write lock),
+//   - any call to a function named lockAllWrite.
+
+var analyzerLockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "no write-lock acquisition may be reachable from the reader entry points (QueryStream/QueryStreamCtx/Explain)",
+	Run:  runLockDiscipline,
+}
+
+var readerEntryNames = map[string]bool{
+	"QueryStream":    true,
+	"QueryStreamCtx": true,
+	"Explain":        true,
+}
+
+type forbiddenOp struct {
+	pos  token.Pos
+	desc string
+}
+
+type funcNode struct {
+	fn        *types.Func
+	pkg       *Package
+	decl      *ast.FuncDecl
+	callees   []*types.Func
+	ifaceCall []ifaceCallSite
+	forbidden []forbiddenOp
+}
+
+type ifaceCallSite struct {
+	iface *types.Interface
+	name  string
+}
+
+func runLockDiscipline(prog *Program) []Diagnostic {
+	nodes := make(map[*types.Func]*funcNode)
+	var order []*types.Func // deterministic iteration
+
+	// Collect every declared function with a body.
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			if isTestFile(pkg.Fset, file.Pos()) {
+				continue
+			}
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				node := &funcNode{fn: fn, pkg: pkg, decl: fd}
+				collectCallsAndLocks(pkg, fd, node)
+				nodes[fn] = node
+				order = append(order, fn)
+			}
+		}
+	}
+
+	// Expand interface call sites: an interface method call may reach
+	// any in-program concrete method of a type implementing it.
+	var namedTypes []*types.Named
+	for _, pkg := range prog.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok && !tn.IsAlias() {
+				if n, ok := tn.Type().(*types.Named); ok {
+					namedTypes = append(namedTypes, n)
+				}
+			}
+		}
+	}
+	for _, fn := range order {
+		node := nodes[fn]
+		for _, ic := range node.ifaceCall {
+			for _, n := range namedTypes {
+				impl := types.Type(n)
+				if !types.Implements(impl, ic.iface) {
+					impl = types.NewPointer(n)
+					if !types.Implements(impl, ic.iface) {
+						continue
+					}
+				}
+				obj, _, _ := types.LookupFieldOrMethod(impl, true, n.Obj().Pkg(), ic.name)
+				if m, ok := obj.(*types.Func); ok {
+					node.callees = append(node.callees, m)
+				}
+			}
+		}
+	}
+
+	// BFS from each reader entry, remembering one parent per visited
+	// function so diagnostics can show a witness call chain. A
+	// forbidden site is reported once, for the first entry reaching it.
+	reported := make(map[token.Pos]bool)
+	var diags []Diagnostic
+	sort.Slice(order, func(i, j int) bool { return order[i].Pos() < order[j].Pos() })
+	for _, entry := range order {
+		if !readerEntryNames[entry.Name()] {
+			continue
+		}
+		if sig, ok := entry.Type().(*types.Signature); !ok || sig.Recv() == nil {
+			continue // entry points are methods on store types
+		}
+		parent := map[*types.Func]*types.Func{entry: nil}
+		queue := []*types.Func{entry}
+		for len(queue) > 0 {
+			fn := queue[0]
+			queue = queue[1:]
+			node := nodes[fn]
+			if node == nil {
+				continue
+			}
+			for _, op := range node.forbidden {
+				if reported[op.pos] {
+					continue
+				}
+				reported[op.pos] = true
+				diags = append(diags, Diagnostic{
+					Pos:      node.pkg.Fset.Position(op.pos),
+					Analyzer: "lockdiscipline",
+					Message: fmt.Sprintf("%s is reachable from reader entry %s (%s): read paths must never take a write lock",
+						op.desc, funcName(entry), chain(parent, fn)),
+				})
+			}
+			for _, callee := range node.callees {
+				if _, seen := parent[callee]; seen {
+					continue
+				}
+				if _, inProgram := nodes[callee]; !inProgram {
+					continue
+				}
+				parent[callee] = fn
+				queue = append(queue, callee)
+			}
+		}
+	}
+	return diags
+}
+
+// chain renders the witness call path entry → ... → fn.
+func chain(parent map[*types.Func]*types.Func, fn *types.Func) string {
+	var names []string
+	for f := fn; f != nil; f = parent[f] {
+		names = append(names, funcName(f))
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " -> ")
+}
+
+// collectCallsAndLocks records, for one function declaration (function
+// literals included), its statically resolvable callees, its interface
+// call sites, and any write-lock acquisitions it performs directly.
+func collectCallsAndLocks(pkg *Package, fd *ast.FuncDecl, node *funcNode) {
+	info := pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if op, ok := forbiddenLock(info, sel); ok {
+				node.forbidden = append(node.forbidden, forbiddenOp{pos: call.Pos(), desc: op})
+			}
+			if s, ok := info.Selections[sel]; ok {
+				if types.IsInterface(s.Recv()) {
+					if iface, ok := s.Recv().Underlying().(*types.Interface); ok {
+						node.ifaceCall = append(node.ifaceCall, ifaceCallSite{iface: iface, name: sel.Sel.Name})
+						return true
+					}
+				}
+			}
+		}
+
+		if fn := calleeFunc(info, call); fn != nil {
+			if fn.Name() == "lockAllWrite" {
+				node.forbidden = append(node.forbidden, forbiddenOp{pos: call.Pos(), desc: "lockAllWrite (every member write lock)"})
+			}
+			node.callees = append(node.callees, fn)
+		}
+		return true
+	})
+}
+
+// forbiddenLock classifies a selector call as a write-lock
+// acquisition.
+func forbiddenLock(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	if sel.Sel.Name != "Lock" {
+		return "", false
+	}
+	if x, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok && x.Sel.Name == "writeMu" {
+		return "writer mutex writeMu.Lock", true
+	}
+	if tv, ok := info.Types[sel.X]; ok {
+		if typeIs(tv.Type, "sync", "RWMutex") {
+			return "RWMutex write Lock", true
+		}
+		if n := namedOf(tv.Type); n != nil && n.Obj().Name() == "Store" {
+			return "Store.Lock (member write lock)", true
+		}
+	}
+	return "", false
+}

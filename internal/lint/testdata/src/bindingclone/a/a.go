@@ -1,0 +1,82 @@
+// Package a is the bindingclone fixture: row views from Cursor.Next
+// are reused on the next pull and must be Cloned before retention.
+package a
+
+type Term struct{ V string }
+
+type Binding map[string]Term
+
+func (b Binding) Clone() Binding {
+	out := make(Binding, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+type Cursor struct{}
+
+func (c *Cursor) Next() (Binding, bool) { return nil, false }
+
+type sink struct {
+	rows []Binding
+	last Binding
+	byID map[string]Binding
+}
+
+func retainAppend(c *Cursor, s *sink) {
+	for {
+		row, ok := c.Next()
+		if !ok {
+			return
+		}
+		s.rows = append(s.rows, row) // bad: view appended without Clone
+	}
+}
+
+func retainField(c *Cursor, s *sink) {
+	row, ok := c.Next()
+	if ok {
+		s.last = row // bad: view stored into a field
+	}
+}
+
+func retainMap(c *Cursor, s *sink) {
+	row, _ := c.Next()
+	s.byID["k"] = row // bad: view stored into a map
+}
+
+func retainChan(c *Cursor, ch chan Binding) {
+	row, _ := c.Next()
+	ch <- row // bad: view crosses a channel
+}
+
+func retainComposite(c *Cursor) *sink {
+	row, _ := c.Next()
+	return &sink{last: row} // bad: view captured in a literal
+}
+
+func clonedAppend(c *Cursor, s *sink) {
+	row, ok := c.Next()
+	if ok {
+		s.rows = append(s.rows, row.Clone()) // ok: cloned out
+	}
+}
+
+func clonedField(c *Cursor, s *sink) {
+	row, _ := c.Next()
+	s.last = row.Clone() // ok
+}
+
+func consumed(c *Cursor, emit func(Binding)) {
+	row, ok := c.Next()
+	if ok {
+		emit(row) // ok: immediate consumption, no retention
+	}
+}
+
+func allowedRetain(c *Cursor, s *sink) {
+	row, _ := c.Next()
+	//lint:allow bindingclone fixture pins the suppression pragma
+	s.last = row
+}

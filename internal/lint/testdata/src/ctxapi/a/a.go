@@ -1,0 +1,40 @@
+// Package a is the ctxapi fixture's caller side: legacy materialising
+// method calls are banned; the blessed wrappers and unrelated Query
+// methods pass.
+package a
+
+import (
+	"context"
+
+	"strabon"
+)
+
+func bad(s *strabon.Store) {
+	s.Query("q") // bad: legacy method call
+}
+
+func badTimed(s *strabon.Store) {
+	s.TimedQuery("q") // bad
+}
+
+func badIface(api strabon.API) {
+	api.Query("q") // bad: the interface method is the same surface
+}
+
+func good(s *strabon.Store) {
+	strabon.MaterialiseQuery(context.Background(), s, "q") // ok: blessed wrapper
+	strabon.TimedQuery(s, "q")                             // ok
+}
+
+type urlValues struct{}
+
+func (urlValues) Query() string { return "" }
+
+func unrelated(v urlValues) {
+	v.Query() // ok: not a store-package method
+}
+
+func allowed(s *strabon.Store) {
+	//lint:allow ctxapi fixture pins the suppression pragma
+	s.Query("q")
+}

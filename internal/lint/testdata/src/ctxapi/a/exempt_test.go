@@ -1,0 +1,9 @@
+package a
+
+import "strabon"
+
+// Test files are exempt from ctxapi: the materialising compat methods
+// exist exactly for test convenience.
+func exemptInTests(s *strabon.Store) {
+	s.Query("q") // ok: _test.go file
+}

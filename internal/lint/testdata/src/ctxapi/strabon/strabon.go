@@ -1,0 +1,48 @@
+// Package strabon mimics the real store surface for the ctxapi
+// fixture: legacy materialising methods, the canonical streaming
+// entrypoint, and the two blessed package-level wrappers.
+package strabon
+
+import "context"
+
+type Result struct{}
+
+type Cursor struct{}
+
+func (c *Cursor) Close() error { return nil }
+
+type Store struct{}
+
+func (s *Store) QueryStreamCtx(ctx context.Context, src string) (*Cursor, error) {
+	return &Cursor{}, nil
+}
+
+// Query is the legacy materialising compat wrapper.
+func (s *Store) Query(src string) (*Result, error) {
+	return MaterialiseQuery(context.Background(), s, src)
+}
+
+// TimedQuery is the legacy timing compat wrapper.
+func (s *Store) TimedQuery(src string) (*Result, error) {
+	return TimedQuery(s, src)
+}
+
+type API interface {
+	Query(src string) (*Result, error)
+	TimedQuery(src string) (*Result, error)
+}
+
+// MaterialiseQuery is the blessed materialising wrapper.
+func MaterialiseQuery(ctx context.Context, s *Store, src string) (*Result, error) {
+	cur, err := s.QueryStreamCtx(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	return &Result{}, nil
+}
+
+// TimedQuery is the blessed timing wrapper.
+func TimedQuery(s *Store, src string) (*Result, error) {
+	return MaterialiseQuery(context.Background(), s, src)
+}

@@ -1,0 +1,99 @@
+// Package a is the cursorclose fixture: lock-holding cursor producers
+// whose results must be Closed, returned, or handed to an owner.
+package a
+
+import "context"
+
+type Cursor struct{}
+
+func (c *Cursor) Next() (int, bool) { return 0, false }
+func (c *Cursor) Close() error      { return nil }
+
+type Store struct{}
+
+func (s *Store) QueryStream(src string) (*Cursor, error) { return &Cursor{}, nil }
+func (s *Store) QueryStreamCtx(ctx context.Context, src string) (*Cursor, error) {
+	return &Cursor{}, nil
+}
+
+type Evaluator struct{}
+
+func (e *Evaluator) Run(q string) (*Cursor, error)         { return &Cursor{}, nil }
+func (e *Evaluator) RunCompiled(q string) (*Cursor, error) { return &Cursor{}, nil }
+
+type holder struct{ cur *Cursor }
+
+func leak(s *Store) {
+	cur, err := s.QueryStream("q") // leak: never closed
+	if err != nil {
+		return
+	}
+	_ = cur
+}
+
+func discarded(s *Store) {
+	s.QueryStream("q") // leak: result discarded
+}
+
+func blankAssigned(s *Store) {
+	_, _ = s.QueryStream("q") // leak: blank identifier
+}
+
+func evaluatorLeak(e *Evaluator) {
+	cur, _ := e.Run("q") // leak
+	_ = cur
+}
+
+func runCompiledLeak(e *Evaluator) {
+	cur, _ := e.RunCompiled("q") // leak
+	_ = cur
+}
+
+func ctxLeak(s *Store) {
+	cur, _ := s.QueryStreamCtx(context.Background(), "q") // leak
+	_ = cur
+}
+
+func closedDirect(s *Store) error {
+	cur, err := s.QueryStream("q") // ok: closed below
+	if err != nil {
+		return err
+	}
+	for _, ok := cur.Next(); ok; _, ok = cur.Next() {
+	}
+	return cur.Close()
+}
+
+func closedDeferred(s *Store) error {
+	cur, err := s.QueryStreamCtx(context.Background(), "q") // ok: deferred Close
+	if err != nil {
+		return err
+	}
+	defer cur.Close()
+	return nil
+}
+
+func returned(s *Store) (*Cursor, error) {
+	return s.QueryStream("q") // ok: ownership moves to the caller
+}
+
+func escapesField(s *Store, h *holder) {
+	cur, _ := s.QueryStream("q") // ok: stored into an owner
+	h.cur = cur
+}
+
+func escapesWrap(s *Store) *holder {
+	cur, _ := s.QueryStream("q") // ok: wrapped into an owning value
+	return &holder{cur: cur}
+}
+
+func handOff(s *Store, own func(*Cursor)) {
+	cur, _ := s.QueryStream("q") // ok: passed to an owner
+	own(cur)
+}
+
+func allowed(s *Store) {
+	//lint:allow cursorclose fixture pins the suppression pragma
+	cur, _ := s.QueryStream("q")
+	_ = cur
+}

@@ -1,0 +1,10 @@
+// Package member stands in for a per-range member store: its Lock is
+// the write lock that reader paths must never reach.
+package member
+
+type Store struct{}
+
+func (s *Store) Lock()    {}
+func (s *Store) Unlock()  {}
+func (s *Store) RLock()   {}
+func (s *Store) RUnlock() {}

@@ -1,0 +1,13 @@
+// Package a is the pragma fixture: malformed or unknown //lint:allow
+// pragmas are themselves diagnostics, so typos cannot silently
+// disable an analyzer.
+package a
+
+//lint:allow cursorclose
+func malformed() {}
+
+//lint:allow nosuchanalyzer reason text here
+func unknown() {}
+
+//lint:allow cursorclose a well-formed pragma is fine even with nothing to suppress
+func wellFormed() {}

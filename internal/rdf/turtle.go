@@ -40,8 +40,11 @@ func NewNamespaces() *Namespaces {
 	return n
 }
 
-// Bind registers (or overrides) a prefix.
+// Bind registers (or overrides) a prefix. Query parsing reaches this
+// for PREFIX declarations, so it runs on read paths too: the lock is
+// the namespace table's own mutex, held for one map write.
 func (n *Namespaces) Bind(prefix, iri string) {
+	//lint:allow lockdiscipline namespace-table mutex, not a store lock; PREFIX declarations bind during read-path parsing
 	n.mu.Lock()
 	n.prefixes[prefix] = iri
 	n.mu.Unlock()

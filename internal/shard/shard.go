@@ -614,24 +614,14 @@ func (s *Store) Update(src string) (stsparql.UpdateStats, error) {
 // applyRouted applies a computed update plan with every member write
 // lock held: deletes try each store (the partition means exactly one can
 // hold the triple), inserts group by subject and route by timestamp,
-// then owning slice, then static.
+// then owning slice, then static. Routing decisions (targets, the
+// split latch) and the track() registration all happen BEFORE the
+// first member-store mutation: generation bumps are observed lock-free
+// by the result cache's validators, so routing knowledge must already
+// cover the new data when the first bump lands (genorder invariant,
+// enforced by reprolint).
 func (s *Store) applyRouted(plan *stsparql.UpdatePlan) stsparql.UpdateStats {
 	stats := stsparql.UpdateStats{Matched: plan.Matched}
-	for _, t := range plan.Deletes {
-		removed := false
-		for _, sl := range s.slices {
-			if sl.Remove(t) {
-				removed = true
-				break
-			}
-		}
-		if !removed {
-			removed = s.static.Remove(t)
-		}
-		if removed {
-			stats.Deleted++
-		}
-	}
 
 	groups := groupBySubject(plan.Inserts)
 	targets := make([]int, len(groups))
@@ -650,6 +640,26 @@ func (s *Store) applyRouted(plan *stsparql.UpdatePlan) stsparql.UpdateStats {
 		if !s.split.Load() && s.groupSplits(groups[i], targets[i], true) {
 			s.split.Store(true)
 		}
+	}
+	s.track(groups, targets)
+
+	for _, t := range plan.Deletes {
+		removed := false
+		for _, sl := range s.slices {
+			if sl.Remove(t) {
+				removed = true
+				break
+			}
+		}
+		if !removed {
+			removed = s.static.Remove(t)
+		}
+		if removed {
+			stats.Deleted++
+		}
+	}
+
+	for i := range groups {
 		st := s.static
 		if targets[i] >= 0 {
 			st = s.slices[targets[i]]
@@ -660,7 +670,6 @@ func (s *Store) applyRouted(plan *stsparql.UpdatePlan) stsparql.UpdateStats {
 			}
 		}
 	}
-	s.track(groups, targets)
 	return stats
 }
 

@@ -259,7 +259,7 @@ func (ep *Endpoint) serveQuery(w http.ResponseWriter, r *http.Request) {
 		// ASK: a single pre-materialised row — keep the plain headers.
 		res := &stsparql.Result{Vars: cur.Vars()}
 		if hasFirst {
-			res.Rows = append(res.Rows, first)
+			res.Rows = append(res.Rows, first.Clone())
 			if snap != nil {
 				snap.Append(first)
 			}

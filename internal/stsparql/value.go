@@ -267,6 +267,7 @@ func (c *geomCache) parse(wkt string) (geom.Geometry, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:allow lockdiscipline fill-on-miss on the shared geometry cache's own mutex, not a store lock; held only for one map insert
 	c.mu.Lock()
 	c.geoms[wkt] = g
 	c.mu.Unlock()

@@ -1,13 +1,19 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Allocation gate for the batch execution engine: fails when
 # BenchmarkStreamedSelect/full/streamed allocates more than 1.5x the
 # committed baseline (internal/strabon/testdata/streamed_select_allocs
 # .baseline). allocs/op is scheduling-independent, so even the CI smoke
 # benchtime measures it exactly — a regression here means a per-row
 # allocation crept back into the batch pipeline.
-set -eu
+set -euo pipefail
 
 baseline_file="internal/strabon/testdata/streamed_select_allocs.baseline"
+if [ ! -f "$baseline_file" ]; then
+    echo "missing baseline file $baseline_file" >&2
+    echo "run the bench once and commit its allocs/op:" >&2
+    echo "  go test -run '^\$' -bench 'BenchmarkStreamedSelect/full/streamed' -benchmem ./internal/strabon" >&2
+    exit 1
+fi
 baseline=$(tr -dc 0-9 <"$baseline_file")
 [ -n "$baseline" ] || { echo "empty baseline in $baseline_file" >&2; exit 1; }
 
