@@ -46,9 +46,13 @@ bench-batch:
 # over HTTP against a live writer with the result cache + admission
 # gate on, reporting p50/p99 and the hot-set hit ratio — and failing
 # when the hit ratio collapses below 0.5 (a keying or invalidation
-# regression in the serving tier).
+# regression in the serving tier). -json writes the machine-readable
+# latency/hit-ratio report (BENCH_serve.json holds the committed
+# baseline); -ops-addr stands up the ops surface and self-checks that
+# /metrics scrapes cleanly with every expected family present.
 bench-serve:
-	$(GO) run ./cmd/benchserve -clients 4 -requests 200 -min-hot-hit 0.5
+	$(GO) run ./cmd/benchserve -clients 4 -requests 200 -min-hot-hit 0.5 \
+		-json BENCH_serve.json -ops-addr 127.0.0.1:0
 
 # Fails if full/streamed allocs/op regresses 1.5x above the committed
 # baseline (what CI runs).

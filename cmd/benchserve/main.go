@@ -18,18 +18,43 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/closedloop"
+	"repro/internal/obs"
 	"repro/internal/resultcache"
 	"repro/internal/shard"
 	"repro/internal/strabon"
 )
+
+// benchResult is the machine-readable run summary -json writes — the
+// committed BENCH_serve.json baseline and the CI artifact.
+type benchResult struct {
+	Clients    int     `json:"clients"`
+	Requests   int     `json:"requests"`
+	Completed  int     `json:"completed"`
+	Hot        int     `json:"hot"`
+	Cold       int     `json:"cold"`
+	Errors     int     `json:"errors"`
+	Rejected   int     `json:"rejected"`
+	P50Us      int64   `json:"p50_us"`
+	P95Us      int64   `json:"p95_us"`
+	P99Us      int64   `json:"p99_us"`
+	MaxUs      int64   `json:"max_us"`
+	MeanUs     int64   `json:"mean_us"`
+	Throughput float64 `json:"throughput_rps"`
+	HotHit     float64 `json:"hot_hit_ratio"`
+	CacheHits  uint64  `json:"cache_hits"`
+	CacheMiss  uint64  `json:"cache_misses"`
+}
 
 func main() {
 	var (
@@ -46,6 +71,8 @@ func main() {
 		queue     = flag.Int("queue-depth", 64, "admission wait-queue depth")
 		interval  = flag.Duration("writer-interval", 500*time.Microsecond, "live writer insert interval")
 		minHotHit = flag.Float64("min-hot-hit", 0, "fail unless hits/hot-requests reaches this (0 = report only)")
+		jsonOut   = flag.String("json", "", "write the machine-readable run summary to this file")
+		opsAddr   = flag.String("ops-addr", "", "serve /metrics, /debug/queries and pprof on this address (and self-check the scrape)")
 	)
 	flag.Parse()
 
@@ -60,6 +87,23 @@ func main() {
 	if *maxConc > 0 {
 		ep.Admission = strabon.NewAdmission(*maxConc, *queue)
 	}
+	var opsURL string
+	if *opsAddr != "" {
+		reg := obs.NewRegistry()
+		qlog := obs.NewQueryLog(256)
+		strabon.EnableTelemetry(ep, reg, qlog)
+		opsLn, err := net.Listen("tcp", *opsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchserve: ops listen:", err)
+			os.Exit(1)
+		}
+		opsSrv := &http.Server{Handler: obs.NewOpsMux(reg, qlog)}
+		go opsSrv.Serve(opsLn)
+		defer opsSrv.Close()
+		opsURL = "http://" + opsLn.Addr().String()
+		fmt.Fprintf(os.Stderr, "benchserve: ops surface on %s\n", opsURL)
+	}
+
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchserve:", err)
@@ -83,25 +127,89 @@ func main() {
 	stopWriter()
 
 	fmt.Printf("closed loop: %s\n", rep)
+	hotHit := 0.0
+	var cs resultcache.Stats
 	if *cache {
-		cs := ep.Results.Stats()
-		hotHit := 0.0
+		cs = ep.Results.Stats()
 		if rep.Hot > 0 {
 			hotHit = float64(cs.Hits) / float64(rep.Hot)
 		}
 		fmt.Printf("result cache: %d hits / %d misses (%d entries, %d bytes, %d evictions, %d invalidations), hot hit ratio %.2f\n",
 			cs.Hits, cs.Misses, cs.Entries, cs.Bytes, cs.Evictions, cs.Invalidations, hotHit)
-		if *minHotHit > 0 && hotHit < *minHotHit {
-			fmt.Fprintf(os.Stderr, "benchserve: FAIL hot hit ratio %.2f < %.2f\n", hotHit, *minHotHit)
-			os.Exit(1)
-		}
 	}
 	if ep.Admission != nil {
 		as := ep.Admission.Stats()
 		fmt.Printf("admission: %d admitted, %d rejected, %d timed out\n", as.Admitted, as.Rejected, as.TimedOut)
 	}
+
+	if *jsonOut != "" {
+		doc := benchResult{
+			Clients: *clients, Requests: *requests, Completed: rep.Requests,
+			Hot: rep.Hot, Cold: rep.Cold, Errors: rep.Errors, Rejected: rep.Rejected,
+			P50Us: rep.P50.Microseconds(), P95Us: rep.P95.Microseconds(),
+			P99Us: rep.P99.Microseconds(), MaxUs: rep.Max.Microseconds(),
+			MeanUs: rep.Mean.Microseconds(), Throughput: rep.Throughput,
+			HotHit: hotHit, CacheHits: cs.Hits, CacheMiss: cs.Misses,
+		}
+		buf, _ := json.MarshalIndent(doc, "", "  ")
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchserve: write json:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchserve: wrote %s\n", *jsonOut)
+	}
+
+	// Self-check the scrape after the run so a metrics regression (panic
+	// in a collect func, malformed exposition) fails the benchmark run —
+	// the CI observability smoke leans on this.
+	if opsURL != "" {
+		families := []string{"strabon_query_seconds", "strabon_http_requests_total", "strabon_shard_triples"}
+		if *cache {
+			families = append(families, "strabon_result_cache_hits_total")
+		}
+		if ep.Admission != nil {
+			families = append(families, "strabon_admission_admitted_total")
+		}
+		if err := checkScrape(opsURL+"/metrics", families); err != nil {
+			fmt.Fprintln(os.Stderr, "benchserve: FAIL metrics scrape:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "benchserve: metrics scrape ok")
+	}
+
+	if *cache && *minHotHit > 0 && hotHit < *minHotHit {
+		fmt.Fprintf(os.Stderr, "benchserve: FAIL hot hit ratio %.2f < %.2f\n", hotHit, *minHotHit)
+		os.Exit(1)
+	}
 	if rep.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "benchserve: FAIL %d request errors\n", rep.Errors)
 		os.Exit(1)
 	}
+}
+
+// checkScrape fetches a /metrics URL and sanity-checks the exposition:
+// 200, # TYPE lines present, every expected family named.
+func checkScrape(url string, families []string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	text := string(body)
+	if !strings.Contains(text, "# TYPE") {
+		return fmt.Errorf("no # TYPE lines in scrape")
+	}
+	for _, family := range families {
+		if !strings.Contains(text, family) {
+			return fmt.Errorf("scrape lacks %s", family)
+		}
+	}
+	return nil
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/mapgen"
+	"repro/internal/obs"
 	"repro/internal/seviri"
 	"repro/internal/shard"
 	"repro/internal/strabon"
@@ -38,6 +39,7 @@ func main() {
 		serve      = flag.String("serve", "", "optional HTTP listen address, e.g. :8080")
 		shards     = flag.Int("shards", 1, "time-range store shards (1 = single store)")
 		shardWidth = flag.Duration("shard-width", time.Hour, "time span of one shard routing bucket")
+		opsAddr    = flag.String("ops-addr", "", "serve /metrics, /debug/queries and pprof on this separate address (empty = off)")
 	)
 	flag.Parse()
 
@@ -55,6 +57,18 @@ func main() {
 	fail(err)
 	svc.Workers = *workers
 
+	var reg *obs.Registry
+	var qlog *obs.QueryLog
+	if *opsAddr != "" {
+		reg = obs.NewRegistry()
+		qlog = obs.NewQueryLog(256)
+		svc.Metrics = core.NewPipelineMetrics(reg)
+		opsLn, err := net.Listen("tcp", *opsAddr)
+		fail(err)
+		go http.Serve(opsLn, obs.NewOpsMux(reg, qlog))
+		fmt.Printf("firewatch: ops surface on %s (/metrics, /debug/queries, /debug/pprof/)\n", opsLn.Addr())
+	}
+
 	from := cfg.Start.Add(11 * time.Hour)
 	fmt.Printf("firewatch: servicing %s from %s for %v (deadline %v per acquisition, %d workers)\n",
 		sens.Name, from.Format(time.RFC3339), *window, sens.Cadence, svc.EffectiveWorkers())
@@ -71,6 +85,9 @@ func main() {
 	if *serve != "" {
 		mux := http.NewServeMux()
 		ep := strabon.NewEndpoint(svc.Strabon)
+		if reg != nil {
+			strabon.EnableTelemetry(ep, reg, qlog)
+		}
 		mux.Handle("/sparql", ep)
 		mux.Handle("/update", ep)
 		mux.Handle("/explain", ep)

@@ -42,6 +42,7 @@ func main() {
 		queryFile = flag.String("query-file", "", "file holding the query")
 		update    = flag.Bool("update", false, "treat the request as an update")
 		explain   = flag.Bool("explain", false, "print the evaluation plan instead of executing")
+		analyze   = flag.Bool("analyze", false, "execute the query and print the plan annotated with per-operator actuals (EXPLAIN ANALYZE)")
 		format    = flag.String("format", "table", "result format: table, json or tsv")
 		repeat    = flag.Int("repeat", 1, "evaluate the query N times (the plan and geometry caches make repeats cheap)")
 	)
@@ -86,6 +87,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *analyze {
+		plan, err := st.ExplainAnalyze(context.Background(), q)
+		fail(err)
+		fmt.Print(plan)
+		reportCaches(cache, st)
+		return
+	}
 	if *explain {
 		plan, err := st.Explain(q)
 		fail(err)

@@ -45,6 +45,7 @@ import (
 
 	"repro/internal/auxdata"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/resultcache"
 	"repro/internal/seviri"
 	"repro/internal/shard"
@@ -70,6 +71,8 @@ func main() {
 		queueDepth = flag.Int("queue-depth", 64, "admission wait-queue depth (with -max-concurrent)")
 		maxRows    = flag.Int("max-rows", 0, "per-request row budget (0 = unlimited)")
 		maxBytes   = flag.Int64("max-bytes", 0, "per-request response byte budget (0 = unlimited)")
+		opsAddr    = flag.String("ops-addr", "", "serve /metrics, /debug/queries and pprof on this separate address (empty = off)")
+		slowQuery  = flag.Duration("slow-query", 0, "cache-miss queries at/above this land in /debug/queries (0 = all misses)")
 	)
 	flag.Parse()
 
@@ -86,10 +89,26 @@ func main() {
 		st = strabon.New()
 	}
 
+	// The observability surface: a registry + slow-query log shared by
+	// the endpoint (which instruments its request path against them) and
+	// the separate ops listener (scrape + pprof stay reachable when the
+	// serving port is saturated).
+	var reg *obs.Registry
+	var qlog *obs.QueryLog
+	if *opsAddr != "" {
+		reg = obs.NewRegistry()
+		qlog = obs.NewQueryLog(256)
+	}
+
+	var svc *core.Service
 	if *live {
-		svc, err := core.NewServiceWithStore(*seed, cfg, st)
+		var err error
+		svc, err = core.NewServiceWithStore(*seed, cfg, st)
 		fail(err)
 		svc.Workers = *workers
+		if reg != nil {
+			svc.Metrics = core.NewPipelineMetrics(reg)
+		}
 		sens := seviri.MSG1
 		if *sensor == "MSG2" {
 			sens = seviri.MSG2
@@ -130,6 +149,14 @@ func main() {
 	}
 	if *maxConc > 0 {
 		ep.Admission = strabon.NewAdmission(*maxConc, *queueDepth)
+	}
+	if reg != nil {
+		tel := strabon.EnableTelemetry(ep, reg, qlog)
+		tel.SlowQuery = *slowQuery
+		opsLn, err := net.Listen("tcp", *opsAddr)
+		fail(err)
+		go http.Serve(opsLn, obs.NewOpsMux(reg, qlog))
+		fmt.Fprintf(os.Stderr, "stsparqld: ops surface on %s (/metrics, /debug/queries, /debug/pprof/)\n", opsLn.Addr())
 	}
 	ln, err := net.Listen("tcp", *addr)
 	fail(err)

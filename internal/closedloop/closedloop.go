@@ -48,10 +48,10 @@ type Report struct {
 	Errors   int // non-2xx answers other than 429
 	Rejected int // 429 admission rejections (excluded from latencies)
 
-	P50, P90, P99, Max time.Duration
-	Mean               time.Duration
-	Elapsed            time.Duration
-	Throughput         float64 // completed requests per second
+	P50, P90, P95, P99, Max time.Duration
+	Mean                    time.Duration
+	Elapsed                 time.Duration
+	Throughput              float64 // completed requests per second
 }
 
 // String renders the report for logs.
@@ -146,6 +146,7 @@ func Run(cfg Config) Report {
 		rep.Mean = sum / time.Duration(len(latencies))
 		rep.P50 = quantile(latencies, 0.50)
 		rep.P90 = quantile(latencies, 0.90)
+		rep.P95 = quantile(latencies, 0.95)
 		rep.P99 = quantile(latencies, 0.99)
 		rep.Max = latencies[len(latencies)-1]
 	}

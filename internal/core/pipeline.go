@@ -100,19 +100,25 @@ func (s *Service) workerChain() Chain {
 // frontHalf runs the concurrent-safe half of one acquisition: downlink
 // simulation, vault attach, and the processing chain.
 func (s *Service) frontHalf(chain Chain, sensor seviri.Sensor, at time.Time) (*products.Product, time.Duration, error) {
+	acqStart := time.Now()
 	acq, err := s.Sim.Acquire(sensor, at, s.Segments, s.Compress)
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: acquire: %w", err)
 	}
+	s.Metrics.observe("acquire", time.Since(acqStart))
+	ingestStart := time.Now()
 	if err := IngestAcquisition(s.Vault, acq); err != nil {
 		return nil, 0, fmt.Errorf("core: ingest: %w", err)
 	}
+	s.Metrics.observe("ingest", time.Since(ingestStart))
 	chainStart := time.Now()
 	product, err := chain.Process(sensor.Name, at)
 	if err != nil {
 		return nil, 0, fmt.Errorf("core: chain: %w", err)
 	}
-	return product, time.Since(chainStart), nil
+	chainTime := time.Since(chainStart)
+	s.Metrics.observe("chain", chainTime)
+	return product, chainTime, nil
 }
 
 // runPipeline services the acquisitions of a window through the
@@ -236,15 +242,19 @@ func (s *Service) flush(sensor seviri.Sensor, batch []chainResult) error {
 	counts := s.Strabon.InsertAll(groups...)
 	share := func(d time.Duration) time.Duration { return d / time.Duration(len(batch)) }
 	storeShare := share(time.Since(insertStart))
+	s.Metrics.observe("flush", time.Since(insertStart))
+	s.Metrics.observeFlush(len(batch))
 
 	// Scoped refinement, evaluated once over the batch's acquisition
 	// range: the batch-rule-evaluation trade — one scan-and-join setup
 	// per flush instead of per acquisition — with hotspot-identical
 	// effect, since every scoped operation acts per hotspot.
+	refineStart := time.Now()
 	scoped, err := s.Refiner.RunScopedRange(batch[0].at, batch[len(batch)-1].at)
 	if err != nil {
 		return err
 	}
+	s.Metrics.observe("refine", time.Since(refineStart))
 
 	// History-dependent refinement and report assembly, in order.
 	for i, res := range batch {

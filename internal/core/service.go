@@ -54,6 +54,10 @@ type Service struct {
 	// Compress enables the wavelet stage of the synthetic downlink.
 	Compress bool
 
+	// Metrics, when set (NewPipelineMetrics), exports per-stage timings
+	// and flush batch sizes; nil disables instrumentation.
+	Metrics *PipelineMetrics
+
 	Reports []AcquisitionReport
 	// PlainProducts retains each acquisition's pre-refinement product for
 	// the Table 1 comparison.

@@ -30,7 +30,7 @@ import (
 
 var analyzerLockDiscipline = &Analyzer{
 	Name: "lockdiscipline",
-	Doc:  "no write-lock acquisition may be reachable from the reader entry points (QueryStream/QueryStreamCtx/Explain)",
+	Doc:  "no write-lock acquisition may be reachable from the reader entry points (QueryStream/QueryStreamCtx/Explain/ExplainAnalyze)",
 	Run:  runLockDiscipline,
 }
 
@@ -38,6 +38,7 @@ var readerEntryNames = map[string]bool{
 	"QueryStream":    true,
 	"QueryStreamCtx": true,
 	"Explain":        true,
+	"ExplainAnalyze": true,
 }
 
 type forbiddenOp struct {

@@ -1,0 +1,391 @@
+// Package obs is the engine's observability core: a hand-rolled,
+// stdlib-only metrics registry speaking the Prometheus text exposition
+// format, per-request trace IDs, and a ring-buffer slow-query log. It
+// deliberately depends on nothing but the standard library (the
+// reprolint precedent): the serving layers thread its instruments
+// through their hot paths, so every instrument is a bare atomic —
+// recording a counter increment or histogram observation takes no lock
+// and allocates nothing.
+//
+// The registry separates two kinds of metric:
+//
+//   - live instruments (Counter, Gauge, Histogram and their labelled
+//     Vec families), updated by the request/pipeline paths as work
+//     happens;
+//   - snapshot collectors (GaugeFunc, CollectFunc), called at scrape
+//     time to render state another subsystem already maintains
+//     (cache stats, admission depths, per-shard cardinalities).
+//
+// Snapshot collectors run on the scrape goroutine and must be cheap
+// and lock-light: they may take short-lived internal read locks of the
+// subsystem they snapshot, but must never acquire a store write lock
+// or hold a cursor open (the lockdiscipline/cursorclose analyzers
+// police the store-side callers).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; counters only go up).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram. Buckets are upper
+// bounds in ascending order; an implicit +Inf bucket is always present.
+// Observations are lock-free: one atomic add on the matching bucket,
+// one on the count, and a CAS loop on the float sum.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1, last = +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// DefBuckets are the default latency buckets, in seconds.
+var DefBuckets = []float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Sample is one labelled value emitted by a CollectFunc.
+type Sample struct {
+	LabelValues []string
+	Value       float64
+}
+
+// metric is one registered exposition block.
+type metric struct {
+	name   string
+	help   string
+	typ    string // counter | gauge | histogram
+	labels []string
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+
+	// vec children, keyed by joined label values; guarded by mu.
+	mu       sync.RWMutex
+	children map[string]*child
+	order    []string
+
+	gaugeFn   func() float64
+	collectFn func() []Sample
+}
+
+type child struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+}
+
+// Registry holds metrics and renders them in registration order.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[m.name]; dup {
+		panic("obs: duplicate metric " + m.name)
+	}
+	r.byName[m.name] = m
+	r.metrics = append(r.metrics, m)
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, typ: "counter", counter: c})
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, typ: "gauge", gauge: g})
+	return g
+}
+
+// NewHistogram registers and returns a histogram with the given bucket
+// upper bounds (nil = DefBuckets).
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	h := newHistogram(buckets)
+	r.register(&metric{name: name, help: help, typ: "histogram", hist: h})
+	return h
+}
+
+// NewGaugeFunc registers a gauge whose value is computed at scrape time.
+// fn must be cheap and must not acquire store write locks.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, typ: "gauge", gaugeFn: fn})
+}
+
+// NewCollectFunc registers a labelled gauge family whose samples are
+// computed at scrape time — the hook for snapshot-style sources
+// (per-shard cardinalities, cache stats). typ is "gauge" or "counter".
+func (r *Registry) NewCollectFunc(name, help, typ string, labels []string, fn func() []Sample) {
+	r.register(&metric{name: name, help: help, typ: typ, labels: labels, collectFn: fn})
+}
+
+// CounterVec is a family of counters partitioned by label values.
+type CounterVec struct{ m *metric }
+
+// NewCounterVec registers and returns a labelled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels []string) *CounterVec {
+	m := &metric{name: name, help: help, typ: "counter", labels: labels, children: make(map[string]*child)}
+	r.register(m)
+	return &CounterVec{m: m}
+}
+
+// With returns the counter for the given label values, creating it on
+// first use. The fast path (existing child) is one RLock'd map read.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.m.child(labelValues).counter
+}
+
+// HistogramVec is a family of histograms partitioned by label values.
+type HistogramVec struct {
+	m      *metric
+	bounds []float64
+}
+
+// NewHistogramVec registers and returns a labelled histogram family.
+func (r *Registry) NewHistogramVec(name, help string, labels []string, buckets []float64) *HistogramVec {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	m := &metric{name: name, help: help, typ: "histogram", labels: labels, children: make(map[string]*child)}
+	r.register(m)
+	return &HistogramVec{m: m, bounds: buckets}
+}
+
+// With returns the histogram for the given label values, creating it on
+// first use.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.m.child(labelValues, v.bounds...).hist
+}
+
+func (m *metric) child(labelValues []string, bounds ...float64) *child {
+	if len(labelValues) != len(m.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", m.name, len(m.labels), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	m.mu.RLock()
+	c, ok := m.children[key]
+	m.mu.RUnlock()
+	if ok {
+		return c
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok = m.children[key]; ok {
+		return c
+	}
+	c = &child{labelValues: append([]string(nil), labelValues...)}
+	switch m.typ {
+	case "counter":
+		c.counter = &Counter{}
+	case "gauge":
+		c.gauge = &Gauge{}
+	case "histogram":
+		c.hist = newHistogram(bounds)
+	}
+	m.children[key] = c
+	m.order = append(m.order, key)
+	return c
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, m := range metrics {
+		m.write(&b)
+	}
+	io.WriteString(w, b.String())
+}
+
+// ServeHTTP serves the registry as a /metrics scrape target.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.WritePrometheus(w)
+}
+
+func (m *metric) write(b *strings.Builder) {
+	fmt.Fprintf(b, "# HELP %s %s\n", m.name, m.help)
+	fmt.Fprintf(b, "# TYPE %s %s\n", m.name, m.typ)
+	switch {
+	case m.counter != nil:
+		fmt.Fprintf(b, "%s %s\n", m.name, formatFloat(float64(m.counter.Value())))
+	case m.gauge != nil:
+		fmt.Fprintf(b, "%s %s\n", m.name, formatFloat(m.gauge.Value()))
+	case m.hist != nil:
+		writeHistogram(b, m.name, "", m.hist)
+	case m.gaugeFn != nil:
+		fmt.Fprintf(b, "%s %s\n", m.name, formatFloat(m.gaugeFn()))
+	case m.collectFn != nil:
+		for _, s := range m.collectFn() {
+			fmt.Fprintf(b, "%s%s %s\n", m.name, labelString(m.labels, s.LabelValues), formatFloat(s.Value))
+		}
+	case m.children != nil:
+		m.mu.RLock()
+		keys := append([]string(nil), m.order...)
+		children := make([]*child, len(keys))
+		for i, k := range keys {
+			children[i] = m.children[k]
+		}
+		m.mu.RUnlock()
+		for _, c := range children {
+			ls := labelString(m.labels, c.labelValues)
+			switch {
+			case c.counter != nil:
+				fmt.Fprintf(b, "%s%s %s\n", m.name, ls, formatFloat(float64(c.counter.Value())))
+			case c.gauge != nil:
+				fmt.Fprintf(b, "%s%s %s\n", m.name, ls, formatFloat(c.gauge.Value()))
+			case c.hist != nil:
+				writeHistogram(b, m.name, pairString(m.labels, c.labelValues), c.hist)
+			}
+		}
+	}
+}
+
+// writeHistogram renders one histogram's bucket/sum/count series.
+// extraPairs is the pre-rendered `k="v",` label prefix (may be empty).
+func writeHistogram(b *strings.Builder, name, extraPairs string, h *Histogram) {
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", name, extraPairs, formatFloat(bound), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", name, extraPairs, cum)
+	if extraPairs == "" {
+		fmt.Fprintf(b, "%s_sum %s\n", name, formatFloat(h.Sum()))
+		fmt.Fprintf(b, "%s_count %d\n", name, h.Count())
+	} else {
+		fmt.Fprintf(b, "%s_sum{%s} %s\n", name, strings.TrimSuffix(extraPairs, ","), formatFloat(h.Sum()))
+		fmt.Fprintf(b, "%s_count{%s} %d\n", name, strings.TrimSuffix(extraPairs, ","), h.Count())
+	}
+}
+
+// labelString renders `{k1="v1",k2="v2"}`, or "" with no labels.
+func labelString(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	return "{" + strings.TrimSuffix(pairString(names, values), ",") + "}"
+}
+
+// pairString renders `k1="v1",k2="v2",` (trailing comma, for use as a
+// prefix ahead of a histogram's le label).
+func pairString(names, values []string) string {
+	var b strings.Builder
+	for i, n := range names {
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteString(`",`)
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// integers without an exponent, everything else in shortest form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

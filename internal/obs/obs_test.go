@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("test_events_total", "Events.")
+	c.Inc()
+	c.Add(2)
+	g := reg.NewGauge("test_depth", "Depth.")
+	g.Set(3)
+	g.Add(-1)
+	h := reg.NewHistogram("test_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	cv := reg.NewCounterVec("test_requests_total", "Requests.", []string{"path"})
+	cv.With("/sparql").Inc()
+	cv.With("/stats").Add(2)
+	hv := reg.NewHistogramVec("test_query_seconds", "Query latency.", []string{"outcome"}, []float64{0.5})
+	hv.With("hit").Observe(0.1)
+	reg.NewGaugeFunc("test_live", "Live.", func() float64 { return 7 })
+	reg.NewCollectFunc("test_shard_triples", "Per shard.", "gauge", []string{"shard"}, func() []Sample {
+		return []Sample{{LabelValues: []string{"s0"}, Value: 11}, {LabelValues: []string{`we"ird\`}, Value: 1}}
+	})
+
+	rec := httptest.NewRecorder()
+	reg.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	body := rec.Body.String()
+
+	for _, want := range []string{
+		"# HELP test_events_total Events.",
+		"# TYPE test_events_total counter",
+		"test_events_total 3",
+		"test_depth 2",
+		`test_latency_seconds_bucket{le="0.1"} 1`,
+		`test_latency_seconds_bucket{le="1"} 2`,
+		`test_latency_seconds_bucket{le="+Inf"} 3`,
+		"test_latency_seconds_count 3",
+		`test_requests_total{path="/sparql"} 1`,
+		`test_requests_total{path="/stats"} 2`,
+		`test_query_seconds_bucket{outcome="hit",le="0.5"} 1`,
+		`test_query_seconds_count{outcome="hit"} 1`,
+		"test_live 7",
+		`test_shard_triples{shard="s0"} 11`,
+		`test_shard_triples{shard="we\"ird\\"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition lacks %q\n%s", want, body)
+		}
+	}
+
+	// Every non-comment line must be a well-formed sample.
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9+.eEInf-]+$`)
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sample.MatchString(line) {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("dup", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	reg.NewGauge("dup", "y")
+}
+
+func TestHistogramSum(t *testing.T) {
+	h := newHistogram([]float64{1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	if got := h.Sum(); got != 1.0 {
+		t.Fatalf("sum = %v", got)
+	}
+	if got := h.Count(); got != 2 {
+		t.Fatalf("count = %d", got)
+	}
+}
+
+func TestQueryLogRing(t *testing.T) {
+	l := NewQueryLog(3)
+	for i := 0; i < 5; i++ {
+		l.Record(QueryRecord{Query: strings.Repeat("q", i+1), Outcome: "miss", Elapsed: time.Duration(i) * time.Millisecond})
+	}
+	snap := l.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("ring kept %d, want 3", len(snap))
+	}
+	// Newest first: the 5th record (5 q's) leads.
+	if snap[0].Query != "qqqqq" || snap[2].Query != "qqq" {
+		t.Fatalf("order wrong: %q ... %q", snap[0].Query, snap[2].Query)
+	}
+	if snap[0].ElapsedUs != 4000 {
+		t.Fatalf("elapsed_us = %d", snap[0].ElapsedUs)
+	}
+	if snap[0].At.IsZero() {
+		t.Fatal("At not stamped")
+	}
+
+	rec := httptest.NewRecorder()
+	l.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/queries", nil))
+	if !strings.Contains(rec.Body.String(), `"outcome":"miss"`) {
+		t.Fatalf("json lacks outcome: %s", rec.Body.String())
+	}
+}
+
+func TestQueryLogTruncatesLongQueries(t *testing.T) {
+	l := NewQueryLog(1)
+	l.Record(QueryRecord{Query: strings.Repeat("x", 5000)})
+	if got := len(l.Snapshot()[0].Query); got != 2048 {
+		t.Fatalf("kept %d bytes, want 2048", got)
+	}
+}
+
+func TestRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b || a == "" {
+		t.Fatalf("ids not unique: %q %q", a, b)
+	}
+	r := httptest.NewRequest(http.MethodGet, "/", nil)
+	r.Header.Set(RequestIDHeader, "inbound-id")
+	if got := RequestID(r); got != "inbound-id" {
+		t.Fatalf("inbound id not honoured: %q", got)
+	}
+	r.Header.Set(RequestIDHeader, strings.Repeat("z", 300))
+	if got := RequestID(r); len(got) != 128 {
+		t.Fatalf("long inbound id not truncated: %d", len(got))
+	}
+}
+
+func TestOpsMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("x_total", "x")
+	mux := NewOpsMux(reg, NewQueryLog(4))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/debug/queries", "/debug/pprof/cmdline"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s -> %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestDigestStable(t *testing.T) {
+	if Digest("plan") != Digest("plan") {
+		t.Fatal("digest not stable")
+	}
+	if Digest("plan a") == Digest("plan b") {
+		t.Fatal("distinct inputs collided (FNV-1a would not)")
+	}
+}

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"hash/fnv"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// NewOpsMux assembles the operational sidecar surface served behind a
+// binary's -ops-addr flag: the /metrics scrape target, the
+// /debug/queries slow-query log, and net/http/pprof under
+// /debug/pprof/. It is deliberately a separate mux (and, in the
+// binaries, a separate listener) from the query endpoint, so profiling
+// and scraping stay reachable when the serving port is saturated — and
+// so pprof is never exposed on the public port. reg and qlog may be
+// nil; their routes are simply absent.
+func NewOpsMux(reg *Registry, qlog *QueryLog) *http.ServeMux {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.Handle("/metrics", reg)
+	}
+	if qlog != nil {
+		mux.Handle("/debug/queries", qlog)
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Digest returns a short stable FNV-1a digest of s — the slow-query
+// log's plan fingerprint: two queries with the same digest chose the
+// same plan shape.
+func Digest(s string) string {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return strconv.FormatUint(h.Sum64(), 16)
+}

@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+const analyzeWindowSelect = `
+SELECT ?h ?g WHERE {
+  ?h a noa:Hotspot ; noa:hasAcquisitionDateTime ?at ; strdf:hasGeometry ?g .
+  FILTER( str(?at) >= "2007-08-25T10:00:00" )
+  FILTER( str(?at) <= "2007-08-25T11:45:00" )
+}`
+
+// drainCount runs a query through the ordinary routed path and counts
+// rows — the reference ExplainAnalyze's totals must agree with.
+func drainCount(t *testing.T, sh *Store, q string) int {
+	t.Helper()
+	cur, err := sh.QueryStream(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	n := 0
+	for _, ok := cur.Next(); ok; _, ok = cur.Next() {
+		n++
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestShardExplainAnalyzeFanout(t *testing.T) {
+	sh := newSharded(4)
+	loadFixture(sh)
+
+	want := drainCount(t, sh, analyzeWindowSelect)
+	if want == 0 {
+		t.Fatal("fixture query returned no rows")
+	}
+	out, err := sh.ExplainAnalyze(context.Background(), analyzeWindowSelect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{
+		"shard fan-out:", "(analyze)", "shard[", "actual rows=", "merge[",
+	} {
+		if !strings.Contains(out, sub) {
+			t.Errorf("analyze output lacks %q:\n%s", sub, out)
+		}
+	}
+	// The window spans two hour-buckets: both shards report a section.
+	if n := strings.Count(out, "  shard["); n != 2 {
+		t.Errorf("got %d shard sections, want 2:\n%s", n, out)
+	}
+	if !strings.Contains(out, "merge[concat]: rows="+itoa(want)) {
+		t.Errorf("merge count disagrees with QueryStream drain (%d rows):\n%s", want, out)
+	}
+	if !strings.Contains(out, "total: rows="+itoa(want)) {
+		t.Errorf("total disagrees with QueryStream drain (%d rows):\n%s", want, out)
+	}
+
+	// The analyze run released every lock: a write must go through.
+	if _, err := sh.Update(`INSERT DATA { noa:extra a noa:Hotspot . }`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardExplainAnalyzeUnionFallback(t *testing.T) {
+	sh := newSharded(4)
+	loadFixture(sh)
+
+	// Static-only data carries no slice-classed pattern, so routing
+	// falls back to the single traced evaluation over the union view.
+	q := `SELECT ?m WHERE { ?m a gag:Municipality . }`
+	want := drainCount(t, sh, q)
+	out, err := sh.ExplainAnalyze(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "shard union: single evaluation over static+4 slices (analyze)") {
+		t.Errorf("no union header:\n%s", out)
+	}
+	if !strings.Contains(out, "actual rows=") || !strings.Contains(out, "total: rows="+itoa(want)) {
+		t.Errorf("union analyze totals wrong (want %d rows):\n%s", want, out)
+	}
+}
+
+func TestShardExplainAnalyzeAsk(t *testing.T) {
+	sh := newSharded(4)
+	loadFixture(sh)
+
+	out, err := sh.ExplainAnalyze(context.Background(), `
+ASK {
+  ?h a noa:Hotspot ; noa:hasAcquisitionDateTime ?at .
+  FILTER( str(?at) = "2007-08-25T10:00:00" )
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"merge=ask (analyze)", "shard[", "ask=true", "total: ask=true"} {
+		if !strings.Contains(out, sub) {
+			t.Errorf("ask analyze output lacks %q:\n%s", sub, out)
+		}
+	}
+}
+
+func TestShardExplainAnalyzeEmptyWindow(t *testing.T) {
+	sh := newSharded(4)
+	loadFixture(sh)
+
+	out, err := sh.ExplainAnalyze(context.Background(), `
+SELECT ?h WHERE {
+  ?h a noa:Hotspot ; noa:hasAcquisitionDateTime ?at .
+  FILTER( str(?at) >= "2007-08-26T00:00:00" )
+  FILTER( str(?at) <= "2007-08-26T00:30:00" )
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "total: rows=0") {
+		t.Errorf("day-after window should yield no rows:\n%s", out)
+	}
+}
+
+func TestShardExplainAnalyzeRejectsUpdate(t *testing.T) {
+	sh := newSharded(2)
+	if _, err := sh.ExplainAnalyze(context.Background(), `INSERT DATA { noa:x a noa:Hotspot . }`); err == nil {
+		t.Fatal("update accepted by ExplainAnalyze")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -275,16 +275,27 @@ func (s *Store) Stats() strabon.Stats {
 	return out
 }
 
-// ShardStats reports per-shard cardinalities for /stats.
+// ShardStats reports per-shard cardinality, generation and observed
+// temporal range for /stats and the /metrics per-shard gauges.
 func (s *Store) ShardStats() []strabon.ShardStat {
-	out := []strabon.ShardStat{{Name: "static", Triples: s.static.Len()}}
+	out := []strabon.ShardStat{{
+		Name:    "static",
+		Triples: s.static.Len(),
+		Gen:     s.static.Generation(),
+	}}
 	s.routeMu.RLock()
 	defer s.routeMu.RUnlock()
 	for i, sl := range s.slices {
-		st := strabon.ShardStat{Name: fmt.Sprintf("s%d", i), Triples: sl.Len()}
+		st := strabon.ShardStat{
+			Name:    fmt.Sprintf("s%d", i),
+			Triples: sl.Len(),
+			Gen:     sl.Generation(),
+		}
 		if !s.sliceMin[i].IsZero() {
 			st.Range = s.sliceMin[i].UTC().Format("2006-01-02T15:04:05") +
 				"/" + s.sliceMax[i].UTC().Format("2006-01-02T15:04:05")
+			st.MinUnix = s.sliceMin[i].Unix()
+			st.MaxUnix = s.sliceMax[i].Unix()
 		}
 		out = append(out, st)
 	}

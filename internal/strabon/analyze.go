@@ -1,0 +1,79 @@
+package strabon
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/stsparql"
+)
+
+// ExplainAnalyze compiles a SELECT or ASK, executes it to exhaustion
+// under the store read lock, and renders the plan tree annotated with
+// per-operator actuals (rows out, batches, cumulative wall time) next
+// to the optimizer's estimates — EXPLAIN ANALYZE. The evaluation is
+// real: it takes the same read lock, runs the same compiled plan (plan
+// cache included) and drains the same cursor path a query would, under
+// ctx like any streamed evaluation.
+func (s *Store) ExplainAnalyze(ctx context.Context, src string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ev := stsparql.NewEvaluatorWithCache(s, s.cache)
+	c, err := ev.CompileCached(src, s.ns, s.plans, s.gen.Load())
+	if err != nil {
+		return "", err
+	}
+	s.statsMu.Lock()
+	s.stats.Queries++
+	s.statsMu.Unlock()
+	tr := stsparql.NewExecTrace(c)
+	ev.SetTrace(tr)
+	var b strings.Builder
+	start := time.Now()
+	switch {
+	case c.IsSelect():
+		cur, err := ev.RunCompiled(c)
+		if err != nil {
+			return "", err
+		}
+		rows, err := drainTraced(ctx, cur)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString("select (analyze)\n")
+		b.WriteString(tr.Render(c))
+		fmt.Fprintf(&b, "total: rows=%d time=%v\n", rows, time.Since(start).Round(time.Microsecond))
+	case c.IsAsk():
+		ok, err := ev.AskCompiled(c)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString("ask (analyze)\n")
+		b.WriteString(tr.Render(c))
+		fmt.Fprintf(&b, "total: ask=%v time=%v\n", ok, time.Since(start).Round(time.Microsecond))
+	default:
+		return "", fmt.Errorf("strabon: ExplainAnalyze wants SELECT or ASK")
+	}
+	return b.String(), nil
+}
+
+// drainTraced pulls a cursor to exhaustion under per-row context checks
+// and closes it, returning the row count.
+func drainTraced(ctx context.Context, cur stsparql.Cursor) (int, error) {
+	defer cur.Close()
+	n := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return n, err
+		}
+		if _, ok := cur.Next(); !ok {
+			break
+		}
+		n++
+	}
+	return n, cur.Close()
+}

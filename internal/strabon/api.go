@@ -119,11 +119,17 @@ func TimedQuery(s Streamer, src string) (*stsparql.Result, time.Duration, error)
 	return res, time.Since(start), nil
 }
 
-// ShardStat describes one shard of a sharded backend for /stats.
+// ShardStat describes one shard of a sharded backend for /stats and
+// the /metrics per-shard gauges: cardinality, mutation generation and
+// the observed temporal range (zero MinUnix/MaxUnix when the shard has
+// seen no timestamped data).
 type ShardStat struct {
 	Name    string `json:"name"`
 	Range   string `json:"range,omitempty"`
 	Triples int    `json:"triples"`
+	Gen     uint64 `json:"generation"`
+	MinUnix int64  `json:"min_unix,omitempty"`
+	MaxUnix int64  `json:"max_unix,omitempty"`
 }
 
 // ShardStatser is implemented by backends that partition their data;
@@ -131,6 +137,14 @@ type ShardStat struct {
 // backend offers them.
 type ShardStatser interface {
 	ShardStats() []ShardStat
+}
+
+// Analyzer is implemented by backends that can execute a query with
+// per-operator instrumentation and render the annotated plan — EXPLAIN
+// ANALYZE. Like the other capability interfaces it is optional: the
+// endpoint's /explain?analyze=1 answers 501 when the backend lacks it.
+type Analyzer interface {
+	ExplainAnalyze(ctx context.Context, src string) (string, error)
 }
 
 // QueryStreamCtx is QueryStream bound to a context: once ctx is

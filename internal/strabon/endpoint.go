@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/resultcache"
 	"repro/internal/stsparql"
 )
@@ -84,6 +85,12 @@ type Endpoint struct {
 	MaxRows  int
 	MaxBytes int64
 
+	// Metrics, when set (EnableTelemetry), instruments the request path:
+	// latency histograms by outcome, per-path request counters, the
+	// slow-query log, and /metrics + /debug/queries routes on this
+	// handler. nil disables all of it at the cost of one nil check.
+	Metrics *Telemetry
+
 	mu    sync.Mutex
 	stats EndpointStats
 }
@@ -108,7 +115,16 @@ func (ep *Endpoint) Stats() EndpointStats {
 
 // ServeHTTP implements http.Handler.
 func (ep *Endpoint) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	switch strings.TrimSuffix(r.URL.Path, "/") {
+	path := strings.TrimSuffix(r.URL.Path, "/")
+	if ep.Metrics != nil {
+		// Resolve the trace ID once (minting is not idempotent) and pin it
+		// on the inbound headers so the handlers below see the same ID.
+		rid := obs.RequestID(r)
+		r.Header.Set(obs.RequestIDHeader, rid)
+		w.Header().Set(obs.RequestIDHeader, rid)
+		ep.Metrics.countRequest(path)
+	}
+	switch path {
 	case "", "/sparql":
 		ep.serveQuery(w, r)
 	case "/update":
@@ -117,6 +133,18 @@ func (ep *Endpoint) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		ep.serveExplain(w, r)
 	case "/stats":
 		ep.serveStats(w, r)
+	case "/metrics":
+		if ep.Metrics != nil && ep.Metrics.Registry != nil {
+			ep.Metrics.Registry.ServeHTTP(w, r)
+			return
+		}
+		http.NotFound(w, r)
+	case "/debug/queries":
+		if ep.Metrics != nil && ep.Metrics.Queries != nil {
+			ep.Metrics.Queries.ServeHTTP(w, r)
+			return
+		}
+		http.NotFound(w, r)
 	default:
 		http.NotFound(w, r)
 	}
@@ -163,6 +191,12 @@ func (ep *Endpoint) count(rows int, failed bool) {
 // flushed to the client (each flush emits an HTTP chunk).
 const streamFlushRows = 64
 
+// setElapsed stamps the X-Elapsed-Us header (or trailer, when already
+// declared) — the one helper behind every response's elapsed stamp.
+func setElapsed(w http.ResponseWriter, start time.Time) {
+	w.Header().Set("X-Elapsed-Us", fmt.Sprint(time.Since(start).Microseconds()))
+}
+
 func (ep *Endpoint) serveQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
 		ep.count(0, true)
@@ -184,6 +218,8 @@ func (ep *Endpoint) serveQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	traceID := r.Header.Get(obs.RequestIDHeader)
+
 	// Result-cache lookup, ahead of plan compilation and admission: the
 	// key is the query text alone (the cached row set is
 	// format-independent; each hit renders it in the request's format),
@@ -191,7 +227,9 @@ func (ep *Endpoint) serveQuery(w http.ResponseWriter, r *http.Request) {
 	// live store without taking any lock.
 	if ep.Results != nil {
 		if ent, ok := ep.Results.Get(q, ep.validator()); ok {
-			ep.serveCached(w, media, ent, time.Now())
+			start := time.Now()
+			rows := ep.serveCached(w, media, ent, start)
+			ep.Metrics.recordQuery(traceID, q, "hit", rows, time.Since(start), "")
 			return
 		}
 	}
@@ -203,19 +241,25 @@ func (ep *Endpoint) serveQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	reqStart := time.Now()
+
 	// Admission gates the miss path only — evaluations hold store read
 	// locks, replays don't. The wait shares the query deadline.
 	if ep.Admission != nil {
+		waitStart := time.Now()
 		if err := ep.Admission.Acquire(ctx); err != nil {
 			ep.count(0, true)
 			if errors.Is(err, ErrAdmissionFull) {
 				w.Header().Set("Retry-After", "1")
 				http.Error(w, "busy: admission queue full", http.StatusTooManyRequests)
+				ep.Metrics.recordQuery(traceID, q, "rejected", 0, time.Since(reqStart), "")
 			} else {
 				http.Error(w, "queue wait cancelled: "+err.Error(), http.StatusServiceUnavailable)
+				ep.Metrics.recordQuery(traceID, q, "error", 0, time.Since(reqStart), "")
 			}
 			return
 		}
+		ep.Metrics.observeWait(time.Since(waitStart))
 		defer ep.Admission.Release()
 	}
 
@@ -224,6 +268,7 @@ func (ep *Endpoint) serveQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		ep.count(0, true)
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		ep.Metrics.recordQuery(traceID, q, "error", 0, time.Since(reqStart), "")
 		return
 	}
 	defer cur.Close()
@@ -236,6 +281,7 @@ func (ep *Endpoint) serveQuery(w http.ResponseWriter, r *http.Request) {
 		cur.Close()
 		ep.count(0, true)
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		ep.Metrics.recordQuery(traceID, q, "error", 0, time.Since(reqStart), "")
 		return
 	}
 
@@ -269,7 +315,7 @@ func (ep *Endpoint) serveQuery(w http.ResponseWriter, r *http.Request) {
 			ep.Results.Put(q, &resultcache.Entry{Ask: true, Snap: snap}, vec)
 		}
 		w.Header().Set("X-Rows", fmt.Sprint(len(res.Rows)))
-		w.Header().Set("X-Elapsed-Us", fmt.Sprint(time.Since(start).Microseconds()))
+		setElapsed(w, start)
 		if media == mediaTSV {
 			w.Header().Set("Content-Type", mediaTSV+"; charset=utf-8")
 			_ = WriteResultTSV(w, res)
@@ -278,6 +324,7 @@ func (ep *Endpoint) serveQuery(w http.ResponseWriter, r *http.Request) {
 			_ = WriteResultJSON(w, res)
 		}
 		ep.count(len(res.Rows), false)
+		ep.recordMiss(traceID, q, len(res.Rows), time.Since(reqStart), false)
 		return
 	}
 
@@ -331,7 +378,7 @@ func (ep *Endpoint) serveQuery(w http.ResponseWriter, r *http.Request) {
 		ep.Results.Put(q, &resultcache.Entry{Snap: snap}, vec)
 	}
 	w.Header().Set("X-Rows", fmt.Sprint(rows))
-	w.Header().Set("X-Elapsed-Us", fmt.Sprint(time.Since(start).Microseconds()))
+	setElapsed(w, start)
 	failed := false
 	switch {
 	case closeErr != nil:
@@ -342,6 +389,26 @@ func (ep *Endpoint) serveQuery(w http.ResponseWriter, r *http.Request) {
 		failed = true
 	}
 	ep.count(rows, failed || writeErr != nil)
+	ep.recordMiss(traceID, q, rows, time.Since(reqStart), failed || writeErr != nil)
+}
+
+// recordMiss lands a completed (or failed) evaluation in the telemetry:
+// outcome miss or error, with a plan digest computed only for queries
+// the slow-query log will actually keep.
+func (ep *Endpoint) recordMiss(traceID, q string, rows int, elapsed time.Duration, failed bool) {
+	tel := ep.Metrics
+	if tel == nil {
+		return
+	}
+	outcome := "miss"
+	if failed {
+		outcome = "error"
+	}
+	digest := ""
+	if tel.Queries != nil && (failed || elapsed >= tel.SlowQuery) {
+		digest = ep.planDigest(q)
+	}
+	tel.recordQuery(traceID, q, outcome, rows, elapsed, digest)
 }
 
 // validator adapts the backend's generation check for cache lookups; a
@@ -356,13 +423,13 @@ func (ep *Endpoint) validator() func(resultcache.GenVector) bool {
 // serveCached replays a cached result through the same encoding
 // pipeline a fresh evaluation streams through, so the response bytes —
 // headers, body and trailers — match a miss of the same query, with
-// only X-Elapsed-Us reflecting the replay.
-func (ep *Endpoint) serveCached(w http.ResponseWriter, media string, ent *resultcache.Entry, start time.Time) {
+// only X-Elapsed-Us reflecting the replay. Returns the rows served.
+func (ep *Endpoint) serveCached(w http.ResponseWriter, media string, ent *resultcache.Entry, start time.Time) int {
 	snap := ent.Snap
 	if ent.Ask {
 		res := snap.Result()
 		w.Header().Set("X-Rows", fmt.Sprint(len(res.Rows)))
-		w.Header().Set("X-Elapsed-Us", fmt.Sprint(time.Since(start).Microseconds()))
+		setElapsed(w, start)
 		if media == mediaTSV {
 			w.Header().Set("Content-Type", mediaTSV+"; charset=utf-8")
 			_ = WriteResultTSV(w, res)
@@ -371,7 +438,7 @@ func (ep *Endpoint) serveCached(w http.ResponseWriter, media string, ent *result
 			_ = WriteResultJSON(w, res)
 		}
 		ep.count(len(res.Rows), false)
-		return
+		return len(res.Rows)
 	}
 	w.Header().Set("Trailer", "X-Rows, X-Elapsed-Us, X-Error")
 	var enc RowWriter
@@ -398,8 +465,9 @@ func (ep *Endpoint) serveCached(w http.ResponseWriter, media string, ent *result
 		writeErr = enc.End()
 	}
 	w.Header().Set("X-Rows", fmt.Sprint(snap.Len()))
-	w.Header().Set("X-Elapsed-Us", fmt.Sprint(time.Since(start).Microseconds()))
+	setElapsed(w, start)
 	ep.count(snap.Len(), writeErr != nil)
+	return snap.Len()
 }
 
 // countWriter counts bytes on their way to the client for the
@@ -436,7 +504,7 @@ func (ep *Endpoint) serveUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	ep.count(0, false)
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Elapsed-Us", fmt.Sprint(time.Since(start).Microseconds()))
+	setElapsed(w, start)
 	_ = json.NewEncoder(w).Encode(st)
 }
 
@@ -447,7 +515,24 @@ func (ep *Endpoint) serveExplain(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing query", http.StatusBadRequest)
 		return
 	}
-	plan, err := ep.store.Explain(q)
+	var plan string
+	if analyzeParam(r) {
+		an, ok := ep.store.(Analyzer)
+		if !ok {
+			ep.count(0, true)
+			http.Error(w, "backend does not support EXPLAIN ANALYZE", http.StatusNotImplemented)
+			return
+		}
+		ctx := r.Context()
+		if ep.QueryTimeout > 0 {
+			var cancel func()
+			ctx, cancel = context.WithTimeout(ctx, ep.QueryTimeout)
+			defer cancel()
+		}
+		plan, err = an.ExplainAnalyze(ctx, q)
+	} else {
+		plan, err = ep.store.Explain(q)
+	}
 	if err != nil {
 		ep.count(0, true)
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -456,6 +541,16 @@ func (ep *Endpoint) serveExplain(w http.ResponseWriter, r *http.Request) {
 	ep.count(0, false)
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, plan)
+}
+
+// analyzeParam reports whether the request asked for EXPLAIN ANALYZE
+// (analyze=1 or analyze=true, form or query string).
+func analyzeParam(r *http.Request) bool {
+	v := r.Form.Get("analyze")
+	if v == "" {
+		v = r.URL.Query().Get("analyze")
+	}
+	return v == "1" || v == "true"
 }
 
 func (ep *Endpoint) serveStats(w http.ResponseWriter, r *http.Request) {

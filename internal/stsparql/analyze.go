@@ -1,0 +1,207 @@
+package stsparql
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// EXPLAIN ANALYZE support: an ExecTrace collects per-operator actuals
+// (rows out, batches, cumulative wall time, open count) while a plan
+// runs, and renders the plan tree annotated with them next to the
+// optimizer's estimates.
+//
+// Plans are immutable and shared (plan cache, concurrent runs), so the
+// trace never touches the operators themselves: it is keyed by operator
+// identity and armed on one Evaluator. The wrap happens once per
+// operator at open time — a single nil check on the disabled path, so
+// an untraced evaluation pays nothing per row or batch. A traced
+// iterator's time is inclusive: it covers the operator and everything
+// upstream of it, like PostgreSQL's actual time.
+
+// OpStats accumulates one operator's actuals. Counters are atomic:
+// fan-out sub-plans re-opened per probe row (OPTIONAL, UNION) and
+// sub-selects shared across shard workers all add into the same entry.
+type OpStats struct {
+	Rows    atomic.Int64 // live rows emitted
+	Batches atomic.Int64 // batches emitted
+	Opens   atomic.Int64 // times the operator was opened
+	Nanos   atomic.Int64 // cumulative wall time in next(), inclusive of upstream
+}
+
+// ExecTrace maps a compiled plan's operators to their runtime actuals.
+// Build it with NewExecTrace, arm it with Evaluator.SetTrace, run the
+// plan, then Render the annotated tree. One trace may be armed on
+// several evaluators at once (shard fan-out workers); the counters are
+// atomic.
+type ExecTrace struct {
+	stats map[operator]*OpStats
+}
+
+// NewExecTrace registers every operator of a compiled SELECT or ASK
+// plan. The map is complete before any evaluation starts and is never
+// mutated afterwards, so traced iterators read it without locks.
+func NewExecTrace(c *Compiled) *ExecTrace {
+	t := &ExecTrace{stats: make(map[operator]*OpStats)}
+	switch {
+	case c.sel != nil:
+		t.registerSelect(c.sel)
+	case c.ask != nil:
+		t.registerGroup(c.ask)
+	}
+	return t
+}
+
+func (t *ExecTrace) registerSelect(p *selectPlan) {
+	t.registerGroup(p.where)
+	for _, op := range p.tail {
+		t.registerOp(op)
+	}
+}
+
+func (t *ExecTrace) registerGroup(g *groupPlan) {
+	for _, op := range g.ops {
+		t.registerOp(op)
+	}
+}
+
+func (t *ExecTrace) registerOp(op operator) {
+	if _, ok := t.stats[op]; ok {
+		return
+	}
+	t.stats[op] = &OpStats{}
+	switch v := op.(type) {
+	case *optionalOp:
+		t.registerGroup(v.sub)
+	case *unionOp:
+		for _, br := range v.branches {
+			t.registerGroup(br)
+		}
+	case *nestedGroupOp:
+		t.registerGroup(v.sub)
+	case *subSelectOp:
+		t.registerSelect(v.sub)
+	}
+}
+
+// wrap interposes a traced iterator over one operator's output. Called
+// from the open paths only when a trace is armed.
+func (t *ExecTrace) wrap(op operator, in batchIter) batchIter {
+	st, ok := t.stats[op]
+	if !ok {
+		// An operator outside the registered plan (defensive; should not
+		// happen — traces are built from the Compiled being run).
+		return in
+	}
+	st.Opens.Add(1)
+	return &tracedIter{st: st, in: in}
+}
+
+type tracedIter struct {
+	st *OpStats
+	in batchIter
+}
+
+func (it *tracedIter) next() (*Batch, error) {
+	start := time.Now()
+	b, err := it.in.next()
+	it.st.Nanos.Add(int64(time.Since(start)))
+	if b != nil {
+		it.st.Batches.Add(1)
+		it.st.Rows.Add(int64(b.live()))
+	}
+	return b, err
+}
+
+func (it *tracedIter) close() { it.in.close() }
+
+// SetTrace arms t on this evaluator: plans opened through it wrap every
+// operator with actuals collection. nil disarms. The evaluator's usual
+// single-goroutine contract stands; one trace may be shared by several
+// evaluators.
+func (e *Evaluator) SetTrace(t *ExecTrace) { e.trace = t }
+
+// Render walks the compiled plan in Explain order and prints each
+// operator's line annotated with its actuals:
+//
+//	join[bind] {?h a noa:Hotspot} est=1000 (actual rows=9731 batches=12 time=1.2ms)
+//
+// rows/batches are the operator's output; time is inclusive of
+// everything upstream; opens>1 marks per-probe-row re-opened sub-plans
+// (OPTIONAL/UNION branches), where the figures are cumulative across
+// re-openings. Operators the evaluation never opened are annotated
+// "(never executed)".
+func (t *ExecTrace) Render(c *Compiled) string {
+	var b strings.Builder
+	switch {
+	case c.sel != nil:
+		t.renderGroup(&b, c.sel.where, "  ")
+		for _, op := range c.sel.tail {
+			t.renderOp(&b, op, "  ")
+		}
+	case c.ask != nil:
+		t.renderGroup(&b, c.ask, "  ")
+	}
+	return b.String()
+}
+
+func (t *ExecTrace) renderGroup(b *strings.Builder, g *groupPlan, indent string) {
+	for _, op := range g.ops {
+		t.renderOp(b, op, indent)
+	}
+}
+
+func (t *ExecTrace) renderOp(b *strings.Builder, op operator, indent string) {
+	b.WriteString(indent)
+	b.WriteString(opLabel(op))
+	t.annotate(b, op)
+	b.WriteByte('\n')
+	sub := indent + "  "
+	switch v := op.(type) {
+	case *optionalOp:
+		t.renderGroup(b, v.sub, sub)
+	case *unionOp:
+		for _, br := range v.branches {
+			fmt.Fprintf(b, "%s branch\n", indent)
+			t.renderGroup(b, br, sub)
+		}
+	case *nestedGroupOp:
+		t.renderGroup(b, v.sub, sub)
+	case *subSelectOp:
+		t.renderGroup(b, v.sub.where, sub)
+		for _, tailOp := range v.sub.tail {
+			t.renderOp(b, tailOp, sub)
+		}
+	}
+}
+
+func (t *ExecTrace) annotate(b *strings.Builder, op operator) {
+	st, ok := t.stats[op]
+	if !ok {
+		return
+	}
+	if st.Opens.Load() == 0 {
+		b.WriteString(" (never executed)")
+		return
+	}
+	fmt.Fprintf(b, " (actual rows=%d batches=%d time=%v",
+		st.Rows.Load(), st.Batches.Load(), time.Duration(st.Nanos.Load()).Round(time.Microsecond))
+	if n := st.Opens.Load(); n > 1 {
+		fmt.Fprintf(b, " opens=%d", n)
+	}
+	b.WriteString(")")
+}
+
+// opLabel is the operator's own Explain line — the first line of its
+// explain output (sub-plan operators print their header first and then
+// recurse, so the first line is always the operator itself).
+func opLabel(op operator) string {
+	var tmp strings.Builder
+	op.explain(&tmp, "")
+	s := tmp.String()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}

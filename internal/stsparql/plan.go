@@ -98,6 +98,9 @@ func (g *groupPlan) open(e *Evaluator, in batchIter) batchIter {
 	cur := in
 	for _, op := range g.ops {
 		cur = op.open(e, cur)
+		if e.trace != nil {
+			cur = e.trace.wrap(op, cur)
+		}
 	}
 	return cur
 }
@@ -134,6 +137,9 @@ func (p *selectPlan) open(e *Evaluator, seed []Binding) (batchIter, []string) {
 		cur = op.open(e, cur)
 		if op == operator(p.proj) {
 			vars = cur.(*projectIter).vars
+		}
+		if e.trace != nil {
+			cur = e.trace.wrap(op, cur)
 		}
 	}
 	return cur, vars
