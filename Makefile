@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-endpoint bench-stream bench-shard bench-batch bench-serve alloc-gate lint fmt
+.PHONY: build test bench bench-endpoint bench-stream bench-shard bench-batch bench-serve bench-engine alloc-gate lint fmt
 
 build:
 	$(GO) build ./...
@@ -54,8 +54,15 @@ bench-serve:
 	$(GO) run ./cmd/benchserve -clients 4 -requests 200 -min-hot-hit 0.5 \
 		-json BENCH_serve.json -ops-addr 127.0.0.1:0
 
-# Fails if full/streamed allocs/op regresses 1.5x above the committed
-# baseline (what CI runs).
+# Headline engine benchmarks (streamed select, sharded join, served
+# queries) recorded machine-readably in BENCH_engine.json — the
+# engine-level counterpart of BENCH_serve.json.
+bench-engine:
+	./scripts/bench_engine.sh BENCH_engine.json
+
+# Fails if a gated benchmark's allocs/op regresses 1.5x above its
+# committed baseline (what CI runs): full/streamed in internal/strabon
+# and the single-store sharded-queries case in internal/shard.
 alloc-gate:
 	./scripts/check_streamed_allocs.sh
 

@@ -47,6 +47,18 @@ func flatten(g Geometry) (pts []Point, lines []LineString, polys []Polygon) {
 	return pts, lines, polys
 }
 
+// ringCount and ringAt iterate a polygon's rings (shell first, then
+// holes) without materialising the slice Rings allocates — the
+// predicate loops below run per candidate row of a spatial join.
+func ringCount(p Polygon) int { return 1 + len(p.Holes) }
+
+func ringAt(p Polygon, i int) Ring {
+	if i == 0 {
+		return p.Shell
+	}
+	return p.Holes[i-1]
+}
+
 // Intersects reports whether the two geometries share at least one point.
 // This is the semantics of the paper's strdf:anyInteract filter function.
 func Intersects(g1, g2 Geometry) bool {
@@ -55,6 +67,41 @@ func Intersects(g1, g2 Geometry) bool {
 	}
 	if !g1.Envelope().Intersects(g2.Envelope()) {
 		return false
+	}
+	// Atomic-pair fast paths: the spatial joins of the service compare one
+	// stored geometry against one query geometry per candidate row, and
+	// those are overwhelmingly simple polygons and points — dispatching on
+	// the concrete pair skips the flatten decomposition (three slice
+	// allocations per side) entirely. Emptiness is already excluded above,
+	// so these branches match flatten's non-empty members exactly.
+	switch a := g1.(type) {
+	case Polygon:
+		switch b := g2.(type) {
+		case Polygon:
+			return polygonPolygonIntersect(a, b)
+		case Point:
+			return locateInPolygon(b, a) != locOutside
+		case LineString:
+			return linePolygonIntersect(b, a)
+		}
+	case Point:
+		switch b := g2.(type) {
+		case Polygon:
+			return locateInPolygon(a, b) != locOutside
+		case Point:
+			return a.Equals(b)
+		case LineString:
+			return pointOnLine(a, b)
+		}
+	case LineString:
+		switch b := g2.(type) {
+		case Polygon:
+			return linePolygonIntersect(a, b)
+		case Point:
+			return pointOnLine(b, a)
+		case LineString:
+			return lineLineIntersect(a, b)
+		}
 	}
 	p1, l1, a1 := flatten(g1)
 	p2, l2, a2 := flatten(g2)
@@ -149,8 +196,8 @@ func linePolygonIntersect(l LineString, p Polygon) bool {
 			return true
 		}
 	}
-	for _, r := range p.Rings() {
-		if lineLineIntersect(l, LineString(r)) {
+	for i := 0; i < ringCount(p); i++ {
+		if lineLineIntersect(l, LineString(ringAt(p, i))) {
 			return true
 		}
 	}
@@ -162,9 +209,10 @@ func polygonPolygonIntersect(a, b Polygon) bool {
 		return false
 	}
 	// Boundary crossing?
-	for _, ra := range a.Rings() {
-		for _, rb := range b.Rings() {
-			if lineLineIntersect(LineString(ra), LineString(rb)) {
+	for i := 0; i < ringCount(a); i++ {
+		ra := LineString(ringAt(a, i))
+		for j := 0; j < ringCount(b); j++ {
+			if lineLineIntersect(ra, LineString(ringAt(b, j))) {
 				return true
 			}
 		}

@@ -15,6 +15,9 @@
 //     the engine's current batch, reused on the next pull; retaining
 //     one (struct field, slice, map, channel) requires an interposing
 //     Clone call.
+//   - batchview: the columnar analogue — a *Batch yielded by a batch
+//     iterator's next is owned by the producer and reused on the next
+//     pull; retaining one requires an interposing cloneBatch call.
 //   - ctxapi: internal callers use the canonical context-first
 //     QueryStreamCtx surface; the legacy materialising Query/TimedQuery
 //     methods are banned outside the blessed strabon.MaterialiseQuery /
@@ -90,6 +93,7 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		analyzerCursorClose,
 		analyzerBindingClone,
+		analyzerBatchView,
 		analyzerCtxAPI,
 		analyzerLockDiscipline,
 		analyzerGenOrder,

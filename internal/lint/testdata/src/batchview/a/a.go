@@ -1,0 +1,102 @@
+// Package a is the batchview fixture: *Batch views from an iterator's
+// next are owned by the producer, reused on the next pull, and must be
+// cloneBatch-ed before retention.
+package a
+
+type Batch struct {
+	cols [][]uint64
+	n    int
+}
+
+func cloneBatch(src *Batch) *Batch {
+	out := &Batch{cols: make([][]uint64, len(src.cols)), n: src.n}
+	for i, c := range src.cols {
+		out.cols[i] = append([]uint64(nil), c...)
+	}
+	return out
+}
+
+type iter struct{}
+
+func (it *iter) next() (*Batch, error) { return nil, nil }
+
+// nextLive mirrors the engine helper: it forwards the producer's view.
+func nextLive(in *iter) (*Batch, error) { return in.next() }
+
+type sink struct {
+	pending []*Batch
+	cur     *Batch
+	byKey   map[string]*Batch
+}
+
+func retainAppend(it *iter, s *sink) {
+	for {
+		b, err := it.next()
+		if err != nil || b == nil {
+			return
+		}
+		s.pending = append(s.pending, b) // bad: view appended without cloneBatch
+	}
+}
+
+func retainField(it *iter, s *sink) {
+	b, _ := it.next()
+	s.cur = b // bad: view stored into a field
+}
+
+func retainMap(it *iter, s *sink) {
+	b, _ := it.next()
+	s.byKey["k"] = b // bad: view stored into a map
+}
+
+func retainChan(it *iter, ch chan *Batch) {
+	b, _ := it.next()
+	ch <- b // bad: view crosses a channel
+}
+
+func retainComposite(it *iter) *sink {
+	b, _ := it.next()
+	return &sink{cur: b} // bad: view captured in a literal
+}
+
+func retainFromHelper(it *iter, s *sink) {
+	b, _ := nextLive(it)
+	s.cur = b // bad: nextLive forwards the producer's view
+}
+
+func clonedAppend(it *iter, s *sink) {
+	b, _ := it.next()
+	s.pending = append(s.pending, cloneBatch(b)) // ok: cloned out
+}
+
+func clonedField(it *iter, s *sink) {
+	b, _ := it.next()
+	s.cur = cloneBatch(b) // ok
+}
+
+func consumed(it *iter, emit func(int)) {
+	b, _ := it.next()
+	for i := 0; i < b.n; i++ {
+		emit(i) // ok: immediate consumption, no retention
+	}
+}
+
+func forwarded(it *iter) (*Batch, error) {
+	return it.next() // ok: ownership forwards with the pull
+}
+
+type rowRef struct {
+	b *Batch
+	i int
+}
+
+func addressed(it *iter, eval func(rowRef)) {
+	b, _ := it.next()
+	eval(rowRef{b: b, i: 0}) // ok: transient row view, consumed within the pull
+}
+
+func allowedRetain(it *iter, s *sink) {
+	b, _ := it.next()
+	//lint:allow batchview fixture pins the suppression pragma
+	s.cur = b
+}

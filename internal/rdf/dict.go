@@ -11,17 +11,48 @@ const Wildcard ID = 0
 // Dictionary maps terms to dense IDs and back. The mapping is append-only:
 // terms are never garbage-collected, mirroring the dictionary columns of a
 // column store.
+//
+// # Concurrency contract
+//
+// A Dictionary is not internally synchronised; it relies on the owning
+// store's lock discipline (see strabon's package comment):
+//
+//   - Encode appends — it may grow both the key map and the term slice,
+//     so it must only run under the owning store's WRITE lock (every
+//     mutation path: Add, AddEncoded via Store.Add, bulk loads).
+//   - Lookup and Decode never mutate. Because the mapping is append-only
+//     and IDs are dense, any ID observed under a read lock stays valid
+//     for the lifetime of the dictionary: readers may hold decoded IDs
+//     across their whole evaluation and decode them lock-free relative
+//     to each other (the store read lock excludes writers; concurrent
+//     read-locked evaluations share the dictionary without coordination).
+//   - An ID never changes meaning. Removing a triple does not remove its
+//     terms, so cached plans and ID-keyed operator state survive store
+//     generations — they are invalidated for staleness of results, never
+//     because an ID was reused.
+//
+// TestDictionaryAppendOnly and FuzzDictionaryRoundTrip pin this contract.
 type Dictionary struct {
 	byKey map[string]ID
 	terms []Term // terms[i-1] holds the term for ID i
+
+	// bytes approximates the retained heap footprint (term strings, key
+	// strings and fixed per-entry overhead), maintained on Encode so the
+	// /metrics dictionary gauges are O(1).
+	bytes int
 }
+
+// dictEntryOverhead approximates the fixed per-entry cost: the Term in
+// the slice, the map key header and bucket slack, and the ID.
+const dictEntryOverhead = 96
 
 // NewDictionary returns an empty dictionary.
 func NewDictionary() *Dictionary {
 	return &Dictionary{byKey: make(map[string]ID)}
 }
 
-// Encode interns a term, returning its ID (allocating one if new).
+// Encode interns a term, returning its ID (allocating one if new). Write
+// lock only; see the concurrency contract above.
 func (d *Dictionary) Encode(t Term) ID {
 	k := t.key()
 	if id, ok := d.byKey[k]; ok {
@@ -30,6 +61,7 @@ func (d *Dictionary) Encode(t Term) ID {
 	d.terms = append(d.terms, t)
 	id := ID(len(d.terms))
 	d.byKey[k] = id
+	d.bytes += len(k) + len(t.Value) + len(t.Datatype) + len(t.Lang) + dictEntryOverhead
 	return id
 }
 
@@ -54,3 +86,8 @@ func (d *Dictionary) Decode(id ID) Term {
 
 // Len reports the number of interned terms.
 func (d *Dictionary) Len() int { return len(d.terms) }
+
+// ApproxBytes reports the approximate retained heap footprint of the
+// dictionary: interned term and key strings plus fixed per-entry
+// overhead. Like Len it reads under whatever lock the caller holds.
+func (d *Dictionary) ApproxBytes() int { return d.bytes }

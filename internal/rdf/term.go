@@ -9,6 +9,7 @@
 package rdf
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strconv"
 	"strings"
@@ -143,7 +144,9 @@ func (t Term) key() string {
 
 // appendKey appends the term's dictionary key to b. Callers probing a
 // map can pass a stack buffer and index with string(b) — the compiler
-// elides the string copy, so the lookup does not allocate.
+// elides the string copy, so the lookup does not allocate. Literal
+// fields are length-prefixed rather than separator-joined so that no
+// byte content (NULs included) can make two distinct terms collide.
 func (t Term) appendKey(b []byte) []byte {
 	switch t.Kind {
 	case TermIRI:
@@ -154,10 +157,10 @@ func (t Term) appendKey(b []byte) []byte {
 		return append(b, t.Value...)
 	default:
 		b = append(b, 'L')
+		b = binary.AppendUvarint(b, uint64(len(t.Datatype)))
 		b = append(b, t.Datatype...)
-		b = append(b, 0)
+		b = binary.AppendUvarint(b, uint64(len(t.Lang)))
 		b = append(b, t.Lang...)
-		b = append(b, 0)
 		return append(b, t.Value...)
 	}
 }

@@ -17,6 +17,12 @@ import (
 // the read locks before the workers start and the merge cursor releases
 // them at shutdown — after every worker has exited, since workers scan
 // the locked stores.
+//
+// The fan-out boundary is also the engine's late-materialisation
+// boundary: each shard evaluation runs ID-native over its own
+// dictionary, and dictionary IDs are meaningless outside their owning
+// evaluation — so rows cross between shard cursors and the merge as
+// decoded terms (the Clone below materialises them), never as IDs.
 
 // fanMode selects the merge strategy.
 type fanMode int

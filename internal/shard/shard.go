@@ -278,18 +278,24 @@ func (s *Store) Stats() strabon.Stats {
 // ShardStats reports per-shard cardinality, generation and observed
 // temporal range for /stats and the /metrics per-shard gauges.
 func (s *Store) ShardStats() []strabon.ShardStat {
+	se, sb := s.static.DictStats()
 	out := []strabon.ShardStat{{
-		Name:    "static",
-		Triples: s.static.Len(),
-		Gen:     s.static.Generation(),
+		Name:        "static",
+		Triples:     s.static.Len(),
+		Gen:         s.static.Generation(),
+		DictEntries: se,
+		DictBytes:   sb,
 	}}
 	s.routeMu.RLock()
 	defer s.routeMu.RUnlock()
 	for i, sl := range s.slices {
+		de, db := sl.DictStats()
 		st := strabon.ShardStat{
-			Name:    fmt.Sprintf("s%d", i),
-			Triples: sl.Len(),
-			Gen:     sl.Generation(),
+			Name:        fmt.Sprintf("s%d", i),
+			Triples:     sl.Len(),
+			Gen:         sl.Generation(),
+			DictEntries: de,
+			DictBytes:   db,
 		}
 		if !s.sliceMin[i].IsZero() {
 			st.Range = s.sliceMin[i].UTC().Format("2006-01-02T15:04:05") +
@@ -300,6 +306,20 @@ func (s *Store) ShardStats() []strabon.ShardStat {
 		out = append(out, st)
 	}
 	return out
+}
+
+// DictStats sums the member dictionaries' sizes (strabon.DictStatser).
+// Each shard interns terms independently, so the entry total is an
+// upper bound on the number of distinct terms across the store.
+func (s *Store) DictStats() (entries, bytes int) {
+	e, b := s.static.DictStats()
+	entries, bytes = e, b
+	for _, sl := range s.slices {
+		e, b = sl.DictStats()
+		entries += e
+		bytes += b
+	}
+	return entries, bytes
 }
 
 // --- routing ---

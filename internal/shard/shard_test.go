@@ -660,10 +660,22 @@ func TestShardStatsAndCursors(t *testing.T) {
 			if st.Range == "" {
 				t.Fatalf("populated shard %s missing range", st.Name)
 			}
+			if st.DictEntries == 0 || st.DictBytes == 0 {
+				t.Fatalf("populated shard %s missing dictionary stats: %+v", st.Name, st)
+			}
 		}
 	}
 	if populated != 4 {
 		t.Fatalf("want 4 populated slices, got %d", populated)
+	}
+	entries, bytes := sh.DictStats()
+	var sumE, sumB int
+	for _, st := range ss {
+		sumE += st.DictEntries
+		sumB += st.DictBytes
+	}
+	if entries != sumE || bytes != sumB {
+		t.Fatalf("DictStats (%d, %d) != sum of shard stats (%d, %d)", entries, bytes, sumE, sumB)
 	}
 
 	q := `SELECT ?h WHERE { ?h a noa:Hotspot ; noa:hasAcquisitionDateTime ?at .

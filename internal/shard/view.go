@@ -14,6 +14,14 @@ import (
 // scans and summing their statistics is exact. The caller holds every
 // member's lock for the lifetime of the evaluation — the view itself
 // calls only the unlocked stsparql interface methods.
+//
+// A view deliberately does NOT implement stsparql.IDSource: each member
+// store owns its own dictionary, so one term maps to different IDs in
+// different members and no single ID space covers the composite. The
+// engine detects this and runs in local-dictionary mode — scan output
+// is interned into an evaluation-local dictionary, preserving the
+// ID-native operator pipeline at the cost of one intern per scanned
+// term (see stsparql/iddict.go).
 type view struct {
 	members []*strabon.Store
 }

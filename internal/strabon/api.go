@@ -130,6 +130,13 @@ type ShardStat struct {
 	Gen     uint64 `json:"generation"`
 	MinUnix int64  `json:"min_unix,omitempty"`
 	MaxUnix int64  `json:"max_unix,omitempty"`
+
+	// Dictionary size of the shard's term dictionary: distinct terms
+	// interned and the approximate heap bytes they pin. Each shard owns
+	// its own dictionary (IDs are never comparable across shards), so
+	// these do not sum to a global distinct-term count.
+	DictEntries int `json:"dict_entries"`
+	DictBytes   int `json:"dict_bytes"`
 }
 
 // ShardStatser is implemented by backends that partition their data;
@@ -137,6 +144,15 @@ type ShardStat struct {
 // backend offers them.
 type ShardStatser interface {
 	ShardStats() []ShardStat
+}
+
+// DictStatser is implemented by backends that can report the size of
+// their term dictionary (distinct terms interned and the approximate
+// heap bytes pinned). For a sharded backend the figures are sums over
+// the member dictionaries — an upper bound on distinct terms, since
+// each shard interns independently.
+type DictStatser interface {
+	DictStats() (entries, bytes int)
 }
 
 // Analyzer is implemented by backends that can execute a query with

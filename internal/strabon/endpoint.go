@@ -554,9 +554,14 @@ func analyzeParam(r *http.Request) bool {
 }
 
 func (ep *Endpoint) serveStats(w http.ResponseWriter, r *http.Request) {
+	type dictStats struct {
+		Entries int `json:"entries"`
+		Bytes   int `json:"bytes"`
+	}
 	doc := struct {
 		Triples     int                     `json:"triples"`
 		Store       Stats                   `json:"store"`
+		Dict        *dictStats              `json:"dictionary,omitempty"`
 		Endpoint    EndpointStats           `json:"endpoint"`
 		PlanCache   stsparql.PlanCacheStats `json:"plan_cache"`
 		ResultCache *resultcache.Stats      `json:"result_cache,omitempty"`
@@ -567,6 +572,10 @@ func (ep *Endpoint) serveStats(w http.ResponseWriter, r *http.Request) {
 		Store:     ep.store.Stats(),
 		Endpoint:  ep.Stats(),
 		PlanCache: ep.store.PlanStats(),
+	}
+	if ds, ok := ep.store.(DictStatser); ok {
+		entries, bytes := ds.DictStats()
+		doc.Dict = &dictStats{Entries: entries, Bytes: bytes}
 	}
 	if ep.Results != nil {
 		rc := ep.Results.Stats()

@@ -67,7 +67,7 @@ func TestStatsJSONShape(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &doc); err != nil {
 		t.Fatalf("stats not JSON: %v\n%s", err, body)
 	}
-	for _, key := range []string{"triples", "store", "endpoint", "plan_cache", "result_cache", "admission"} {
+	for _, key := range []string{"triples", "store", "dictionary", "endpoint", "plan_cache", "result_cache", "admission"} {
 		if _, ok := doc[key]; !ok {
 			t.Errorf("/stats lacks %q: %s", key, body)
 		}
@@ -120,6 +120,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"strabon_admission_wait_seconds_count 2",
 		"strabon_store_triples 8",
 		"strabon_plan_cache_entries 1",
+		"# TYPE strabon_dict_entries gauge",
+		"# TYPE strabon_dict_bytes gauge",
 		"# TYPE strabon_query_seconds histogram",
 	} {
 		if !strings.Contains(body, want) {

@@ -85,6 +85,9 @@ const defaultPlanCacheSize = 256
 type indexedGeom struct {
 	env    geom.Envelope
 	triple rdf.Triple
+	// enc is the dictionary encoding of triple, captured at insert time so
+	// window scans can stay in ID space (MatchGeometryWindowIDs).
+	enc rdf.EncodedTriple
 }
 
 // Stats counts endpoint activity.
@@ -202,7 +205,14 @@ func (s *Store) geomItem(t rdf.Triple) (rtree.Item, bool) {
 	}
 	env := g.Envelope()
 	key := t.String()
-	s.geomEntries[key] = indexedGeom{env: env, triple: t}
+	// The triple was just added, so all three terms are interned; the
+	// encoding lets window scans yield IDs without a per-visit lookup.
+	dict := s.triples.Dict()
+	var enc rdf.EncodedTriple
+	enc.S, _ = dict.Lookup(t.S)
+	enc.P, _ = dict.Lookup(t.P)
+	enc.O, _ = dict.Lookup(t.O)
+	s.geomEntries[key] = indexedGeom{env: env, triple: t, enc: enc}
 	return rtree.Item{Box: env, Data: key}, true
 }
 
@@ -247,6 +257,46 @@ func (s *Store) MatchGeometryWindow(env geom.Envelope, visit func(rdf.Triple) bo
 		e := s.geomEntries[it.Data.(string)]
 		return visit(e.triple)
 	})
+}
+
+// --- stsparql.IDSource / SpatialIDSource ---
+// The ID-native scan surface: the engine joins, filters and deduplicates
+// on the store's dictionary IDs and materialises terms late (cursor row
+// views, ORDER BY, aggregation). Like the term-level methods above,
+// these run with the store lock already held.
+
+// Dict implements stsparql.IDSource, exposing the append-only term
+// dictionary (IDs are stable for the life of the store; decode is
+// lock-free for readers holding the read lock).
+func (s *Store) Dict() *rdf.Dictionary { return s.triples.Dict() }
+
+// MatchIDs implements stsparql.IDSource: it streams encoded triples
+// matching an encoded pattern (rdf.Wildcard components match anything).
+func (s *Store) MatchIDs(sub, pred, obj rdf.ID, visit func(rdf.EncodedTriple) bool) {
+	s.triples.Match(sub, pred, obj, visit)
+}
+
+// MatchGeometryWindowIDs implements stsparql.SpatialIDSource: the
+// encoded counterpart of MatchGeometryWindow, serving window scans
+// without decoding a single term.
+func (s *Store) MatchGeometryWindowIDs(env geom.Envelope, visit func(rdf.EncodedTriple) bool) {
+	s.statsMu.Lock()
+	s.stats.IndexHits++
+	s.statsMu.Unlock()
+	s.index.Search(env, func(it rtree.Item) bool {
+		e := s.geomEntries[it.Data.(string)]
+		return visit(e.enc)
+	})
+}
+
+// DictStats reports the term dictionary's size: interned terms and
+// approximate retained bytes. Exported as gauges next to the
+// cardinality statistics (see /metrics and /stats).
+func (s *Store) DictStats() (entries, bytes int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d := s.triples.Dict()
+	return d.Len(), d.ApproxBytes()
 }
 
 // --- endpoint API ---

@@ -9,10 +9,13 @@ import (
 // Columnar batches: the unit of exchange between physical operators.
 // Instead of pulling one map-backed Binding at a time, operators pull
 // *Batch slabs of up to batchSizeMax rows in a columnar layout — one
-// []rdf.Term column per variable of the plan segment's schema, with a
+// []termID column per variable of the plan segment's schema, with a
 // selection vector so filters and slices mark rows dead without moving
-// or copying them. The zero Term encodes "unbound", exactly as absence
-// did in the map representation (the engine never binds zero terms).
+// or copying them. ID 0 encodes "unbound", exactly as the zero Term did
+// in the term-columned representation (the engine never binds the
+// unbound sentinel); terms materialise only at the late points — cursor
+// row views, ORDER BY comparators, aggregate evaluation and blocking
+// materialisation — through the evaluation's execDict.
 //
 // Scans start small (batchSizeMin) and grow their slabs geometrically,
 // so early-terminating consumers — LIMIT pushdown, ASK, an abandoned
@@ -56,26 +59,30 @@ func (s *varSchema) col(name string) (int, bool) {
 	return c, ok
 }
 
-// Batch is a columnar slab of bindings. Rows [0,n) are physical; sel,
-// when non-nil, lists the live physical rows in order (nil = all live).
-// The columns share one backing slab, allocated per batch.
+// Batch is a columnar slab of bindings, carrying the evaluation's term
+// codec so consumers can materialise rows late. Rows [0,n) are
+// physical; sel, when non-nil, lists the live physical rows in order
+// (nil = all live). The columns share one backing slab, allocated per
+// batch; producers that own their batch reuse the slab across next
+// calls (see batchIter).
 type Batch struct {
 	schema *varSchema
-	cols   [][]rdf.Term
+	dict   *execDict
+	cols   [][]termID
 	n      int
 	cap    int
 	sel    []int32
 }
 
-func newBatch(schema *varSchema, capacity int) *Batch {
+func newBatch(dict *execDict, schema *varSchema, capacity int) *Batch {
 	if capacity < 1 {
 		capacity = 1
 	}
-	b := &Batch{schema: schema, cap: capacity}
+	b := &Batch{schema: schema, dict: dict, cap: capacity}
 	nv := len(schema.names)
 	if nv > 0 {
-		slab := make([]rdf.Term, nv*capacity)
-		b.cols = make([][]rdf.Term, nv)
+		slab := make([]termID, nv*capacity)
+		b.cols = make([][]termID, nv)
 		for i := range b.cols {
 			b.cols[i] = slab[i*capacity : (i+1)*capacity : (i+1)*capacity]
 		}
@@ -105,7 +112,7 @@ func (b *Batch) grow() {
 	ncap := b.cap * 2
 	nv := len(b.schema.names)
 	if nv > 0 {
-		slab := make([]rdf.Term, nv*ncap)
+		slab := make([]termID, nv*ncap)
 		for i := range b.cols {
 			col := slab[i*ncap : (i+1)*ncap : (i+1)*ncap]
 			copy(col, b.cols[i][:b.n])
@@ -130,19 +137,32 @@ func (b *Batch) beginRow(probe rowRef) int {
 		}
 		return r
 	}
-	for c, name := range b.schema.names {
-		if t, ok := probe.lookup(name); ok {
-			b.cols[c][r] = t
-		} else {
-			b.cols[c][r] = rdf.Term{}
+	if probe.m != nil {
+		for c, name := range b.schema.names {
+			if t, ok := probe.m[name]; ok && !t.IsZero() {
+				b.cols[c][r] = b.dict.encode(t)
+			} else {
+				b.cols[c][r] = 0
+			}
 		}
+		return r
+	}
+	for c, name := range b.schema.names {
+		if probe.b != nil {
+			if bc, ok := probe.b.schema.col(name); ok {
+				b.cols[c][r] = probe.b.cols[bc][probe.i]
+				continue
+			}
+		}
+		b.cols[c][r] = 0
 	}
 	return r
 }
 
 func (b *Batch) commitRow() { b.n++ }
 
-// reset empties the batch for reuse (seed batches of per-row sub-plans).
+// reset empties the batch for reuse (seed batches of per-row sub-plans,
+// producer-owned output slabs).
 func (b *Batch) reset() {
 	b.n = 0
 	b.sel = nil
@@ -171,14 +191,14 @@ func (b *Batch) materialiseSel() {
 	b.sel = sel
 }
 
-// binding copies physical row i into a fresh Binding, skipping unbound
-// columns — the materialisation used by blocking operators and the
-// result-owning wrappers.
+// binding decodes physical row i into a fresh owned Binding, skipping
+// unbound columns — the late-materialisation point used by blocking
+// operators and the result-owning wrappers.
 func (b *Batch) binding(i int) Binding {
 	row := make(Binding, len(b.schema.names))
 	for c, name := range b.schema.names {
-		if t := b.cols[c][i]; !t.IsZero() {
-			row[name] = t
+		if id := b.cols[c][i]; id != 0 {
+			row[name] = b.dict.decode(id)
 		}
 	}
 	return row
@@ -194,7 +214,8 @@ type rowRef struct {
 
 func mapRow(b Binding) rowRef { return rowRef{m: b} }
 
-// lookup returns the bound, non-zero term for a variable.
+// lookup returns the bound, non-zero term for a variable, decoding
+// batch-backed rows through the evaluation dictionary.
 func (r rowRef) lookup(name string) (rdf.Term, bool) {
 	if r.m != nil {
 		t, ok := r.m[name]
@@ -207,17 +228,31 @@ func (r rowRef) lookup(name string) (rdf.Term, bool) {
 	if !ok {
 		return rdf.Term{}, false
 	}
-	t := r.b.cols[c][r.i]
-	return t, !t.IsZero()
+	id := r.b.cols[c][r.i]
+	if id == 0 {
+		return rdf.Term{}, false
+	}
+	return r.b.dict.decode(id), true
 }
 
-// rowKey appends a composite key of the row's values for vars to dst —
-// the batch counterpart of bindingKey.
+// lookupID returns the row's ID for a variable (0 = unbound). Map-backed
+// rows encode through the batchless path only when a dict is supplied.
+func (r rowRef) lookupID(name string) termID {
+	if r.b != nil {
+		if c, ok := r.b.schema.index[name]; ok {
+			return r.b.cols[c][r.i]
+		}
+		return 0
+	}
+	return 0
+}
+
+// rowKey appends a composite fixed-width ID key of the row's values for
+// vars to dst — the batch counterpart of bindingKey, 8 bytes per
+// variable with 0 encoding unbound.
 func rowKey(dst []byte, row rowRef, vars []string) []byte {
 	for _, v := range vars {
-		t, _ := row.lookup(v)
-		dst = appendTermKey(dst, t)
-		dst = append(dst, 0x1f)
+		dst = appendIDKey(dst, row.lookupID(v))
 	}
 	return dst
 }
@@ -225,7 +260,10 @@ func rowKey(dst []byte, row rowRef, vars []string) []byte {
 // batchIter is the pull side of an opened operator pipeline: next
 // yields the next batch (nil once exhausted or on error), close
 // releases resources and must be idempotent. Returned batches are owned
-// by the producer and only valid until the next call to next.
+// by the producer and only valid until the next call to next —
+// producers exploit this by reusing one output slab across calls, so a
+// consumer that needs two batches at once (or rows beyond the next
+// pull) must copy first.
 type batchIter interface {
 	next() (*Batch, error)
 	close()
@@ -252,14 +290,14 @@ func (it *batchesIter) next() (*Batch, error) {
 func (it *batchesIter) close() {}
 
 // seedIter builds the one-batch seed of a pipeline from map rows.
-func seedIter(schema *varSchema, rows []Binding) batchIter {
-	return &batchesIter{batches: []*Batch{batchFromBindings(schema, rows)}}
+func seedIter(dict *execDict, schema *varSchema, rows []Binding) batchIter {
+	return &batchesIter{batches: []*Batch{batchFromBindings(dict, schema, rows)}}
 }
 
-// batchFromBindings copies map rows into a single batch (variables
+// batchFromBindings encodes map rows into a single batch (variables
 // outside the schema are dropped).
-func batchFromBindings(schema *varSchema, rows []Binding) *Batch {
-	b := newBatch(schema, len(rows))
+func batchFromBindings(dict *execDict, schema *varSchema, rows []Binding) *Batch {
+	b := newBatch(dict, schema, len(rows))
 	for _, row := range rows {
 		b.beginRow(mapRow(row))
 		b.commitRow()
@@ -267,7 +305,22 @@ func batchFromBindings(schema *varSchema, rows []Binding) *Batch {
 	return b
 }
 
-// drainMaterialise pulls an iterator to exhaustion, copying every live
+// cloneBatch copies the live rows of src into a fresh owned batch —
+// used by consumers that must hold rows across a subsequent pull from
+// the same producer (the hash-join strategy lookahead).
+func cloneBatch(src *Batch) *Batch {
+	out := newBatch(src.dict, src.schema, src.live())
+	for ord := 0; ord < src.live(); ord++ {
+		i := src.row(ord)
+		for c := range out.cols {
+			out.cols[c][out.n] = src.cols[c][i]
+		}
+		out.commitRow()
+	}
+	return out
+}
+
+// drainMaterialise pulls an iterator to exhaustion, decoding every live
 // row into an owned Binding.
 func drainMaterialise(in batchIter) ([]Binding, error) {
 	var rows []Binding

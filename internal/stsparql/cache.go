@@ -25,5 +25,7 @@ func NewEvaluatorWithCache(src Source, cache *Cache) *Evaluator {
 	if cache == nil {
 		return NewEvaluator(src)
 	}
-	return &Evaluator{src: src, cache: cache.inner}
+	e := &Evaluator{src: src, cache: cache.inner}
+	e.initDict()
+	return e
 }

@@ -95,7 +95,7 @@ func TestOrderTopKStableTies(t *testing.T) {
 
 	for _, k := range []int{1, 2, 5, 13, 40, 100} {
 		op := &orderOp{keys: keys, topK: k}
-		it := op.open(e, seedIter(bindingsSchema(rows), rows))
+		it := op.open(e, seedIter(e.dict, bindingsSchema(rows), rows))
 		got, err := drainMaterialise(it)
 		it.close()
 		if err != nil {

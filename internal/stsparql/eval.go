@@ -115,6 +115,7 @@ func (c *planCursor) Next() (Binding, bool) {
 		if b == nil {
 			return nil, false
 		}
+		//lint:allow batchview cur is drained before the next pull invalidates it
 		c.cur, c.ord = b, 0
 	}
 	i := c.cur.row(c.ord)
@@ -124,8 +125,8 @@ func (c *planCursor) Next() (Binding, bool) {
 	}
 	clear(c.view)
 	for col, name := range c.cur.schema.names {
-		if t := c.cur.cols[col][i]; !t.IsZero() {
-			c.view[name] = t
+		if id := c.cur.cols[col][i]; id != 0 {
+			c.view[name] = c.cur.dict.decode(id)
 		}
 	}
 	return c.view, true
@@ -188,6 +189,20 @@ type Evaluator struct {
 	src   Source
 	cache *geomCache
 
+	// dict is this evaluation's term codec (see iddict.go): batches carry
+	// IDs, and every encode/decode of the evaluation goes through it.
+	dict *execDict
+	// idsrc is non-nil when the source supports ID-native scans; set once
+	// at construction so the scan hot path costs one nil check.
+	idsrc IDSource
+
+	// argScratch is the function-call argument stack of expression
+	// evaluation: evalExpr frames append their argument Values and
+	// truncate back on return, so per-row filter evaluation allocates
+	// nothing once the slice has grown to the plan's deepest call.
+	// applyFunction must not retain the slice it is handed.
+	argScratch []Value
+
 	// trace, when armed (SetTrace), collects per-operator actuals for
 	// EXPLAIN ANALYZE. The disabled path costs one nil check per
 	// operator at open time — nothing per row or batch.
@@ -196,7 +211,16 @@ type Evaluator struct {
 
 // NewEvaluator returns an evaluator over src.
 func NewEvaluator(src Source) *Evaluator {
-	return &Evaluator{src: src, cache: newGeomCache()}
+	e := &Evaluator{src: src, cache: newGeomCache()}
+	e.initDict()
+	return e
+}
+
+func (e *Evaluator) initDict() {
+	e.dict = newExecDict(e.src)
+	if is, ok := e.src.(IDSource); ok {
+		e.idsrc = is
+	}
 }
 
 // Run compiles a SELECT or ASK query and returns a streaming cursor
@@ -230,7 +254,7 @@ func (e *Evaluator) Select(q *SelectQuery) (*Result, error) {
 // live batch (whose first slab is batchSizeMin rows).
 func (e *Evaluator) Ask(q *AskQuery) (bool, error) {
 	plan := e.newPlanner().planGroupRoot(q.Where, false)
-	it := plan.open(e, seedIter(plan.schema, []Binding{{}}))
+	it := plan.open(e, seedIter(e.dict, plan.schema, []Binding{{}}))
 	defer it.close()
 	b, err := nextLive(it)
 	return b != nil, err
@@ -433,12 +457,15 @@ func (e *Evaluator) compareOrderKeys(a, b Binding, keys []OrderKey) int {
 
 // --- grouping & aggregates ---
 
+// aggGroup is one group of the grouping phase: the key bindings visible
+// in the output row and the group's member rows.
+type aggGroup struct {
+	key  Binding
+	rows []Binding
+}
+
 func (e *Evaluator) aggregate(q *SelectQuery, rows []Binding) ([]Binding, error) {
-	type grp struct {
-		key  Binding
-		rows []Binding
-	}
-	groups := make(map[string]*grp)
+	groups := make(map[string]*aggGroup)
 	var order []string
 	var kb []byte
 	for _, row := range rows {
@@ -456,7 +483,7 @@ func (e *Evaluator) aggregate(q *SelectQuery, rows []Binding) ([]Binding, error)
 		k := string(kb)
 		g, ok := groups[k]
 		if !ok {
-			g = &grp{key: key}
+			g = &aggGroup{key: key}
 			groups[k] = g
 			order = append(order, k)
 		}
@@ -465,10 +492,78 @@ func (e *Evaluator) aggregate(q *SelectQuery, rows []Binding) ([]Binding, error)
 	// With no GROUP BY, all rows form one implicit group (even zero rows
 	// for COUNT(*) = 0).
 	if len(q.GroupBy) == 0 && len(groups) == 0 {
-		groups[""] = &grp{key: Binding{}}
+		groups[""] = &aggGroup{key: Binding{}}
 		order = append(order, "")
 	}
+	return e.evalGroups(q, groups, order)
+}
 
+// aggregateBatches is the batch-drain grouping path used by the
+// aggregate operator. When every GROUP BY key is a plain variable, rows
+// group on fixed-width ID tuples straight off the batch columns — one
+// 8-byte append per key, no term materialisation until a group's first
+// row (its key bindings) and its member rows are recorded. Computed
+// group keys fall back to the materialised term-key path.
+func (e *Evaluator) aggregateBatches(q *SelectQuery, in batchIter) ([]Binding, error) {
+	vars := make([]string, 0, len(q.GroupBy))
+	simple := true
+	for _, ge := range q.GroupBy {
+		ve, ok := ge.(*VarExpr)
+		if !ok {
+			simple = false
+			break
+		}
+		vars = append(vars, ve.Name)
+	}
+	if !simple {
+		rows, err := drainMaterialise(in)
+		if err != nil {
+			return nil, err
+		}
+		return e.aggregate(q, rows)
+	}
+	groups := make(map[string]*aggGroup)
+	var order []string
+	var kb []byte
+	for {
+		b, err := in.next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		for ord := 0; ord < b.live(); ord++ {
+			i := b.row(ord)
+			row := rowRef{b: b, i: i}
+			kb = kb[:0]
+			for _, v := range vars {
+				kb = appendIDKey(kb, row.lookupID(v))
+			}
+			g, ok := groups[string(kb)]
+			if !ok {
+				key := Binding{}
+				for _, v := range vars {
+					t, _ := row.lookup(v)
+					key[v] = t
+				}
+				g = &aggGroup{key: key}
+				groups[string(kb)] = g
+				order = append(order, string(kb))
+			}
+			g.rows = append(g.rows, b.binding(i))
+		}
+	}
+	if len(q.GroupBy) == 0 && len(groups) == 0 {
+		groups[""] = &aggGroup{key: Binding{}}
+		order = append(order, "")
+	}
+	return e.evalGroups(q, groups, order)
+}
+
+// evalGroups applies HAVING and the aggregate projection to grouped
+// rows, in group arrival order.
+func (e *Evaluator) evalGroups(q *SelectQuery, groups map[string]*aggGroup, order []string) ([]Binding, error) {
 	var out []Binding
 	for _, k := range order {
 		g := groups[k]
@@ -522,11 +617,13 @@ func (e *Evaluator) evalAggExpr(expr Expr, rows []Binding, rep Binding) Value {
 		if v.isAggregate() {
 			return e.evalAggregateCall(v, rows)
 		}
-		args := make([]Value, len(v.Args))
-		for i, a := range v.Args {
-			args[i] = e.evalAggExpr(a, rows, rep)
+		base := len(e.argScratch)
+		for _, a := range v.Args {
+			e.argScratch = append(e.argScratch, e.evalAggExpr(a, rows, rep))
 		}
-		return e.applyFunction(v, args)
+		res := e.applyFunction(v, e.argScratch[base:])
+		e.argScratch = e.argScratch[:base]
+		return res
 	case *BinaryExpr:
 		return e.applyBinary(v.Op,
 			e.evalAggExpr(v.L, rows, rep),

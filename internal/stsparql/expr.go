@@ -65,11 +65,13 @@ func (e *Evaluator) evalExpr(expr Expr, row rowRef) Value {
 		if v.isAggregate() {
 			return errValue("stsparql: aggregate %q outside grouped query", v.Name)
 		}
-		args := make([]Value, len(v.Args))
-		for i, a := range v.Args {
-			args[i] = e.evalExpr(a, row)
+		base := len(e.argScratch)
+		for _, a := range v.Args {
+			e.argScratch = append(e.argScratch, e.evalExpr(a, row))
 		}
-		return e.applyFunction(v, args)
+		res := e.applyFunction(v, e.argScratch[base:])
+		e.argScratch = e.argScratch[:base]
+		return res
 	default:
 		return errValue("stsparql: unknown expression node %T", expr)
 	}

@@ -16,9 +16,11 @@ import (
 // vectorised pull model: open wires an operator over its input and
 // returns a batchIter, and columnar *Batch slabs of up to batchSizeMax
 // rows are pulled through the pipeline (see batch.go). Scans fill
-// batches directly from the index iterators, filters and slices mark
-// rows dead in the selection vector without copying, bind joins and
-// hash probes run tight loops over columns, and the blocking operators
+// batches directly from the index iterators — in ID space when the
+// source exposes its dictionary (IDSource), so the hot path never
+// materialises a term — filters and slices mark rows dead in the
+// selection vector without copying, bind joins and hash probes run
+// tight loops over fixed-width ID columns, and the blocking operators
 // (order, aggregate, the SELECT * projection) consume whole batches
 // before yielding.
 //
@@ -27,16 +29,19 @@ import (
 // live batch, and a cursor abandoned by a client stops the scans when
 // it is closed. Scans grow their batches geometrically from
 // batchSizeMin so those early exits abandon the index scan after a few
-// dozen visits, not a full slab.
+// dozen visits, not a full slab. Producers own their output batches
+// (valid until the next pull), which lets the streaming operators reuse
+// one slab across calls instead of allocating per batch.
 //
 // Operator values themselves are immutable once planned — all
 // per-execution state lives in the iterators open returns — so a
 // compiled plan can be cached and run concurrently (see plancache.go).
 // The two operator-level caches, a hash join's build side and a
-// sub-select's solution set, are guarded by sync.Once: both are
-// deterministic functions of the source, which cannot change while a
-// plan is live (plans are invalidated when the store's generation
-// moves).
+// sub-select's solution set, are guarded by sync.Once. The sub-select
+// cache holds decoded terms and is always shareable; the hash build
+// side holds IDs, which are only stable across evaluations in native
+// mode (store IDs — see iddict.go), so local-mode evaluations build
+// their table per iterator instead.
 
 // operator is one stage of a compiled query pipeline.
 type operator interface {
@@ -79,11 +84,13 @@ type joinOp struct {
 	// if the slice turns out not to stop them.
 	first int
 
-	// Hash build side, built at most once per plan lifetime: the table
-	// is a function of the source, which is pinned while the plan is
-	// live, so concurrent and repeated executions (OPTIONAL re-entry,
-	// cached plans) share it. The build side is itself columnar: one
-	// batch over the pattern's variables, indexed by shared-var key.
+	// Hash build side, built at most once per plan lifetime in NATIVE
+	// mode: the table is a function of the source (pinned while the plan
+	// is live) and its keys are store IDs, stable across evaluations, so
+	// concurrent and repeated executions share it. Local-mode (composite
+	// source) evaluations key on evaluation-local IDs and build per
+	// iterator instead. The build side is itself columnar: one batch
+	// over the pattern's variables, indexed by shared-var ID key.
 	tableOnce sync.Once
 	build     *Batch
 	table     map[string][]int32
@@ -110,25 +117,24 @@ func (op *joinOp) firstTarget() int {
 	return batchSizeMin
 }
 
-func (op *joinOp) buildTable(e *Evaluator) {
-	op.tableOnce.Do(func() {
-		var names []string
-		for _, tv := range []TermOrVar{op.pat.S, op.pat.P, op.pat.O} {
-			if tv.IsVar() && !containsVar(names, tv.Var) {
-				names = append(names, tv.Var)
-			}
+// makeTable scans the pattern once and indexes it by shared-var ID key.
+func (op *joinOp) makeTable(e *Evaluator) (*Batch, map[string][]int32) {
+	var names []string
+	for _, tv := range []TermOrVar{op.pat.S, op.pat.P, op.pat.O} {
+		if tv.IsVar() && !containsVar(names, tv.Var) {
+			names = append(names, tv.Var)
 		}
-		sort.Strings(names)
-		b := newBatch(newSchema(names), batchSizeMax)
-		e.scanPatternInto(op.pat, rowRef{}, nil, func() *Batch { return b }, alwaysScan)
-		op.build = b
-		op.table = make(map[string][]int32)
-		var kb []byte
-		for r := 0; r < b.n; r++ {
-			kb = rowKey(kb[:0], rowRef{b: b, i: r}, op.shared)
-			op.table[string(kb)] = append(op.table[string(kb)], int32(r))
-		}
-	})
+	}
+	sort.Strings(names)
+	b := newBatch(e.dict, newSchema(names), batchSizeMax)
+	e.scanPatternInto(op.pat, rowRef{}, nil, func() *Batch { return b }, alwaysScan)
+	table := make(map[string][]int32)
+	var kb []byte
+	for r := 0; r < b.n; r++ {
+		kb = rowKey(kb[:0], rowRef{b: b, i: r}, op.shared)
+		table[string(kb)] = append(table[string(kb)], int32(r))
+	}
+	return b, table
 }
 
 type joinIter struct {
@@ -149,8 +155,41 @@ type joinIter struct {
 	target  int    // batch size target, growing geometrically
 	kb      []byte // reused probe key buffer
 
+	build *Batch // hash build side (shared in native mode)
+	table map[string][]int32
+
 	scan    *patScan // reused per-probe-row bind scan
 	scanOut *Batch   // output batch the reused scan appends to
+	out     *Batch   // reused buffered-path output slab
+}
+
+// outBatch returns the iterator-owned output slab, reset for refilling
+// (batches are only valid until the next pull, so the previous fill has
+// been consumed by the time this is called again).
+func (it *joinIter) outBatch() *Batch {
+	if it.out == nil || it.out.cap < it.target {
+		it.out = newBatch(it.e.dict, it.op.schema, it.target)
+	} else {
+		it.out.reset()
+	}
+	return it.out
+}
+
+// ensureTable resolves the hash build side: shared and built at most
+// once per plan in native mode, per iterator in local mode (see the
+// file comment).
+func (it *joinIter) ensureTable() {
+	if it.table != nil {
+		return
+	}
+	if it.e.dict.native() {
+		it.op.tableOnce.Do(func() {
+			it.op.build, it.op.table = it.op.makeTable(it.e)
+		})
+		it.build, it.table = it.op.build, it.op.table
+		return
+	}
+	it.build, it.table = it.op.makeTable(it.e)
 }
 
 func (it *joinIter) next() (*Batch, error) {
@@ -186,7 +225,7 @@ func (it *joinIter) next() (*Batch, error) {
 			return nil, nil
 		}
 		if out == nil {
-			out = newBatch(it.op.schema, it.target)
+			out = it.outBatch()
 		}
 		if it.hash {
 			it.probeHash(probe, out)
@@ -241,12 +280,16 @@ func (it *joinIter) nextInBatch() (*Batch, error) {
 			it.hash = true
 			return b1, nil
 		}
+		// Upstream batches are only valid until the next pull, so the
+		// single held row is copied out before looking ahead.
+		b1 = cloneBatch(b1)
 		b2, err := nextLive(it.in)
 		if err != nil {
 			return nil, err
 		}
 		if b2 != nil {
 			it.hash = true
+			//lint:allow batchview pending is served before the iterator pulls in again
 			it.pending = append(it.pending, b2)
 		}
 		return b1, nil
@@ -269,12 +312,14 @@ func nextLive(in batchIter) (*Batch, error) {
 }
 
 // startStream opens a pull coroutine yielding the scan's matches as
-// progressively-sized batches.
+// progressively-sized batches. One slab is reused across yields — by
+// the time the coroutine resumes, the consumer has moved past the
+// previous batch — and replaced only when the target outgrows it.
 func (it *joinIter) startStream(probe rowRef) {
 	op, e := it.op, it.e
 	it.pull, it.stop = iter.Pull(func(yield func(*Batch) bool) {
 		target := op.firstTarget()
-		out := newBatch(op.schema, target)
+		out := newBatch(e.dict, op.schema, target)
 		e.scanPatternInto(op.pat, probe, op.filters, func() *Batch { return out }, func() bool {
 			if out.n >= target {
 				if !yield(out) {
@@ -283,7 +328,11 @@ func (it *joinIter) startStream(probe rowRef) {
 				if target < batchSizeMax {
 					target *= batchSizeGrowth
 				}
-				out = newBatch(op.schema, target)
+				if out.cap < target {
+					out = newBatch(e.dict, op.schema, target)
+				} else {
+					out.reset()
+				}
 			}
 			return true
 		})
@@ -293,25 +342,27 @@ func (it *joinIter) startStream(probe rowRef) {
 	})
 }
 
-// probeHash extends one probe row with every compatible build row.
+// probeHash extends one probe row with every compatible build row. The
+// compatibility loop runs entirely on IDs: equal IDs are equal terms
+// within an evaluation (and across evaluations in native mode).
 func (it *joinIter) probeHash(probe rowRef, out *Batch) {
-	it.op.buildTable(it.e)
+	it.ensureTable()
 	it.kb = rowKey(it.kb[:0], probe, it.op.shared)
-	build := it.op.build
-	for _, bi := range it.op.table[string(it.kb)] {
+	build := it.build
+	for _, bi := range it.table[string(it.kb)] {
 		r := out.beginRow(probe)
 		ok := true
 		for c, name := range build.schema.names {
 			val := build.cols[c][bi]
-			if val.IsZero() {
+			if val == 0 {
 				continue
 			}
 			oc, has := out.schema.col(name)
 			if !has {
 				continue
 			}
-			if ex := out.cols[oc][r]; !ex.IsZero() {
-				if !ex.Equal(val) {
+			if ex := out.cols[oc][r]; ex != 0 {
+				if ex != val {
 					ok = false
 					break
 				}
@@ -347,7 +398,9 @@ func (op *joinOp) explain(b *strings.Builder, indent string) {
 }
 
 // bindingKey appends a composite key of the row's values for vars to dst.
-// Missing vars are encoded distinctly from any bound value.
+// Missing vars are encoded distinctly from any bound value. This is the
+// term-level key used for map-backed rows (materialised deduplication,
+// the shard merger's RowKey); batch rows key on IDs via rowKey.
 func bindingKey(dst []byte, row Binding, vars []string) []byte {
 	for _, v := range vars {
 		dst = appendTermKey(dst, row[v])
@@ -375,20 +428,60 @@ func appendTermKey(dst []byte, t rdf.Term) []byte {
 // filterOp keeps the rows satisfying a FILTER condition; evaluation
 // errors drop the row, per SPARQL semantics. The filter runs a tight
 // loop over the batch, compacting its selection vector in place — rows
-// are marked dead, never moved.
+// are marked dead, never moved. Equality against an IRI constant is
+// detected at plan time (newFilterOp) and runs as an ID comparison: the
+// constant is encoded once per evaluation and each row costs one
+// integer compare, with no term materialisation.
 type filterOp struct {
 	cond  Expr
 	eager bool // pushed into a BGP by the planner (Explain annotation)
+
+	// Plan-time constant-equality detection: FILTER(?v = <iri>) and its
+	// negation. IRI constants only — IRI equality is term identity, so
+	// the ID comparison is exact; literals need value semantics and fall
+	// through to expression evaluation.
+	idVar   string
+	idConst rdf.Term
+	idNeg   bool
+}
+
+// newFilterOp builds a filter, detecting the constant-IRI equality
+// shape at plan time.
+func newFilterOp(cond Expr, eager bool) *filterOp {
+	op := &filterOp{cond: cond, eager: eager}
+	if be, ok := cond.(*BinaryExpr); ok && (be.Op == "=" || be.Op == "!=") {
+		var ve *VarExpr
+		var ce *ConstExpr
+		if v, okL := be.L.(*VarExpr); okL {
+			ve = v
+			ce, _ = be.R.(*ConstExpr)
+		} else if v, okR := be.R.(*VarExpr); okR {
+			ve = v
+			ce, _ = be.L.(*ConstExpr)
+		}
+		if ve != nil && ce != nil && ce.Term.IsIRI() && !ce.Term.IsZero() {
+			op.idVar, op.idConst, op.idNeg = ve.Name, ce.Term, be.Op == "!="
+		}
+	}
+	return op
 }
 
 func (op *filterOp) open(e *Evaluator, in batchIter) batchIter {
-	return &filterIter{op: op, e: e, in: in}
+	it := &filterIter{op: op, e: e, in: in}
+	if op.idVar != "" {
+		// Encode (not merely look up) so the constant also matches terms
+		// the evaluation computed itself.
+		it.constID = e.dict.encode(op.idConst)
+	}
+	return it
 }
 
 type filterIter struct {
-	op *filterOp
-	e  *Evaluator
-	in batchIter
+	op      *filterOp
+	e       *Evaluator
+	in      batchIter
+	constID termID
+	selBuf  []int32 // reused selection storage for unselected batches
 }
 
 func (it *filterIter) next() (*Batch, error) {
@@ -402,13 +495,20 @@ func (it *filterIter) next() (*Batch, error) {
 		if b.sel != nil {
 			keep = b.sel[:0]
 		} else {
-			keep = make([]int32, 0, n)
+			if cap(it.selBuf) < n {
+				it.selBuf = make([]int32, 0, b.cap)
+			}
+			keep = it.selBuf[:0]
 		}
-		for ord := 0; ord < n; ord++ {
-			i := b.row(ord)
-			v := it.e.evalExpr(it.op.cond, rowRef{b: b, i: i})
-			if pass, err := v.effectiveBool(); err == nil && pass {
-				keep = append(keep, int32(i))
+		if it.op.idVar != "" {
+			keep = it.filterIDs(b, keep)
+		} else {
+			for ord := 0; ord < n; ord++ {
+				i := b.row(ord)
+				v := it.e.evalExpr(it.op.cond, rowRef{b: b, i: i})
+				if pass, err := v.effectiveBool(); err == nil && pass {
+					keep = append(keep, int32(i))
+				}
 			}
 		}
 		b.sel = keep
@@ -416,6 +516,26 @@ func (it *filterIter) next() (*Batch, error) {
 			return b, nil
 		}
 	}
+}
+
+// filterIDs is the constant-equality fast path: one ID compare per row.
+// An unbound row (ID 0) drops for both = and != — SPARQL comparison
+// with unbound is an error, and errors drop the row.
+func (it *filterIter) filterIDs(b *Batch, keep []int32) []int32 {
+	c, ok := b.schema.col(it.op.idVar)
+	if !ok {
+		return keep
+	}
+	col := b.cols[c]
+	n := b.live()
+	for ord := 0; ord < n; ord++ {
+		i := b.row(ord)
+		id := col[i]
+		if id != 0 && ((id == it.constID) != it.op.idNeg) {
+			keep = append(keep, int32(i))
+		}
+	}
+	return keep
 }
 
 func (it *filterIter) close() { it.in.close() }
@@ -477,6 +597,7 @@ func (it *optionalIter) next() (*Batch, error) {
 				}
 				it.subAny = true
 				if it.pass != nil && it.pass.live() > 0 {
+					//lint:allow batchview held is returned on the next call, before sub is pulled again
 					it.held = b
 					return it.flushPass(), nil
 				}
@@ -486,7 +607,7 @@ func (it *optionalIter) next() (*Batch, error) {
 			it.sub = nil
 			if !it.subAny {
 				if it.pass == nil {
-					it.pass = newBatch(it.op.schema, batchSizeMin)
+					it.pass = newBatch(it.e.dict, it.op.schema, batchSizeMin)
 				}
 				it.pass.beginRow(it.subProbe)
 				it.pass.commitRow()
@@ -507,7 +628,7 @@ func (it *optionalIter) next() (*Batch, error) {
 		}
 		it.subProbe, it.subAny = probe, false
 		if it.seed == nil {
-			it.seed = newBatch(it.op.schema, 1)
+			it.seed = newBatch(it.e.dict, it.op.schema, 1)
 		}
 		it.seed.reset()
 		it.seed.beginRow(probe)
@@ -533,6 +654,7 @@ func (it *optionalIter) nextProbeRow() (rowRef, bool, error) {
 		if err != nil || b == nil {
 			return rowRef{}, false, err
 		}
+		//lint:allow batchview inBatch is drained before the next pull invalidates it
 		it.inBatch, it.inOrd = b, 0
 	}
 }
@@ -595,7 +717,7 @@ func (it *unionIter) next() (*Batch, error) {
 		}
 		if it.hasRow && it.branch < len(it.op.branches) {
 			if it.seed == nil {
-				it.seed = newBatch(it.op.schema, 1)
+				it.seed = newBatch(it.e.dict, it.op.schema, 1)
 			}
 			it.seed.reset()
 			it.seed.beginRow(it.probe)
@@ -616,6 +738,7 @@ func (it *unionIter) next() (*Batch, error) {
 			if err != nil || b == nil {
 				return nil, err
 			}
+			//lint:allow batchview inBatch is drained before the next pull invalidates it
 			it.inBatch, it.inOrd = b, 0
 		}
 	}
@@ -654,8 +777,9 @@ func (op *nestedGroupOp) explain(b *strings.Builder, indent string) {
 
 // subSelectOp evaluates a nested SELECT once and joins its solutions
 // with the input rows on their shared variables. The sub-evaluation is
-// lazy (an empty input never runs it) and cached on the operator, so
-// OPTIONAL re-entry and cached plans reuse the solution set.
+// lazy (an empty input never runs it) and cached on the operator as
+// decoded terms — sound across evaluations in both dictionary modes —
+// so OPTIONAL re-entry and cached plans reuse the solution set.
 type subSelectOp struct {
 	sub    *selectPlan
 	schema *varSchema
@@ -689,6 +813,7 @@ type subSelectIter struct {
 	inBatch *Batch
 	inOrd   int
 	target  int
+	out     *Batch
 }
 
 func (it *subSelectIter) next() (*Batch, error) {
@@ -709,7 +834,12 @@ func (it *subSelectIter) next() (*Batch, error) {
 			return nil, err
 		}
 		if out == nil {
-			out = newBatch(it.op.schema, it.target)
+			if it.out == nil || it.out.cap < it.target {
+				it.out = newBatch(it.e.dict, it.op.schema, it.target)
+			} else {
+				it.out.reset()
+			}
+			out = it.out
 		}
 		for _, cand := range res {
 			r := out.beginRow(probe)
@@ -719,13 +849,13 @@ func (it *subSelectIter) next() (*Batch, error) {
 				if !has {
 					continue
 				}
-				if ex := out.cols[c][r]; !ex.IsZero() {
-					if !ex.Equal(v) {
+				if ex := out.cols[c][r]; ex != 0 {
+					if !out.dict.decode(ex).Equal(v) {
 						compatible = false
 						break
 					}
 				} else {
-					out.cols[c][r] = v
+					out.cols[c][r] = out.dict.encode(v)
 				}
 			}
 			if compatible {
@@ -752,6 +882,7 @@ func (it *subSelectIter) nextProbeRow() (rowRef, bool, error) {
 		if err != nil || b == nil {
 			return rowRef{}, false, err
 		}
+		//lint:allow batchview inBatch is drained before the next pull invalidates it
 		it.inBatch, it.inOrd = b, 0
 	}
 }
@@ -764,8 +895,9 @@ func (op *subSelectOp) explain(b *strings.Builder, indent string) {
 }
 
 // aggregateOp groups rows and evaluates aggregate projections and HAVING
-// constraints. Blocking: grouping needs the full input, which it drains
-// batch by batch.
+// constraints. Blocking: grouping needs the full input, drained batch by
+// batch and keyed on fixed-width ID tuples when every GROUP BY key is a
+// plain variable (see Evaluator.aggregateBatches).
 type aggregateOp struct {
 	q *SelectQuery
 }
@@ -783,15 +915,11 @@ type aggregateIter struct {
 
 func (it *aggregateIter) next() (*Batch, error) {
 	if it.out == nil {
-		rows, err := drainMaterialise(it.in)
+		grouped, err := it.e.aggregateBatches(it.op.q, it.in)
 		if err != nil {
 			return nil, err
 		}
-		grouped, err := it.e.aggregate(it.op.q, rows)
-		if err != nil {
-			return nil, err
-		}
-		it.out = &batchesIter{batches: []*Batch{batchFromBindings(bindingsSchema(grouped), grouped)}}
+		it.out = &batchesIter{batches: []*Batch{batchFromBindings(it.e.dict, bindingsSchema(grouped), grouped)}}
 	}
 	return it.out.next()
 }
@@ -826,10 +954,12 @@ func (op *aggregateOp) explain(b *strings.Builder, indent string) {
 }
 
 // projectOp applies the SELECT projection, rewriting each input batch
-// into a batch over the projection's schema. An explicit projection
-// streams (its output variables are static); SELECT * is the one
-// blocking modifier — the header depends on the rows, so it materialises
-// at open, which is what lets a cursor report Vars before iteration.
+// into a batch over the projection's schema — an ID-to-ID column copy
+// for plain variables, with expression results encoded through the
+// evaluation dictionary. An explicit projection streams through one
+// reused output slab; SELECT * is the one blocking modifier — the
+// header depends on the rows, so it materialises at open, which is what
+// lets a cursor report Vars before iteration.
 type projectOp struct {
 	q       *SelectQuery
 	grouped bool
@@ -844,7 +974,7 @@ func (op *projectOp) open(e *Evaluator, in batchIter) batchIter {
 			return it
 		}
 		it.vars = e.projectionVars(op.q, rows)
-		it.star = &batchesIter{batches: []*Batch{batchFromBindings(newSchema(it.vars), rows)}}
+		it.star = &batchesIter{batches: []*Batch{batchFromBindings(e.dict, newSchema(it.vars), rows)}}
 		return it
 	}
 	it.vars = e.projectionVars(op.q, nil)
@@ -859,6 +989,7 @@ type projectIter struct {
 	vars   []string
 	schema *varSchema
 	star   *batchesIter // materialised output of a SELECT *
+	out    *Batch       // reused output slab
 	err    error
 }
 
@@ -874,7 +1005,12 @@ func (it *projectIter) next() (*Batch, error) {
 		return nil, err
 	}
 	n := b.live()
-	out := newBatch(it.schema, n)
+	if it.out == nil || it.out.cap < n {
+		it.out = newBatch(it.e.dict, it.schema, max(n, b.cap))
+	} else {
+		it.out.reset()
+	}
+	out := it.out
 	for ord := 0; ord < n; ord++ {
 		i := b.row(ord)
 		in := rowRef{b: b, i: i}
@@ -886,15 +1022,13 @@ func (it *projectIter) next() (*Batch, error) {
 			}
 			if item.Expr != nil && !it.op.grouped {
 				if t, ok := it.e.evalExpr(item.Expr, in).asTerm(); ok {
-					out.cols[c][r] = t
+					out.cols[c][r] = out.dict.encode(t)
 				}
 				continue
 			}
 			// Plain variables, and grouped rows (which already carry the
-			// computed aggregate bindings), copy through.
-			if t, ok := in.lookup(item.Var); ok {
-				out.cols[c][r] = t
-			}
+			// computed aggregate bindings), copy through as IDs.
+			out.cols[c][r] = in.lookupID(item.Var)
 		}
 		out.commitRow()
 	}
@@ -920,11 +1054,12 @@ func (op *projectOp) explain(b *strings.Builder, indent string) {
 }
 
 // distinctOp deduplicates rows over the projected variables, streaming:
-// each batch's keys are built into a reused arena and checked against
-// the seen set, compacting the selection vector in place so first
-// occurrences flow through immediately (the same order materialised
-// deduplication produced). The projection's batches carry exactly the
-// projected columns, so the keys range over the batch schema.
+// each batch's fixed-width ID-tuple keys are built into a reused arena
+// and checked against the seen set, compacting the selection vector in
+// place so first occurrences flow through immediately (the same order
+// materialised deduplication produced). The projection's batches carry
+// exactly the projected columns, so the keys range over the batch
+// schema.
 type distinctOp struct {
 	proj *projectOp
 }
@@ -934,9 +1069,10 @@ func (op *distinctOp) open(e *Evaluator, in batchIter) batchIter {
 }
 
 type distinctIter struct {
-	in   batchIter
-	seen map[string]bool
-	kb   []byte
+	in     batchIter
+	seen   map[string]bool
+	kb     []byte
+	selBuf []int32
 }
 
 func (it *distinctIter) next() (*Batch, error) {
@@ -950,7 +1086,10 @@ func (it *distinctIter) next() (*Batch, error) {
 		if b.sel != nil {
 			keep = b.sel[:0]
 		} else {
-			keep = make([]int32, 0, n)
+			if cap(it.selBuf) < n {
+				it.selBuf = make([]int32, 0, b.cap)
+			}
+			keep = it.selBuf[:0]
 		}
 		for ord := 0; ord < n; ord++ {
 			i := b.row(ord)
@@ -975,9 +1114,11 @@ func (op *distinctOp) explain(b *strings.Builder, indent string) {
 
 // orderOp sorts rows by the ORDER BY keys (stable; incomparable values
 // tie). Blocking: sorting needs the full input, drained batch by batch —
-// but when a downstream LIMIT bounds how many sorted rows can ever be
-// consumed (topK > 0), the operator keeps only the top K rows in a
-// bounded heap instead of materialising the whole input.
+// rows materialise to terms here, the ORDER BY comparator being one of
+// the engine's late-materialisation points — but when a downstream
+// LIMIT bounds how many sorted rows can ever be consumed (topK > 0),
+// the operator keeps only the top K rows in a bounded heap instead of
+// materialising the whole input.
 type orderOp struct {
 	keys []OrderKey
 	// topK > 0 bounds how many rows of the sorted output are reachable
@@ -1016,7 +1157,7 @@ func (it *orderIter) next() (*Batch, error) {
 		if schema == nil {
 			schema = newSchema(nil)
 		}
-		it.out = &batchesIter{batches: []*Batch{batchFromBindings(schema, rows)}}
+		it.out = &batchesIter{batches: []*Batch{batchFromBindings(it.e.dict, schema, rows)}}
 	}
 	return it.out.next()
 }
@@ -1237,7 +1378,12 @@ func (e *Evaluator) scanPatternInto(pat TriplePattern, probe rowRef, filters []*
 // patScan is one pattern scan's reusable context. Bind joins run a
 // scan per probe row, so everything a visit needs lives in fields and
 // the visit callbacks are bound once at construction — a re-run
-// mutates probe state and allocates nothing.
+// mutates probe state and allocates nothing. Against an IDSource the
+// scan runs in ID space end to end: the pattern resolves to store IDs,
+// the index visitor yields encoded triples and the matched IDs land in
+// the batch columns without a single term materialisation. Composite
+// sources (the sharded store's multi-dictionary views) take the term
+// path and intern each bound term into the evaluation-local dictionary.
 type patScan struct {
 	e       *Evaluator
 	pat     TriplePattern
@@ -1246,16 +1392,23 @@ type patScan struct {
 	onRow   func() bool
 
 	probe   rowRef   // current probe row
-	s, p, o rdf.Term // pattern components resolved under probe
+	s, p, o rdf.Term // pattern components resolved under probe (term path)
+
+	sid, pid, oid rdf.ID // pattern components resolved under probe (ID path)
 
 	visit       func(rdf.Triple) bool // bound tryBind
 	visitWindow func(rdf.Triple) bool // bound windowVisit
+
+	visitIDs       func(rdf.EncodedTriple) bool // bound tryBindIDs
+	visitWindowIDs func(rdf.EncodedTriple) bool // bound windowVisitIDs
 }
 
 func newPatScan(e *Evaluator, pat TriplePattern, filters []*FilterElement, out func() *Batch, onRow func() bool) *patScan {
 	sc := &patScan{e: e, pat: pat, filters: filters, out: out, onRow: onRow}
 	sc.visit = sc.tryBind
 	sc.visitWindow = sc.windowVisit
+	sc.visitIDs = sc.tryBindIDs
+	sc.visitWindowIDs = sc.windowVisitIDs
 	return sc
 }
 
@@ -1266,6 +1419,10 @@ func newPatScan(e *Evaluator, pat TriplePattern, filters []*FilterElement, out f
 // full predicate scan.
 func (sc *patScan) run(probe rowRef) {
 	sc.probe = probe
+	if sc.e.idsrc != nil {
+		sc.runIDs(probe)
+		return
+	}
 	sc.s, sc.p, sc.o = resolveTV(sc.pat.S, probe), resolveTV(sc.pat.P, probe), resolveTV(sc.pat.O, probe)
 
 	if ss, ok := sc.e.src.(SpatialSource); ok && ss.SpatialIndexEnabled() &&
@@ -1276,6 +1433,36 @@ func (sc *patScan) run(probe rowRef) {
 		}
 	}
 	sc.e.src.MatchTerms(sc.s, sc.p, sc.o, sc.visit)
+}
+
+// runIDs is the native scan: the pattern resolves to store IDs and the
+// index visitors stay encoded. A bound component the store dictionary
+// has never seen (including evaluation-computed overflow terms) matches
+// nothing, so the scan is skipped outright.
+func (sc *patScan) runIDs(probe rowRef) {
+	sid, ok := resolveTVID(sc.pat.S, probe, sc.e.dict)
+	if !ok {
+		return
+	}
+	pid, ok := resolveTVID(sc.pat.P, probe, sc.e.dict)
+	if !ok {
+		return
+	}
+	oid, ok := resolveTVID(sc.pat.O, probe, sc.e.dict)
+	if !ok {
+		return
+	}
+	sc.sid, sc.pid, sc.oid = sid, pid, oid
+
+	if pid != 0 && sc.pat.O.IsVar() && oid == 0 && GeometryPredicates[sc.e.dict.decode(termID(pid)).Value] {
+		if ss, ok := sc.e.src.(SpatialIDSource); ok && ss.SpatialIndexEnabled() {
+			if env, found := sc.e.spatialWindowFor(sc.pat.O.Var, probe, sc.filters); found {
+				ss.MatchGeometryWindowIDs(env, sc.visitWindowIDs)
+				return
+			}
+		}
+	}
+	sc.e.idsrc.MatchIDs(sid, pid, oid, sc.visitIDs)
 }
 
 // windowVisit filters R-tree window candidates down to the pattern
@@ -1290,6 +1477,18 @@ func (sc *patScan) windowVisit(t rdf.Triple) bool {
 	return sc.tryBind(t)
 }
 
+// windowVisitIDs is windowVisit in ID space: one integer compare per
+// over-approximated component.
+func (sc *patScan) windowVisitIDs(t rdf.EncodedTriple) bool {
+	if sc.pid != 0 && t.P != sc.pid {
+		return true
+	}
+	if sc.sid != 0 && t.S != sc.sid {
+		return true
+	}
+	return sc.tryBindIDs(t)
+}
+
 // tryBind stages one matched triple's bindings and reports whether the
 // scan should continue. The staged row is discarded (never committed)
 // on a conflicting repeated-variable binding.
@@ -1297,6 +1496,18 @@ func (sc *patScan) tryBind(t rdf.Triple) bool {
 	b := sc.out()
 	r := b.beginRow(sc.probe)
 	if !bindStaged(b, r, sc.pat.S, t.S) || !bindStaged(b, r, sc.pat.P, t.P) || !bindStaged(b, r, sc.pat.O, t.O) {
+		return true
+	}
+	b.commitRow()
+	return sc.onRow()
+}
+
+// tryBindIDs stages one matched encoded triple's bindings — the native
+// hot path: three ID stores per row, no term in sight.
+func (sc *patScan) tryBindIDs(t rdf.EncodedTriple) bool {
+	b := sc.out()
+	r := b.beginRow(sc.probe)
+	if !bindStagedID(b, r, sc.pat.S, termID(t.S)) || !bindStagedID(b, r, sc.pat.P, termID(t.P)) || !bindStagedID(b, r, sc.pat.O, termID(t.O)) {
 		return true
 	}
 	b.commitRow()
@@ -1316,12 +1527,39 @@ func resolveTV(tv TermOrVar, probe rowRef) rdf.Term {
 	return rdf.Term{}
 }
 
+// resolveTVID resolves a pattern component to a store ID. ok=false
+// means the component is bound to a term no indexed triple can carry
+// (a dictionary miss or an evaluation-local overflow ID): the scan
+// matches nothing.
+func resolveTVID(tv TermOrVar, probe rowRef, d *execDict) (rdf.ID, bool) {
+	if !tv.IsVar() {
+		return d.storeID(tv.Term)
+	}
+	if probe.b != nil {
+		if id := probe.lookupID(tv.Var); id != 0 {
+			if id >= overflowBase {
+				return 0, false
+			}
+			return rdf.ID(id), true
+		}
+		return 0, true
+	}
+	if probe.m != nil {
+		if t, ok := probe.m[tv.Var]; ok && !t.IsZero() {
+			return d.storeID(t)
+		}
+	}
+	return 0, true
+}
+
 // alwaysScan is the onRow of scans without early termination; a named
 // function so passing it allocates no closure.
 func alwaysScan() bool { return true }
 
 // bindStaged binds one pattern component into the staged row r of b,
-// reporting false on a conflicting repeated-variable binding.
+// reporting false on a conflicting repeated-variable binding. Term
+// path: the value interns into the evaluation dictionary only if the
+// variable actually lands in the schema.
 func bindStaged(b *Batch, r int, tv TermOrVar, val rdf.Term) bool {
 	if !tv.IsVar() {
 		return true
@@ -1330,10 +1568,27 @@ func bindStaged(b *Batch, r int, tv TermOrVar, val rdf.Term) bool {
 	if !ok {
 		return true
 	}
-	if ex := b.cols[c][r]; !ex.IsZero() {
-		return ex.Equal(val)
+	id := b.dict.encode(val)
+	if ex := b.cols[c][r]; ex != 0 {
+		return ex == id
 	}
-	b.cols[c][r] = val
+	b.cols[c][r] = id
+	return true
+}
+
+// bindStagedID is bindStaged for already-encoded values.
+func bindStagedID(b *Batch, r int, tv TermOrVar, id termID) bool {
+	if !tv.IsVar() {
+		return true
+	}
+	c, ok := b.schema.col(tv.Var)
+	if !ok {
+		return true
+	}
+	if ex := b.cols[c][r]; ex != 0 {
+		return ex == id
+	}
+	b.cols[c][r] = id
 	return true
 }
 

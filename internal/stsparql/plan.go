@@ -107,7 +107,7 @@ func (g *groupPlan) open(e *Evaluator, in batchIter) batchIter {
 
 // run is the materialising wrapper used by update planning and ASK.
 func (g *groupPlan) run(e *Evaluator, seed []Binding) ([]Binding, error) {
-	it := g.open(e, seedIter(g.schema, seed))
+	it := g.open(e, seedIter(e.dict, g.schema, seed))
 	defer it.close()
 	return drainMaterialise(it)
 }
@@ -131,7 +131,7 @@ type selectPlan struct {
 // iterator together with the projection's output variable list (the
 // result header), which is known once the projection has opened.
 func (p *selectPlan) open(e *Evaluator, seed []Binding) (batchIter, []string) {
-	cur := p.where.open(e, seedIter(p.where.schema, seed))
+	cur := p.where.open(e, seedIter(e.dict, p.where.schema, seed))
 	var vars []string
 	for _, op := range p.tail {
 		cur = op.open(e, cur)
@@ -345,7 +345,7 @@ func (p *planner) planGroup(gp *GroupPattern, bound map[string]bool, inEst float
 	// into a BGP are pure pruning and need not re-run.
 	for _, f := range filters {
 		if !applied[f] {
-			g.ops = append(g.ops, &filterOp{cond: f.Cond})
+			g.ops = append(g.ops, newFilterOp(f.Cond, false))
 		}
 	}
 	return g
@@ -447,7 +447,7 @@ func (p *planner) planBGP(patterns []TriplePattern, filters []*FilterElement, ap
 			}
 			if all && !usesBoundFn(f.Cond) {
 				applied[f] = true
-				ops = append(ops, &filterOp{cond: f.Cond, eager: true})
+				ops = append(ops, newFilterOp(f.Cond, true))
 				inEst *= eagerFilterSelectivity
 			}
 		}

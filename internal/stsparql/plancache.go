@@ -21,9 +21,11 @@ import (
 // Compiled is a parsed query together with its physical plan. Plan
 // nodes are immutable (all per-execution state lives in iterators), so
 // one Compiled may be run repeatedly and concurrently — against the
-// unchanged source it was compiled for. Operator-level caches (hash
-// build sides, sub-select solutions) are built at most once per
-// Compiled and shared across runs.
+// unchanged source it was compiled for. Operator-level caches are built
+// at most once per Compiled and shared across runs: sub-select
+// solutions always (they hold decoded terms), hash-join build sides
+// only when the source dictionary is native (store IDs are stable
+// across evaluations; evaluation-local IDs are not — see iddict.go).
 type Compiled struct {
 	Query *Query
 	sel   *selectPlan
@@ -91,7 +93,7 @@ func (e *Evaluator) AskCompiled(c *Compiled) (bool, error) {
 	if c.ask == nil {
 		return false, fmt.Errorf("stsparql: AskCompiled wants an ASK")
 	}
-	it := c.ask.open(e, seedIter(c.ask.schema, []Binding{{}}))
+	it := c.ask.open(e, seedIter(e.dict, c.ask.schema, []Binding{{}}))
 	defer it.close()
 	b, err := nextLive(it)
 	return b != nil, err

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Runs the headline engine benchmarks (streamed-select cursor path,
+# sharded/single windowed spatial join, concurrent served queries) with
+# -benchmem and records them machine-readably in BENCH_engine.json —
+# the engine-level counterpart of BENCH_serve.json. Each entry carries
+# wall time, bytes and allocations per operation; allocs/op is
+# scheduling-independent and is the number the alloc gate
+# (scripts/check_streamed_allocs.sh) polices.
+set -euo pipefail
+
+out_file="${1:-BENCH_engine.json}"
+
+run() { # pkg bench_regex
+    go test -run '^$' -bench "$2" -benchmem "$1"
+}
+
+raw=$(
+    run ./internal/strabon 'BenchmarkStreamedSelect'
+    run ./internal/shard 'BenchmarkShardedQueries'
+    run ./internal/strabon 'BenchmarkServedQueries'
+)
+echo "$raw"
+
+echo "$raw" | awk -v go_version="$(go env GOVERSION)" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i-1)
+        if ($i == "B/op") bytes = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    names[n] = name; its[n] = iters
+    nss[n] = ns; bs[n] = bytes; as[n] = allocs
+    n++
+}
+END {
+    printf "{\n"
+    printf "  \"go\": \"%s\",\n", go_version
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) {
+        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", names[i], its[i], nss[i]
+        if (bs[i] != "") printf ", \"bytes_per_op\": %s", bs[i]
+        if (as[i] != "") printf ", \"allocs_per_op\": %s", as[i]
+        printf "}%s\n", (i < n-1 ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' >"$out_file"
+
+echo "wrote $out_file"
